@@ -1,0 +1,73 @@
+// A5 — ablation: the adaptive RMI/LMI switch against Figure 4's envelope.
+//
+// Figure 4 shows pure RMI winning at few invocations and pure LMI winning at
+// many, with a crossover. An adaptive reference should track the lower
+// envelope of both curves: pay RMI prices only up to the crossover, then
+// switch. This ablation replays the Figure 4 sweep for all three strategies.
+#include <benchmark/benchmark.h>
+
+#include "adaptive/adaptive_ref.h"
+#include "harness.h"
+
+namespace obiwan::bench {
+namespace {
+
+const std::vector<long> kInvocations = {1, 2, 5, 10, 100, 1000};
+
+enum class Strategy { kRmi, kLmi, kAdaptive };
+
+double Run(Strategy strategy, long invocations, std::size_t size) {
+  PaperEnv env;
+  auto master = test::MakeChain(1, size, "m");
+  (void)env.provider->Bind("obj", master);
+  auto remote = env.demander->Lookup<test::Node>("obj");
+
+  Stopwatch sw(env.clock);
+  switch (strategy) {
+    case Strategy::kRmi: {
+      for (long i = 0; i < invocations; ++i) (void)remote->Invoke(&test::Node::Touch);
+      break;
+    }
+    case Strategy::kLmi: {
+      auto ref = remote->Replicate(core::ReplicationMode::Incremental(1));
+      for (long i = 0; i < invocations; ++i) {
+        benchmark::DoNotOptimize((*ref)->Touch());
+      }
+      (void)env.demander->Put(*ref);
+      break;
+    }
+    case Strategy::kAdaptive: {
+      adaptive::AdaptiveRef<test::Node> ref(*env.demander, *remote);
+      for (long i = 0; i < invocations; ++i) (void)ref.Invoke(&test::Node::Touch);
+      (void)ref.Sync();
+      break;
+    }
+  }
+  return sw.ElapsedMs();
+}
+
+void PaperSeries(std::size_t size) {
+  std::vector<Series> series{{"RMI", {}}, {"LMI", {}}, {"adaptive", {}}};
+  for (long n : kInvocations) {
+    series[0].values.push_back(Run(Strategy::kRmi, n, size));
+    series[1].values.push_back(Run(Strategy::kLmi, n, size));
+    series[2].values.push_back(Run(Strategy::kAdaptive, n, size));
+  }
+  PrintTable("Ablation A5: adaptive invocation vs fixed strategies, " +
+                 std::to_string(size) + " B object (ms)",
+             "# invocations", kInvocations, series);
+}
+
+}  // namespace
+}  // namespace obiwan::bench
+
+int main(int argc, char** argv) {
+  obiwan::bench::PaperSeries(64);
+  obiwan::bench::PaperSeries(16 * 1024);
+  std::printf("\nExpected: adaptive ~= RMI for few invocations, ~= LMI for "
+              "many; never much\nworse than the better fixed strategy at any "
+              "point (it pays at most the crossover\nprobe cost).\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// A2 — ablation: wire-format throughput.
+//
+// §4.3 concludes that once proxy pairs are amortized, "the most significant
+// performance cost is data serialization ... and network communication".
+// This bench measures the real serialization substrate: encode/decode
+// throughput for object records of the paper's three sizes, plus the
+// primitive costs underneath.
+#include <benchmark/benchmark.h>
+
+#include "core/messages.h"
+#include "harness.h"
+
+namespace obiwan::bench {
+namespace {
+
+void BM_EncodeFields(benchmark::State& state) {
+  test::Node node;
+  node.label = "bench-node";
+  node.value = 123456;
+  node.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
+  const core::ClassInfo& info = core::ClassInfoFor<test::Node>();
+  for (auto _ : state) {
+    wire::Writer w;
+    info.EncodeFields(node, w);
+    benchmark::DoNotOptimize(w.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeFields)->Arg(64)->Arg(1024)->Arg(16 * 1024);
+
+void BM_DecodeFields(benchmark::State& state) {
+  test::Node node;
+  node.label = "bench-node";
+  node.value = 123456;
+  node.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
+  const core::ClassInfo& info = core::ClassInfoFor<test::Node>();
+  wire::Writer w;
+  info.EncodeFields(node, w);
+  test::Node out;
+  for (auto _ : state) {
+    wire::Reader r(AsView(w.data()));
+    benchmark::DoNotOptimize(info.DecodeFields(out, r).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeFields)->Arg(64)->Arg(1024)->Arg(16 * 1024);
+
+void BM_EncodeObjectRecordBatch(benchmark::State& state) {
+  // A replication batch like ServeGet builds: N records of 1 KB objects.
+  std::vector<core::ObjectRecord> batch;
+  for (int i = 0; i < state.range(0); ++i) {
+    core::ObjectRecord rec;
+    rec.id = {2, static_cast<std::uint64_t>(i + 1)};
+    rec.class_name = "Node";
+    rec.version = 1;
+    rec.fields.assign(1024, 0xCD);
+    rec.refs.push_back(core::RefEntry::Inline({2, static_cast<std::uint64_t>(i + 2)}));
+    rec.provider = core::ProxyDescriptor{{2, static_cast<std::uint64_t>(i + 1)},
+                                         "s2",
+                                         rec.id,
+                                         "Node"};
+    batch.push_back(std::move(rec));
+  }
+  for (auto _ : state) {
+    wire::Writer w;
+    wire::Encode(w, batch);
+    benchmark::DoNotOptimize(w.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeObjectRecordBatch)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_DecodeObjectRecordBatch(benchmark::State& state) {
+  std::vector<core::ObjectRecord> batch;
+  for (int i = 0; i < state.range(0); ++i) {
+    core::ObjectRecord rec;
+    rec.id = {2, static_cast<std::uint64_t>(i + 1)};
+    rec.class_name = "Node";
+    rec.version = 1;
+    rec.fields.assign(1024, 0xCD);
+    rec.refs.push_back(core::RefEntry::Inline({2, static_cast<std::uint64_t>(i + 2)}));
+    batch.push_back(std::move(rec));
+  }
+  wire::Writer w;
+  wire::Encode(w, batch);
+  for (auto _ : state) {
+    wire::Reader r(AsView(w.data()));
+    benchmark::DoNotOptimize(wire::Decode<std::vector<core::ObjectRecord>>(r));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeObjectRecordBatch)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Varint(benchmark::State& state) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    wire::Writer w;
+    for (int i = 0; i < 64; ++i) w.Varint(v += 0x12345);
+    benchmark::DoNotOptimize(w.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Varint);
+
+void BM_ArgTupleMarshalling(benchmark::State& state) {
+  // The per-call marshalling of a typical RMI signature.
+  for (auto _ : state) {
+    wire::Writer w;
+    wire::Encode(w, std::make_tuple(std::string("prefix"), std::int32_t{42}, true));
+    wire::Reader r(AsView(w.data()));
+    benchmark::DoNotOptimize(
+        wire::Decode<std::tuple<std::string, std::int32_t, bool>>(r));
+  }
+}
+BENCHMARK(BM_ArgTupleMarshalling);
+
+}  // namespace
+}  // namespace obiwan::bench
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation A2: wire-format (serialization) throughput ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E2 — Figure 4: "Comparison of RMI and LMI."
+//
+// Total cost of performing N invocations on one object, N in 1..10000, for
+// object sizes 16 B .. 64 KB:
+//   - RMI: every invocation is a remote round trip; the object never moves,
+//     so the cost is size-independent and linear in N.
+//   - LMI: replicate the object first, invoke locally, and push the result
+//     back to the master ("the execution time of LMI includes the cost due to
+//     the creation of the replica and to update it back in the master site").
+//
+// Expected shape (paper §4.1): LMI wins for many invocations and smaller
+// objects; for few invocations on small objects the two are comparable.
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+
+namespace obiwan::bench {
+namespace {
+
+const std::vector<long> kInvocations = {1, 10, 100, 1000, 10000};
+const std::vector<long> kSizes = {16, 1024, 4096, 16 * 1024, 64 * 1024};
+
+double RmiCost(long invocations) {
+  PaperEnv env;
+  auto master = test::MakeChain(1, 16, "m");
+  (void)env.provider->Bind("obj", master);
+  auto remote = env.demander->Lookup<test::Node>("obj");
+  Stopwatch sw(env.clock);
+  for (long i = 0; i < invocations; ++i) (void)remote->Invoke(&test::Node::Touch);
+  return sw.ElapsedMs();
+}
+
+double LmiCost(long size, long invocations) {
+  PaperEnv env;
+  auto master = test::MakeChain(1, static_cast<std::size_t>(size), "m");
+  (void)env.provider->Bind("obj", master);
+  auto remote = env.demander->Lookup<test::Node>("obj");
+  Stopwatch sw(env.clock);
+  auto replica = remote->Replicate(core::ReplicationMode::Incremental(1));
+  for (long i = 0; i < invocations; ++i) {
+    benchmark::DoNotOptimize((*replica)->Touch());
+  }
+  (void)env.demander->Put(*replica);
+  return sw.ElapsedMs();
+}
+
+void PaperSeries() {
+  std::vector<Series> series;
+  series.push_back({"RMI", {}});
+  for (long n : kInvocations) series.back().values.push_back(RmiCost(n));
+  for (long size : kSizes) {
+    std::string label = size >= 1024 ? "LMI " + std::to_string(size / 1024) + "K"
+                                     : "LMI " + std::to_string(size);
+    series.push_back({label, {}});
+    for (long n : kInvocations) series.back().values.push_back(LmiCost(size, n));
+  }
+  PrintTable("Figure 4 (E2): RMI vs LMI, total time (ms)",
+             "# invocations", kInvocations, series);
+}
+
+// CPU-side micro-benchmark: the real cost of one LMI cycle's fixed parts
+// (replicate + put) over loopback, by object size.
+void BM_ReplicateAndPut(benchmark::State& state) {
+  net::LoopbackNetwork network;
+  core::Site provider(2, network.CreateEndpoint("s2"));
+  core::Site demander(1, network.CreateEndpoint("s1"));
+  (void)provider.Start();
+  (void)demander.Start();
+  provider.HostRegistry();
+  demander.UseRegistry("s2");
+  auto master = test::MakeChain(1, static_cast<std::size_t>(state.range(0)), "m");
+  (void)provider.Bind("obj", master);
+  auto remote = demander.Lookup<test::Node>("obj");
+  for (auto _ : state) {
+    auto replica = remote->Replicate(core::ReplicationMode::Incremental(1));
+    benchmark::DoNotOptimize((*replica)->Touch());
+    benchmark::DoNotOptimize(demander.Put(*replica));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ReplicateAndPut)->Arg(16)->Arg(1024)->Arg(16 * 1024)->Arg(64 * 1024);
+
+}  // namespace
+}  // namespace obiwan::bench
+
+int main(int argc, char** argv) {
+  obiwan::bench::PaperSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E3 — Figure 5: "Incremental replication of objects."
+//
+// A list of 1000 objects (64 B / 1 KB / 16 KB each) lives at site S2. Site S1
+// invokes a method on every object in order; whenever the object is not yet
+// replicated, the system automatically replicates the next {1, 10, 50, 100,
+// 500, 1000} objects — each with its own proxy-in/proxy-out pair, so every
+// object remains individually updatable (§4.2).
+//
+// Each table row is the cumulative elapsed time after the i-th invocation —
+// the staircase curves of the figure. Expected shape: step=1 is the least
+// efficient at high invocation counts (a full round trip per object); 10-100
+// is best; very large steps pay a big upfront transfer.
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+
+namespace obiwan::bench {
+namespace {
+
+constexpr int kListLength = 1000;
+const std::vector<long> kSteps = {1, 10, 50, 100, 500, 1000};
+const std::vector<long> kCheckpoints = {1,   100, 200, 300, 400, 500,
+                                        600, 700, 800, 900, 1000};
+
+// Traverse the whole list with the given replication mode; return cumulative
+// elapsed ms at each checkpoint.
+std::vector<double> Traverse(std::size_t object_size, core::ReplicationMode mode) {
+  PaperEnv env;
+  auto head = test::MakeChain(kListLength, object_size, "n");
+  (void)env.provider->Bind("list", head);
+  auto remote = env.demander->Lookup<test::Node>("list");
+
+  std::vector<double> at_checkpoint;
+  Stopwatch sw(env.clock);
+  auto ref = remote->Replicate(mode);
+  core::Ref<test::Node>* cursor = &*ref;
+  std::size_t next_checkpoint = 0;
+  for (int i = 1; i <= kListLength; ++i) {
+    benchmark::DoNotOptimize((*cursor)->Touch());  // faults replicate `mode.count` more
+    cursor = &cursor->get()->next;
+    if (next_checkpoint < kCheckpoints.size() && i == kCheckpoints[next_checkpoint]) {
+      at_checkpoint.push_back(sw.ElapsedMs());
+      ++next_checkpoint;
+    }
+  }
+  return at_checkpoint;
+}
+
+void PaperSeries(const char* figure, std::size_t object_size,
+                 core::ReplicationMode (*make_mode)(std::uint32_t)) {
+  std::vector<Series> series;
+  for (long step : kSteps) {
+    series.push_back({"step " + std::to_string(step),
+                      Traverse(object_size, make_mode(static_cast<std::uint32_t>(step)))});
+  }
+  PrintTable(std::string(figure) + ", " +
+                 (object_size >= 1024 ? std::to_string(object_size / 1024) + " KB"
+                                      : std::to_string(object_size) + " B") +
+                 " objects: cumulative time (ms)",
+             "invocations", kCheckpoints, series);
+}
+
+}  // namespace
+}  // namespace obiwan::bench
+
+int main(int argc, char** argv) {
+  using obiwan::core::ReplicationMode;
+  for (std::size_t size : {std::size_t{64}, std::size_t{1024}, std::size_t{16384}}) {
+    obiwan::bench::PaperSeries("Figure 5 (E3): incremental replication", size,
+                               &ReplicationMode::Incremental);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E4 — Figure 6: "Incremental replication of clusters of objects."
+//
+// Same workload as Figure 5 (1000-object list, three object sizes, the
+// demander touches every object) but objects are replicated in *clusters*:
+// each batch shares a single proxy-in/proxy-out pair, so cluster members can
+// no longer be updated individually (§4.3).
+//
+// Expected shape vs Figure 5: all curves drop substantially and bunch
+// together — with only one proxy pair per batch, serialization and network
+// transfer dominate and the batch size matters much less.
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+
+namespace obiwan::bench {
+namespace {
+
+constexpr int kListLength = 1000;
+const std::vector<long> kSteps = {1, 10, 50, 100, 500, 1000};
+const std::vector<long> kCheckpoints = {1,   100, 200, 300, 400, 500,
+                                        600, 700, 800, 900, 1000};
+
+std::vector<double> Traverse(std::size_t object_size, core::ReplicationMode mode) {
+  PaperEnv env;
+  auto head = test::MakeChain(kListLength, object_size, "n");
+  (void)env.provider->Bind("list", head);
+  auto remote = env.demander->Lookup<test::Node>("list");
+
+  std::vector<double> at_checkpoint;
+  Stopwatch sw(env.clock);
+  auto ref = remote->Replicate(mode);
+  core::Ref<test::Node>* cursor = &*ref;
+  std::size_t next_checkpoint = 0;
+  for (int i = 1; i <= kListLength; ++i) {
+    benchmark::DoNotOptimize((*cursor)->Touch());
+    cursor = &cursor->get()->next;
+    if (next_checkpoint < kCheckpoints.size() && i == kCheckpoints[next_checkpoint]) {
+      at_checkpoint.push_back(sw.ElapsedMs());
+      ++next_checkpoint;
+    }
+  }
+  return at_checkpoint;
+}
+
+void PaperSeries(std::size_t object_size) {
+  std::vector<Series> series;
+  for (long step : kSteps) {
+    series.push_back(
+        {"cluster " + std::to_string(step),
+         Traverse(object_size,
+                  core::ReplicationMode::Cluster(static_cast<std::uint32_t>(step)))});
+  }
+  PrintTable("Figure 6 (E4): cluster replication, " +
+                 (object_size >= 1024 ? std::to_string(object_size / 1024) + " KB"
+                                      : std::to_string(object_size) + " B") +
+                 " objects: cumulative time (ms)",
+             "invocations", kCheckpoints, series);
+}
+
+}  // namespace
+}  // namespace obiwan::bench
+
+int main(int argc, char** argv) {
+  for (std::size_t size : {std::size_t{64}, std::size_t{1024}, std::size_t{16384}}) {
+    obiwan::bench::PaperSeries(size);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

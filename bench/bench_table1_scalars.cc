@@ -1,0 +1,99 @@
+// E1 — §4.1 scalar claims:
+//   "The time it takes to make a local method invocation is 2 microseconds.
+//    A remote method invocation takes 2.8 milliseconds and, obviously, is
+//    independent of the object size."
+//
+// Prints the three checks (LMI latency, RMI latency, RMI vs object size) and
+// then runs google-benchmark micro-benchmarks for the real CPU-side costs.
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+
+namespace obiwan::bench {
+namespace {
+
+void PaperSeries() {
+  PaperEnv env;
+
+  auto master = test::MakeChain(1, 64, "m");
+  (void)env.provider->Bind("obj", master);
+  auto remote = env.demander->Lookup<test::Node>("obj");
+  auto replica = remote->Replicate(core::ReplicationMode::Incremental(1));
+
+  // LMI: real CPU time of a local virtual call through a Ref (the paper's
+  // probe touches a field, so the call is not empty).
+  constexpr int kLocalIters = 1'000'000;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kLocalIters; ++i) {
+    benchmark::DoNotOptimize((*replica)->Touch());
+  }
+  double lmi_us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count() /
+                  kLocalIters;
+
+  // RMI: one round trip on the calibrated simulated LAN.
+  Stopwatch sw(env.clock);
+  (void)remote->Invoke(&test::Node::Touch);
+  double rmi_ms = sw.ElapsedMs();
+
+  std::printf("=== Table 1 (E1): invocation scalars ===\n");
+  std::printf("%-34s %12s %12s\n", "metric", "measured", "paper");
+  std::printf("%-34s %9.3f us %9s\n", "LMI (local call on replica)", lmi_us, "2 us");
+  std::printf("%-34s %9.3f ms %9s\n", "RMI (remote call round trip)", rmi_ms, "2.8 ms");
+
+  // RMI independence of object size: remote calls on masters of growing size.
+  std::vector<long> sizes = {16, 1024, 4096, 16 * 1024, 64 * 1024};
+  Series rmi_series{"RMI ms/call", {}};
+  for (long size : sizes) {
+    auto obj = test::MakeChain(1, static_cast<std::size_t>(size), "sz");
+    (void)env.provider->Bind("obj-" + std::to_string(size), obj);
+    auto r = env.demander->Lookup<test::Node>("obj-" + std::to_string(size));
+    Stopwatch sw2(env.clock);
+    constexpr int kCalls = 10;
+    for (int i = 0; i < kCalls; ++i) (void)r->Invoke(&test::Node::Touch);
+    rmi_series.values.push_back(sw2.ElapsedMs() / kCalls);
+  }
+  PrintTable("Table 1 (E1): RMI cost vs object size (paper: independent)",
+             "object bytes", sizes, {rmi_series});
+}
+
+// --- CPU micro-benchmarks ----------------------------------------------------
+
+void BM_LocalInvoke(benchmark::State& state) {
+  auto node = std::make_shared<test::Node>();
+  core::Ref<test::Node> ref(node);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref->Touch());
+  }
+}
+BENCHMARK(BM_LocalInvoke);
+
+// Full RMI machinery (marshalling, dispatch, skeleton) minus the network:
+// loopback round trip.
+void BM_LoopbackRmiRoundTrip(benchmark::State& state) {
+  net::LoopbackNetwork network;
+  core::Site provider(2, network.CreateEndpoint("s2"));
+  core::Site demander(1, network.CreateEndpoint("s1"));
+  (void)provider.Start();
+  (void)demander.Start();
+  provider.HostRegistry();
+  demander.UseRegistry("s2");
+  auto master = test::MakeChain(1, 64, "m");
+  (void)provider.Bind("obj", master);
+  auto remote = demander.Lookup<test::Node>("obj");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remote->Invoke(&test::Node::Touch));
+  }
+}
+BENCHMARK(BM_LoopbackRmiRoundTrip);
+
+}  // namespace
+}  // namespace obiwan::bench
+
+int main(int argc, char** argv) {
+  obiwan::bench::PaperSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

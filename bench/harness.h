@@ -1,0 +1,92 @@
+// Shared benchmark harness.
+//
+// Every figure bench runs on the calibrated simulated network (net::kPaperLan:
+// empty RMI round trip = 2.8 ms, 10 Mbit/s payload bandwidth — the paper's
+// testbed constants) with a virtual clock, so the *network* component of each
+// experiment is deterministic. Local CPU work (marshalling, proxy creation,
+// local method invocation) is measured for real and added in, mirroring how
+// the paper's wall-clock numbers combine the two. Each binary prints the
+// paper-style series first, then runs its google-benchmark micro-benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obiwan.h"
+#include "test_objects.h"
+
+namespace obiwan::bench {
+
+// Two sites on the paper's LAN: "s2" masters objects, "s1" demands them.
+struct PaperEnv {
+  explicit PaperEnv(net::LinkParams link = net::kPaperLan)
+      : network(clock, link) {
+    provider = std::make_unique<core::Site>(2, network.CreateEndpoint("s2"), clock);
+    demander = std::make_unique<core::Site>(1, network.CreateEndpoint("s1"), clock);
+    (void)provider->Start();
+    (void)demander->Start();
+    provider->HostRegistry();
+    demander->UseRegistry("s2");
+    // Calibrated per-proxy-pair export cost of the 2002 Java substrate
+    // (UnicastRemoteObject export + stub bookkeeping) — the per-object
+    // overhead §4.2 measures and clustering eliminates.
+    provider->SetProxyExportCost(kProxyExportCost);
+  }
+
+  static constexpr Nanos kProxyExportCost = 500 * kMicro;
+
+  VirtualClock clock;
+  net::SimNetwork network;
+  std::unique_ptr<core::Site> provider;
+  std::unique_ptr<core::Site> demander;
+};
+
+// Combined stopwatch: virtual network time + real CPU time.
+class Stopwatch {
+ public:
+  explicit Stopwatch(VirtualClock& clock)
+      : clock_(clock),
+        sim_start_(clock.Now()),
+        real_start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedMs() const {
+    double sim = static_cast<double>(clock_.Now() - sim_start_) / kMilli;
+    double real = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - real_start_)
+                      .count();
+    return sim + real;
+  }
+
+ private:
+  VirtualClock& clock_;
+  Nanos sim_start_;
+  std::chrono::steady_clock::time_point real_start_;
+};
+
+// Print a paper-style series table: one row per x value, one column per
+// series.
+struct Series {
+  std::string name;
+  std::vector<double> values;  // aligned with the x axis
+};
+
+inline void PrintTable(const std::string& title, const std::string& x_label,
+                       const std::vector<long>& xs,
+                       const std::vector<Series>& series) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%14s", x_label.c_str());
+  for (const Series& s : series) std::printf("%16s", s.name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%14ld", xs[i]);
+    for (const Series& s : series) {
+      std::printf("%16.3f", i < s.values.size() ? s.values[i] : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace obiwan::bench

@@ -1,0 +1,36 @@
+// A "legacy" calendar written with no distribution in mind — exactly the
+// starting point of the paper's §3.2 porting story. The build runs
+//   obicomp --port examples/legacy/calendar.h
+// over this file to produce the shareable versions of these classes; see
+// examples/porting_demo.cc for the application that uses the result.
+//
+// (This header is *input data* for obicomp; nothing in the repo includes it
+// directly.)
+#include <string>
+#include <vector>
+
+class Event;
+
+class Calendar {
+ public:
+  std::string owner;
+  int64_t event_count = 0;
+  Event* first;
+
+  std::string Owner() const;
+  void Adopt(std::string new_owner);
+  int64_t CountUp();
+};
+
+class Event {
+ public:
+  std::string title;
+  std::string when;
+  bool cancelled = false;
+  std::vector<std::string> attendees;
+  Event* next;
+
+  std::string Describe() const;
+  void Cancel();
+  int64_t Invite(std::string attendee);
+};

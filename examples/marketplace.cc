@@ -1,0 +1,139 @@
+// Virtual marketplace — the paper's remaining §1 scenario: "a virtual
+// marketplace ... involving people anywhere in the world".
+//
+// An auction house masters lots; bidders replicate the lots they watch.
+// Three mechanisms carry the action:
+//   - push-updates dissemination keeps every watcher's replica current the
+//     moment a bid lands (no polling),
+//   - the update callback is the application's "outbid!" notification,
+//   - bids themselves are optimistic transactions: read the lot, write the
+//     new bid, commit — a concurrent bid invalidates the read set and the
+//     loser retries against fresh state, so the final price is always the
+//     result of a consistent bid sequence.
+#include <cstdio>
+
+#include "obiwan.h"
+
+namespace {
+
+using namespace obiwan;
+
+class Lot : public core::Shareable {
+ public:
+  OBIWAN_SHAREABLE(Lot)
+
+  std::string item;
+  std::int64_t price_cents = 0;
+  std::string leader;
+  std::int64_t bids = 0;
+  core::Ref<Lot> next;
+
+  std::string Banner() const {
+    return item + " at " + std::to_string(price_cents) + " (" +
+           (leader.empty() ? "no bids" : leader) + ")";
+  }
+
+  static void ObiwanDefine(core::ClassDef<Lot>& def) {
+    def.Field("item", &Lot::item)
+        .Field("price_cents", &Lot::price_cents)
+        .Field("leader", &Lot::leader)
+        .Field("bids", &Lot::bids)
+        .Ref("next", &Lot::next)
+        .Method("Banner", &Lot::Banner);
+  }
+};
+OBIWAN_REGISTER_CLASS(Lot);
+
+struct Bidder {
+  Bidder(std::string who, SiteId id, net::SimNetwork& network, VirtualClock& clock)
+      : name(std::move(who)),
+        site(id, network.CreateEndpoint(name), clock) {
+    (void)site.Start();
+    site.UseRegistry("auction-house");
+    site.SetReplicaUpdateCallback([this](ObjectId, bool) { ++updates_seen; });
+  }
+
+  // Replicate the watched lot.
+  bool Watch() {
+    auto remote = site.Lookup<Lot>("lot");
+    if (!remote.ok()) return false;
+    auto ref = remote->Replicate(core::ReplicationMode::Incremental(1));
+    if (!ref.ok()) return false;
+    lot = *ref;
+    return true;
+  }
+
+  // Try to outbid; returns the commit status.
+  Status Bid(std::int64_t amount) {
+    tx::Transaction txn(site);
+    OBIWAN_RETURN_IF_ERROR(txn.Read(lot));
+    if (amount <= lot->price_cents) {
+      return FailedPreconditionError(name + " is already outbid at " +
+                                     std::to_string(lot->price_cents));
+    }
+    lot->price_cents = amount;
+    lot->leader = name;
+    lot->bids += 1;
+    OBIWAN_RETURN_IF_ERROR(txn.Write(lot));
+    Status s = txn.Commit();
+    if (!s.ok()) {
+      // Lost the race: roll local state back to the master's.
+      (void)site.Refresh(lot);
+    }
+    return s;
+  }
+
+  std::string name;
+  core::Site site;
+  core::Ref<Lot> lot;
+  int updates_seen = 0;
+};
+
+}  // namespace
+
+int main() {
+  VirtualClock clock;
+  net::SimNetwork network(clock, net::kPaperLan);
+
+  core::Site house(1, network.CreateEndpoint("auction-house"), clock);
+  if (!house.Start().ok()) return 1;
+  house.HostRegistry();
+  house.SetConsistencyPolicy(std::make_unique<core::PushUpdates>());
+
+  auto lot = std::make_shared<Lot>();
+  lot->item = "1962 Jaguar E-Type";
+  lot->price_cents = 500'000;
+  if (!house.Bind("lot", lot).ok()) return 1;
+
+  Bidder alice("alice", 2, network, clock);
+  Bidder bruno("bruno", 3, network, clock);
+  if (!alice.Watch() || !bruno.Watch()) return 1;
+  std::printf("lot on offer: %s\n\n", lot->Banner().c_str());
+
+  // Round 1: both bid from the same observed price — one must lose and retry.
+  Status a = alice.Bid(600'000);
+  std::printf("[alice] bid 600000 -> %s\n", a.ToString().c_str());
+  Status b = bruno.Bid(550'000);  // stale: alice's bid already landed
+  std::printf("[bruno] bid 550000 -> %s\n", b.ToString().c_str());
+
+  // Bruno's replica was refreshed on conflict (and pushed on alice's win):
+  // he sees the new price and beats it.
+  std::printf("[bruno] sees: %s (push notifications so far: %d)\n",
+              bruno.lot->Banner().c_str(), bruno.updates_seen);
+  Status b2 = bruno.Bid(650'000);
+  std::printf("[bruno] bid 650000 -> %s\n", b2.ToString().c_str());
+
+  // Alice got the outbid push without polling.
+  std::printf("[alice] sees: %s (push notifications so far: %d)\n",
+              alice.lot->Banner().c_str(), alice.updates_seen);
+  Status a2 = alice.Bid(700'000);
+  std::printf("[alice] bid 700000 -> %s\n\n", a2.ToString().c_str());
+
+  std::printf("final at the house: %s after %lld bids\n", lot->Banner().c_str(),
+              static_cast<long long>(lot->bids));
+
+  bool ok = a.ok() && !b.ok() && b2.ok() && a2.ok() && lot->leader == "alice" &&
+            lot->price_cents == 700'000 && alice.updates_seen > 0 &&
+            bruno.updates_seen > 0;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,289 @@
+// obiwan_shell — interactive driver over real TCP, for humans.
+//
+// Run two shells in two terminals and share objects between them:
+//
+//   $ obiwan_shell --site 1 --port 7000
+//   obiwan> host-registry
+//   obiwan> bind todo "ship the ICDCS artifact"
+//
+//   $ obiwan_shell --site 2 --port 7001 --registry 127.0.0.1:7000
+//   obiwan> lookup todo
+//   obiwan> invoke todo              # RMI on site 1's master
+//   obiwan> replicate todo 5         # incremental LMI replica
+//   obiwan> show todo                # walk the local replica
+//   obiwan> set todo "edited on site 2"
+//   obiwan> put todo                 # reintegrate
+//
+// Commands: host-registry | bind <name> <text> [n] | lookup <name> |
+//           invoke <name> | replicate <name> [batch] | cluster <name> <n> |
+//           show <name> | set <name> <text> | append <name> <text> |
+//           put <name> | putcluster <name> | refresh <name> | stats | help |
+//           quit
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "net/tcp.h"
+#include "obiwan.h"
+
+namespace {
+
+using namespace obiwan;
+
+class Note : public core::Shareable {
+ public:
+  OBIWAN_SHAREABLE(Note)
+
+  std::string text;
+  std::int64_t edits = 0;
+  core::Ref<Note> next;
+
+  std::string Describe() {
+    ++edits;
+    return text + " (read " + std::to_string(edits) + "x)";
+  }
+  void SetText(std::string t) {
+    text = std::move(t);
+    ++edits;
+  }
+
+  static void ObiwanDefine(core::ClassDef<Note>& def) {
+    def.Field("text", &Note::text)
+        .Field("edits", &Note::edits)
+        .Ref("next", &Note::next)
+        .Method("Describe", &Note::Describe)
+        .Method("SetText", &Note::SetText);
+  }
+};
+OBIWAN_REGISTER_CLASS(Note);
+
+struct Shell {
+  explicit Shell(std::unique_ptr<core::Site> s) : site(std::move(s)) {}
+
+  std::unique_ptr<core::Site> site;
+  std::map<std::string, core::RemoteRef<Note>> remotes;
+  std::map<std::string, core::Ref<Note>> locals;
+
+  core::Ref<Note>* Local(const std::string& name) {
+    auto it = locals.find(name);
+    if (it == locals.end()) {
+      std::printf("no local replica '%s' (use: replicate %s)\n", name.c_str(),
+                  name.c_str());
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  core::RemoteRef<Note>* Remote(const std::string& name) {
+    auto it = remotes.find(name);
+    if (it == remotes.end()) {
+      auto looked = site->Lookup<Note>(name);
+      if (!looked.ok()) {
+        std::printf("lookup failed: %s\n", looked.status().ToString().c_str());
+        return nullptr;
+      }
+      it = remotes.emplace(name, *looked).first;
+    }
+    return &it->second;
+  }
+
+  void Run() {
+    std::string line;
+    std::printf("obiwan shell on %s — type 'help'\n", site->address().c_str());
+    while (std::printf("obiwan> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd, name;
+    in >> cmd;
+    if (cmd.empty()) return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "host-registry | bind <name> <text> [n] | lookup <name> | "
+          "invoke <name> |\nreplicate <name> [batch] | cluster <name> <n> | "
+          "show <name> | set <name> <text> |\nappend <name> <text> | "
+          "put <name> | putcluster <name> | refresh <name> | stats | quit\n");
+      return true;
+    }
+    if (cmd == "host-registry") {
+      site->HostRegistry();
+      std::printf("name server hosted at %s\n", site->address().c_str());
+      return true;
+    }
+    if (cmd == "stats") {
+      const core::SiteStats& s = site->stats();
+      std::printf("masters %zu, replicas %zu, proxy-ins %zu\n",
+                  site->master_count(), site->replica_count(),
+                  site->proxy_in_count());
+      std::printf("faults %llu, gets %llu/%llu, puts %llu/%llu, calls %llu/%llu\n",
+                  static_cast<unsigned long long>(s.object_faults),
+                  static_cast<unsigned long long>(s.gets_sent),
+                  static_cast<unsigned long long>(s.gets_served),
+                  static_cast<unsigned long long>(s.puts_sent),
+                  static_cast<unsigned long long>(s.puts_served),
+                  static_cast<unsigned long long>(s.calls_sent),
+                  static_cast<unsigned long long>(s.calls_served));
+      return true;
+    }
+
+    in >> name;
+    if (name.empty()) {
+      std::printf("usage: %s <name> ...\n", cmd.c_str());
+      return true;
+    }
+
+    if (cmd == "bind") {
+      std::string text;
+      std::getline(in, text);
+      int count = 1;
+      // Trailing integer = chain length.
+      auto last_space = text.find_last_of(' ');
+      if (last_space != std::string::npos) {
+        try {
+          count = std::max(1, std::stoi(text.substr(last_space + 1)));
+          text = text.substr(0, last_space);
+        } catch (...) {
+        }
+      }
+      while (!text.empty() && text.front() == ' ') text.erase(0, 1);
+      std::shared_ptr<Note> head, tail;
+      for (int i = 0; i < count; ++i) {
+        auto note = std::make_shared<Note>();
+        note->text = count == 1 ? text : text + " #" + std::to_string(i);
+        if (tail) {
+          tail->next = note;
+        } else {
+          head = note;
+        }
+        tail = note;
+      }
+      Status s = site->Rebind(name, head);
+      std::printf("%s\n", s.ok() ? "bound" : s.ToString().c_str());
+      if (s.ok()) locals[name] = core::Ref<Note>(head);
+      return true;
+    }
+    if (cmd == "lookup") {
+      if (auto* remote = Remote(name)) {
+        std::printf("%s -> %s at %s (class %s)\n", name.c_str(),
+                    ToString(remote->id()).c_str(), remote->provider().c_str(),
+                    remote->info().class_name.c_str());
+      }
+      return true;
+    }
+    if (cmd == "invoke") {
+      if (auto* remote = Remote(name)) {
+        auto r = remote->Invoke(&Note::Describe);
+        std::printf("%s\n", r.ok() ? r->c_str() : r.status().ToString().c_str());
+      }
+      return true;
+    }
+    if (cmd == "replicate" || cmd == "cluster") {
+      int batch = 1;
+      in >> batch;
+      if (auto* remote = Remote(name)) {
+        auto mode = cmd == "cluster"
+                        ? core::ReplicationMode::Cluster(
+                              static_cast<std::uint32_t>(std::max(batch, 1)))
+                        : core::ReplicationMode::Incremental(
+                              static_cast<std::uint32_t>(std::max(batch, 1)));
+        auto ref = remote->Replicate(mode);
+        if (!ref.ok()) {
+          std::printf("replicate failed: %s\n", ref.status().ToString().c_str());
+          return true;
+        }
+        locals[name] = *ref;
+        std::printf("replicated; %zu replicas on this site\n",
+                    site->replica_count());
+      }
+      return true;
+    }
+    if (cmd == "show") {
+      if (auto* ref = Local(name)) {
+        int i = 0;
+        core::Ref<Note>* cursor = ref;
+        while (!cursor->IsEmpty()) {
+          if (cursor->IsProxy()) {
+            std::printf("  [%d] <not yet replicated — touch to fault in>\n", i);
+            break;
+          }
+          std::printf("  [%d] %s\n", i, cursor->get()->text.c_str());
+          cursor = &cursor->get()->next;
+          ++i;
+        }
+      }
+      return true;
+    }
+    if (cmd == "set" || cmd == "append") {
+      std::string text;
+      std::getline(in, text);
+      while (!text.empty() && text.front() == ' ') text.erase(0, 1);
+      if (auto* ref = Local(name)) {
+        try {
+          if (cmd == "set") {
+            (*ref)->SetText(text);
+          } else {
+            (*ref)->SetText((*ref)->text + text);
+          }
+          std::printf("ok (local)\n");
+        } catch (const core::ObjectFaultError& e) {
+          std::printf("%s\n", e.what());
+        }
+      }
+      return true;
+    }
+    if (cmd == "put" || cmd == "putcluster" || cmd == "refresh") {
+      if (auto* ref = Local(name)) {
+        Status s = cmd == "put"          ? site->Put(*ref)
+                   : cmd == "putcluster" ? site->PutCluster(*ref)
+                                         : site->Refresh(*ref);
+        std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+      }
+      return true;
+    }
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    return true;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SiteId site_id = 1;
+  std::uint16_t port = 0;
+  std::string registry;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--site" && i + 1 < argc) {
+      site_id = static_cast<SiteId>(std::stoul(argv[++i]));
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::stoul(argv[++i]));
+    } else if (arg == "--registry" && i + 1 < argc) {
+      registry = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: obiwan_shell [--site N] [--port P] [--registry "
+                   "host:port]\n");
+      return 2;
+    }
+  }
+
+  auto transport = net::TcpTransport::Create(port);
+  if (!transport.ok()) {
+    std::fprintf(stderr, "cannot open port: %s\n",
+                 transport.status().ToString().c_str());
+    return 1;
+  }
+  auto site = std::make_unique<core::Site>(site_id, std::move(*transport));
+  if (!site->Start().ok()) return 1;
+  site->UseRegistry(registry.empty() ? site->address() : registry);
+
+  Shell shell(std::move(site));
+  shell.Run();
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Virtual enterprise — cooperative work across organizations (§1: "a virtual
+// enterprise grouping several companies from different countries").
+//
+// A supplier masters a product catalog (category -> linked product list).
+// Two partner companies work with it over the WAN:
+//   - the retailer replicates one category as a *cluster* (a dynamic cluster
+//     whose frontier is chosen at run time, §2.2) to browse and reprice;
+//   - the auditor walks the whole catalog incrementally, touching only what
+//     the audit needs (the "only those objects that are really needed become
+//     replicated" case of §2.1).
+// Write-invalidate consistency keeps the partners from publishing prices
+// based on stale data.
+#include <cstdio>
+
+#include "obiwan.h"
+
+namespace {
+
+using namespace obiwan;
+
+class Product : public core::Shareable {
+ public:
+  OBIWAN_SHAREABLE(Product)
+
+  std::string sku;
+  std::string name;
+  std::int64_t price_cents = 0;
+  std::int64_t stock = 0;
+  core::Ref<Product> next;
+
+  std::int64_t Price() const { return price_cents; }
+  void SetPrice(std::int64_t cents) { price_cents = cents; }
+  std::int64_t Reserve(std::int64_t quantity) {
+    std::int64_t granted = std::min(stock, quantity);
+    stock -= granted;
+    return granted;
+  }
+
+  static void ObiwanDefine(core::ClassDef<Product>& def) {
+    def.Field("sku", &Product::sku)
+        .Field("name", &Product::name)
+        .Field("price_cents", &Product::price_cents)
+        .Field("stock", &Product::stock)
+        .Ref("next", &Product::next)
+        .Method("Price", &Product::Price)
+        .Method("SetPrice", &Product::SetPrice)
+        .Method("Reserve", &Product::Reserve);
+  }
+};
+OBIWAN_REGISTER_CLASS(Product);
+
+class Category : public core::Shareable {
+ public:
+  OBIWAN_SHAREABLE(Category)
+
+  std::string label;
+  core::Ref<Product> products;
+  core::Ref<Category> next_category;
+
+  std::string Label() const { return label; }
+
+  static void ObiwanDefine(core::ClassDef<Category>& def) {
+    def.Field("label", &Category::label)
+        .Ref("products", &Category::products)
+        .Ref("next_category", &Category::next_category)
+        .Method("Label", &Category::Label);
+  }
+};
+OBIWAN_REGISTER_CLASS(Category);
+
+std::shared_ptr<Category> BuildCatalog() {
+  auto make_products = [](std::initializer_list<const char*> names,
+                          std::int64_t base_price) {
+    std::shared_ptr<Product> head, tail;
+    std::int64_t price = base_price;
+    int sku = 100;
+    for (const char* name : names) {
+      auto p = std::make_shared<Product>();
+      p->sku = "SKU-" + std::to_string(sku++);
+      p->name = name;
+      p->price_cents = price += 250;
+      p->stock = 40;
+      if (tail) {
+        tail->next = p;
+      } else {
+        head = p;
+      }
+      tail = p;
+    }
+    return head;
+  };
+
+  auto tools = std::make_shared<Category>();
+  tools->label = "tools";
+  tools->products = make_products({"hammer", "wrench", "torque driver"}, 1000);
+
+  auto fasteners = std::make_shared<Category>();
+  fasteners->label = "fasteners";
+  fasteners->products = make_products({"M3 bolt", "M4 bolt", "M5 bolt", "washer"}, 10);
+
+  tools->next_category = fasteners;
+  return tools;
+}
+
+}  // namespace
+
+int main() {
+  VirtualClock clock;
+  net::SimNetwork network(clock, net::kPaperLan);
+
+  core::Site supplier(1, network.CreateEndpoint("supplier.pt"), clock);
+  core::Site retailer(2, network.CreateEndpoint("retailer.de"), clock);
+  core::Site auditor(3, network.CreateEndpoint("auditor.fr"), clock);
+  if (!supplier.Start().ok() || !retailer.Start().ok() || !auditor.Start().ok()) {
+    return 1;
+  }
+  supplier.HostRegistry();
+  retailer.UseRegistry("supplier.pt");
+  auditor.UseRegistry("supplier.pt");
+  supplier.SetConsistencyPolicy(std::make_unique<consistency::WriteInvalidate>());
+
+  auto catalog = BuildCatalog();
+  if (!supplier.Bind("catalog", catalog).ok()) return 1;
+  // The supplier also exposes each category's product list directly, so a
+  // partner can pull exactly the slice it works on.
+  if (!supplier.Bind("catalog/tools/products",
+                     catalog->products.local()).ok()) {
+    return 1;
+  }
+
+  // --- retailer: replicate the tools price list as one dynamic cluster --------
+  auto retail_remote = retailer.Lookup<Product>("catalog/tools/products");
+  if (!retail_remote.ok()) return 1;
+  // Frontier chosen at run time: the three tools, nothing else (§2.2's
+  // "replicate a part of the list ... a single pair of proxy-in/proxy-out").
+  auto tools = retail_remote->Replicate(core::ReplicationMode::Cluster(3));
+  if (!tools.ok()) return 1;
+  std::printf("[retailer] cluster-replicated the tools price list (%zu replicas)\n",
+              retailer.replica_count());
+
+  // --- auditor: incremental walk, only what the audit touches ------------------
+  auto audit_remote = auditor.Lookup<Category>("catalog");
+  if (!audit_remote.ok()) return 1;
+  auto audit_root = audit_remote->Replicate(core::ReplicationMode::Incremental(1));
+  if (!audit_root.ok()) return 1;
+
+  // The audit only needs the first product of each category.
+  std::int64_t audited_cents = 0;
+  core::Ref<Category>* cat = &*audit_root;
+  while (!cat->IsEmpty()) {
+    audited_cents += (*cat)->products->Price();  // faults exactly one product
+    cat = &cat->get()->next_category;
+  }
+  std::printf("[auditor]  spot-checked first prices, total %lld cents, "
+              "replicated only %zu objects of the catalog\n",
+              static_cast<long long>(audited_cents), auditor.replica_count());
+
+  // --- retailer publishes after the auditor replicated --------------------------
+  // Reprice the whole list locally, then publish the cluster at once.
+  core::Ref<Product>* p = &*tools;
+  while (!p->IsEmpty() && p->IsLocal()) {
+    (*p)->SetPrice((*p)->Price() * 110 / 100);  // +10% margin
+    p = &p->get()->next;
+  }
+  if (!retailer.PutCluster(*tools).ok()) return 1;
+  std::printf("[retailer] published +10%% repricing as one cluster put\n");
+
+  // --- write-invalidate at work -------------------------------------------------
+  // The repricing invalidated the auditor's replica of the first tool; a
+  // blind write from the auditor is refused until it refreshes.
+  core::Ref<Product>& first_tool = audit_root->get()->products;
+  first_tool->SetPrice(1);
+  Status stale_put = auditor.Put(first_tool);
+  std::printf("[auditor]  stale write -> %s (expected conflict)\n",
+              stale_put.ToString().c_str());
+  if (!auditor.Refresh(first_tool).ok()) return 1;
+  std::printf("[auditor]  refreshed price: %lld cents\n",
+              static_cast<long long>(first_tool->Price()));
+
+  std::printf("\nsimulated WAN time spent: %.1f ms\n",
+              static_cast<double>(clock.Now()) / kMilli);
+  return stale_put.code() == StatusCode::kConflict ? 0 : 1;
+}

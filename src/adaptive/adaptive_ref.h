@@ -1,0 +1,127 @@
+// AdaptiveRef<T> — automatic run-time choice between RMI and LMI.
+//
+// The paper ends on exactly this knob: "applications may decide, at run-time,
+// what is the best way to invoke an object: via remote method invocation
+// (RMI), or locally via local method invocation (LMI)" (§6), and Figure 4
+// shows where the crossover lies. AdaptiveRef automates the decision with the
+// cost model behind that figure:
+//
+//   keep RMI while   calls_so_far * avg_rmi_cost  <  replication_cost_estimate
+//
+// Remote round trips are timed against the site's clock (virtual in
+// simulations, real otherwise) and averaged; once the accumulated RMI spend
+// crosses the estimated cost of creating a replica and updating it back
+// (which Figure 4 shows is roughly two round trips plus the transfer), the
+// ref replicates once and every further invocation is a plain local call.
+//
+// Mutating locally means diverging from the master; Sync() pushes the
+// replica back (and is a no-op while still in RMI mode). Applications that
+// need stronger guarantees keep using RemoteRef/Ref directly with a
+// consistency policy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "core/mode.h"
+#include "core/ref.h"
+#include "core/remote_ref.h"
+#include "core/site.h"
+
+namespace obiwan::adaptive {
+
+struct AdaptiveOptions {
+  // Estimated one-off cost of switching to LMI: replica creation now plus
+  // the eventual put back. Default: two paper round trips (§4.1's "even in
+  // this case, the cost of creating a replica and then updating the master
+  // replica is comparable").
+  Nanos replication_cost_estimate = 2 * 2'800 * kMicro;
+  // Replication mode used at switch time.
+  core::ReplicationMode mode = core::ReplicationMode::Incremental(1);
+  // Never replicate (forces pure RMI) — for comparison runs.
+  bool pin_remote = false;
+};
+
+template <typename T>
+class AdaptiveRef {
+ public:
+  AdaptiveRef(core::Site& site, core::RemoteRef<T> remote,
+              AdaptiveOptions options = {})
+      : site_(&site), remote_(std::move(remote)), options_(options) {}
+
+  bool local() const { return local_.IsLocal(); }
+  std::uint64_t remote_calls() const { return remote_calls_; }
+
+  // Invoke `m`: remotely until the cost model favours a replica, locally
+  // afterwards. Signature rules match RemoteRef::Invoke.
+  template <typename R, typename C, typename... Args, typename... CallArgs>
+  auto Invoke(R (C::*m)(Args...), CallArgs&&... args)
+      -> std::conditional_t<std::is_void_v<R>, Status, Result<R>> {
+    return InvokeImpl<R>(m, std::forward<CallArgs>(args)...);
+  }
+
+  template <typename R, typename C, typename... Args, typename... CallArgs>
+  auto Invoke(R (C::*m)(Args...) const, CallArgs&&... args)
+      -> std::conditional_t<std::is_void_v<R>, Status, Result<R>> {
+    return InvokeImpl<R>(m, std::forward<CallArgs>(args)...);
+  }
+
+  // Push local modifications back to the master. No-op in RMI mode (remote
+  // invocations already ran on the master).
+  Status Sync() {
+    if (!local_.IsLocal()) return Status::Ok();
+    return site_->Put(local_);
+  }
+
+  // Force the switch now (e.g. before a planned disconnection).
+  Status ReplicateNow() {
+    if (local_.IsLocal()) return Status::Ok();
+    OBIWAN_ASSIGN_OR_RETURN(core::Ref<T> ref, remote_.Replicate(options_.mode));
+    local_ = std::move(ref);
+    return Status::Ok();
+  }
+
+ private:
+  template <typename R, typename M, typename... CallArgs>
+  auto InvokeImpl(M m, CallArgs&&... args)
+      -> std::conditional_t<std::is_void_v<R>, Status, Result<R>> {
+    using Ret = std::conditional_t<std::is_void_v<R>, Status, Result<R>>;
+
+    if (!local_.IsLocal() && !options_.pin_remote && ShouldSwitch()) {
+      // Best effort: if replication fails (e.g. disconnected mid-decision),
+      // fall through to RMI, which will surface the error properly.
+      (void)ReplicateNow();
+    }
+
+    if (local_.IsLocal()) {
+      T* obj = local_.get();
+      if constexpr (std::is_void_v<R>) {
+        (obj->*m)(std::forward<CallArgs>(args)...);
+        return Status::Ok();
+      } else {
+        return Ret((obj->*m)(std::forward<CallArgs>(args)...));
+      }
+    }
+
+    const Nanos before = site_->clock().Now();
+    auto result = remote_.Invoke(m, std::forward<CallArgs>(args)...);
+    const Nanos elapsed = site_->clock().Now() - before;
+    ++remote_calls_;
+    total_remote_cost_ += elapsed;
+    return result;
+  }
+
+  bool ShouldSwitch() const {
+    if (remote_calls_ == 0) return false;  // always measure at least one RTT
+    return total_remote_cost_ >= options_.replication_cost_estimate;
+  }
+
+  core::Site* site_;
+  core::RemoteRef<T> remote_;
+  AdaptiveOptions options_;
+  core::Ref<T> local_;
+  std::uint64_t remote_calls_ = 0;
+  Nanos total_remote_cost_ = 0;
+};
+
+}  // namespace obiwan::adaptive

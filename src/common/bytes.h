@@ -1,0 +1,16 @@
+// Byte-buffer aliases used by the wire format and transports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace obiwan {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+inline BytesView AsView(const Bytes& b) { return BytesView(b.data(), b.size()); }
+
+}  // namespace obiwan

@@ -1,0 +1,71 @@
+// Identity types shared across the OBIWAN stack.
+//
+// Every process ("site" in the paper's vocabulary) has a SiteId; every master
+// object exported by a site gets an ObjectId that is globally unique because it
+// embeds the creating site. Proxy-in entries (the provider-side half of a
+// proxy pair, paper §2) get ProxyIds scoped the same way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace obiwan {
+
+using SiteId = std::uint32_t;
+
+inline constexpr SiteId kInvalidSite = 0;  // site ids start at 1
+
+// Globally unique identity of a *master* object. Replicas of the same master
+// on other sites share the master's ObjectId — this is what makes identity
+// preservation (no duplicate replicas of one master) checkable.
+struct ObjectId {
+  SiteId site = kInvalidSite;  // site that created / owns the master
+  std::uint64_t local = 0;     // per-site counter, starts at 1
+
+  bool valid() const { return site != kInvalidSite && local != 0; }
+
+  friend bool operator==(const ObjectId&, const ObjectId&) = default;
+  friend auto operator<=>(const ObjectId&, const ObjectId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ObjectId& id) {
+  return os << "obj(" << id.site << ":" << id.local << ")";
+}
+
+inline std::string ToString(const ObjectId& id) {
+  return "obj(" + std::to_string(id.site) + ":" + std::to_string(id.local) + ")";
+}
+
+// Identity of a proxy-in registered in a provider's exporter table. One is
+// created per boundary reference during incremental replication (or one per
+// cluster in cluster mode, §2.2 / §4.3).
+struct ProxyId {
+  SiteId site = kInvalidSite;  // provider site holding the proxy-in
+  std::uint64_t local = 0;
+
+  bool valid() const { return site != kInvalidSite && local != 0; }
+
+  friend bool operator==(const ProxyId&, const ProxyId&) = default;
+  friend auto operator<=>(const ProxyId&, const ProxyId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ProxyId& id) {
+  return os << "pin(" << id.site << ":" << id.local << ")";
+}
+
+struct ObjectIdHash {
+  std::size_t operator()(const ObjectId& id) const {
+    return std::hash<std::uint64_t>{}((std::uint64_t{id.site} << 40) ^ id.local);
+  }
+};
+
+struct ProxyIdHash {
+  std::size_t operator()(const ProxyId& id) const {
+    return std::hash<std::uint64_t>{}((std::uint64_t{id.site} << 40) ^
+                                      (id.local * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+}  // namespace obiwan

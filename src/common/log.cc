@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <atomic>
+
+namespace obiwan {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::mutex g_output_mutex;
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, std::string_view file, int line)
+    : enabled_(level >= GetLogLevel() && GetLogLevel() != LogLevel::kOff) {
+  if (enabled_) {
+    // Strip the directory part for readability.
+    auto slash = file.rfind('/');
+    if (slash != std::string_view::npos) file = file.substr(slash + 1);
+    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(g_output_mutex);
+    std::cerr << stream_.str() << "\n";
+  }
+}
+
+}  // namespace internal
+}  // namespace obiwan

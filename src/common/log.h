@@ -1,0 +1,39 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// applications enable it with obiwan::SetLogLevel.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace obiwan {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view file, int line);
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace obiwan
+
+#define OBIWAN_LOG(level) \
+  ::obiwan::internal::LogLine(::obiwan::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,155 @@
+// Status / Result error model for expected distributed failures.
+//
+// OBIWAN targets mobile wide-area networks where disconnection and remote
+// faults are ordinary, anticipated outcomes (paper §1). Following the C++ Core
+// Guidelines (E.14/E.28-adjacent advice: use error codes when failure is part
+// of the contract), every fallible operation in the public API returns a
+// Status or Result<T> instead of throwing. Exceptions appear only where no
+// return channel exists (see obiwan::core::ObjectFaultError).
+#pragma once
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace obiwan {
+
+enum class StatusCode {
+  kOk = 0,
+  kDisconnected,      // link down between sites (voluntary or not)
+  kTimeout,           // transport gave up waiting for a reply
+  kNotFound,          // unknown name, object id, or class
+  kAlreadyExists,     // duplicate bind / export
+  kInvalidArgument,   // caller error
+  kFailedPrecondition,// operation not legal in the current state
+  kDataLoss,          // malformed or truncated wire data
+  kConflict,          // concurrent-update conflict detected by a policy
+  kUnimplemented,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Value type describing the outcome of an operation.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "<code>: <message>" — for logs and error propagation.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+inline Status DisconnectedError(std::string msg) {
+  return {StatusCode::kDisconnected, std::move(msg)};
+}
+inline Status TimeoutError(std::string msg) {
+  return {StatusCode::kTimeout, std::move(msg)};
+}
+inline Status NotFoundError(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status InvalidArgumentError(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status DataLossError(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status ConflictError(std::string msg) {
+  return {StatusCode::kConflict, std::move(msg)};
+}
+inline Status UnimplementedError(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+inline Status InternalError(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+// Result<T>: either a value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(state_).ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(state_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+// Propagate a non-ok Status from an expression that yields Status.
+#define OBIWAN_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::obiwan::Status obiwan_status_ = (expr);          \
+    if (!obiwan_status_.ok()) return obiwan_status_;   \
+  } while (false)
+
+// Evaluate an expression yielding Result<T>; on error return its Status,
+// otherwise bind the value to `lhs`.
+#define OBIWAN_ASSIGN_OR_RETURN(lhs, expr)              \
+  OBIWAN_ASSIGN_OR_RETURN_IMPL_(                        \
+      OBIWAN_STATUS_CONCAT_(obiwan_result_, __LINE__), lhs, expr)
+
+#define OBIWAN_STATUS_CONCAT_INNER_(a, b) a##b
+#define OBIWAN_STATUS_CONCAT_(a, b) OBIWAN_STATUS_CONCAT_INNER_(a, b)
+#define OBIWAN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace obiwan

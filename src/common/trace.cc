@@ -1,0 +1,50 @@
+#include "common/trace.h"
+
+#include <algorithm>
+
+namespace obiwan {
+
+std::string TraceEvent::ToString() const {
+  return "[" + std::to_string(static_cast<double>(at) / kMilli) + "ms site " +
+         std::to_string(site) + "] " + category +
+         (detail.empty() ? "" : ": " + detail);
+}
+
+void Tracer::Record(Nanos at, SiteId site, std::string_view category,
+                    std::string detail) {
+  std::lock_guard lock(mutex_);
+  TraceEvent& slot = ring_[total_ % capacity_];
+  slot.at = at;
+  slot.site = site;
+  slot.category.assign(category);
+  slot.detail = std::move(detail);
+  ++total_;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  const std::uint64_t count = std::min<std::uint64_t>(total_, capacity_);
+  out.reserve(count);
+  const std::uint64_t start = total_ - count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard lock(mutex_);
+  total_ = 0;
+}
+
+std::string Tracer::Dump() const {
+  std::string out;
+  for (const TraceEvent& event : Snapshot()) {
+    out += event.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obiwan

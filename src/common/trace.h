@@ -1,0 +1,69 @@
+// Event tracing: a fixed-capacity ring buffer of protocol events.
+//
+// Distributed flows (a fault cascading through a replica chain, an
+// invalidation fan-out) are hard to reconstruct from logs of interleaved
+// sites. A Tracer can be attached to any number of sites; each records its
+// protocol events (faults, gets, puts, calls, invalidations) with the site id
+// and a timestamp from its own clock, and Snapshot() returns the merged,
+// chronological view. The ring never allocates after construction beyond the
+// event strings themselves, and a site without a tracer pays one pointer
+// compare per event.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+
+namespace obiwan {
+
+struct TraceEvent {
+  Nanos at = 0;
+  SiteId site = kInvalidSite;
+  std::string category;  // "fault", "get", "put", "call", "invalidate", ...
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.resize(capacity_);
+  }
+
+  void Record(Nanos at, SiteId site, std::string_view category,
+              std::string detail);
+
+  // Events in arrival order (oldest first). The `dropped` counter tells how
+  // many older events the ring already evicted.
+  std::vector<TraceEvent> Snapshot() const;
+
+  std::uint64_t dropped() const {
+    std::lock_guard lock(mutex_);
+    return total_ > capacity_ ? total_ - capacity_ : 0;
+  }
+
+  std::uint64_t total_recorded() const {
+    std::lock_guard lock(mutex_);
+    return total_;
+  }
+
+  void Clear();
+
+  // Render the snapshot as text, one event per line.
+  std::string Dump() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;  // events ever recorded
+};
+
+}  // namespace obiwan

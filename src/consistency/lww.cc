@@ -1,0 +1,46 @@
+#include "consistency/lww.h"
+
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace obiwan::consistency {
+namespace {
+
+std::int64_t DecodeStamp(BytesView data) {
+  if (data.empty()) return 0;
+  wire::Reader r(data);
+  std::int64_t stamp = r.Svarint();
+  return r.ok() ? stamp : 0;
+}
+
+Bytes EncodeStamp(std::int64_t stamp) {
+  wire::Writer w;
+  w.Svarint(stamp);
+  return std::move(w).Take();
+}
+
+}  // namespace
+
+Bytes LastWriterWins::MakePutData(const core::ReplicaView&, Clock& clock) {
+  return EncodeStamp(clock.Now());
+}
+
+Status LastWriterWins::ValidatePut(const core::MasterView& master,
+                                   const core::PutView& put) {
+  std::int64_t last = DecodeStamp(AsView(master.policy_state));
+  std::int64_t incoming = DecodeStamp(put.policy_data);
+  if (incoming < last) {
+    return ConflictError("last-writer-wins: write stamped " +
+                         std::to_string(incoming) + " loses to " +
+                         std::to_string(last));
+  }
+  return Status::Ok();
+}
+
+std::vector<net::Address> LastWriterWins::AfterPut(const core::MasterView& master,
+                                                   const core::PutView& put) {
+  master.policy_state = Bytes(put.policy_data.begin(), put.policy_data.end());
+  return {};
+}
+
+}  // namespace obiwan::consistency

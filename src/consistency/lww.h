@@ -1,0 +1,24 @@
+// Last-writer-wins consistency.
+//
+// Each put carries a timestamp from the writer's clock; the master remembers
+// the timestamp of the last accepted write and rejects (kConflict) any write
+// stamped earlier. With a shared simulation clock this gives a total order;
+// with real clocks it is the usual best-effort LWW of offline-sync systems.
+#pragma once
+
+#include "core/consistency.h"
+
+namespace obiwan::consistency {
+
+class LastWriterWins final : public core::ConsistencyPolicy {
+ public:
+  std::string_view name() const override { return "last-writer-wins"; }
+
+  Bytes MakePutData(const core::ReplicaView& replica, Clock& clock) override;
+  Status ValidatePut(const core::MasterView& master,
+                     const core::PutView& put) override;
+  std::vector<net::Address> AfterPut(const core::MasterView& master,
+                                     const core::PutView& put) override;
+};
+
+}  // namespace obiwan::consistency

@@ -1,0 +1,68 @@
+#include "consistency/version_vector.h"
+
+#include "wire/codec.h"
+
+namespace obiwan::consistency {
+
+bool Dominates(const VersionVector& a, const VersionVector& b) {
+  for (const auto& [site, count] : b) {
+    auto it = a.find(site);
+    if (it == a.end() || it->second < count) return false;
+  }
+  return true;
+}
+
+Bytes EncodeVersionVector(const VersionVector& vv) {
+  wire::Writer w;
+  wire::Encode(w, vv);
+  return std::move(w).Take();
+}
+
+VersionVector DecodeVersionVector(BytesView data) {
+  if (data.empty()) return {};
+  wire::Reader r(data);
+  VersionVector vv = wire::Decode<VersionVector>(r);
+  return r.ok() ? vv : VersionVector{};
+}
+
+Bytes VersionVectorPolicy::MakePutData(const core::ReplicaView& replica, Clock&) {
+  VersionVector vv = DecodeVersionVector(AsView(replica.policy_state));
+  ++vv[self_];
+  // The bumped vector also becomes the replica's new view if the put is
+  // accepted; persist it optimistically (a rejected put is followed by a
+  // refresh, which overwrites this anyway).
+  replica.policy_state = EncodeVersionVector(vv);
+  return replica.policy_state;
+}
+
+Status VersionVectorPolicy::ValidatePut(const core::MasterView& master,
+                                        const core::PutView& put) {
+  VersionVector master_vv = DecodeVersionVector(AsView(master.policy_state));
+  VersionVector put_vv = DecodeVersionVector(put.policy_data);
+  if (!Dominates(put_vv, master_vv)) {
+    return ConflictError("version-vector: concurrent update detected on " +
+                         ToString(put.id) + " (writer had not seen the latest "
+                         "accepted write; refresh and retry)");
+  }
+  return Status::Ok();
+}
+
+std::vector<net::Address> VersionVectorPolicy::AfterPut(
+    const core::MasterView& master, const core::PutView& put) {
+  // Accepted: the writer's vector dominates; adopt it (element-wise max is a
+  // no-op given domination, so a straight copy is equivalent).
+  master.policy_state = Bytes(put.policy_data.begin(), put.policy_data.end());
+  return {};
+}
+
+Bytes VersionVectorPolicy::MakeGetData(const core::MasterView& master,
+                                       const net::Address&) {
+  return master.policy_state;
+}
+
+void VersionVectorPolicy::OnReplicaData(const core::ReplicaView& replica,
+                                        BytesView policy_data) {
+  replica.policy_state = Bytes(policy_data.begin(), policy_data.end());
+}
+
+}  // namespace obiwan::consistency

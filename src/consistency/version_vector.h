@@ -1,0 +1,49 @@
+// Version-vector consistency with conflict detection.
+//
+// The master keeps a version vector per object; every replica receives it on
+// get/refresh and returns it (bumped at its own site component) on put. A put
+// is causally safe — and accepted — iff the replica's vector dominates the
+// master's, i.e. the writer saw every accepted write. A put based on a stale
+// replica is a genuine concurrent update and is rejected with kConflict; the
+// application resolves it by refreshing and reapplying (the usual
+// offline-sync loop).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/consistency.h"
+
+namespace obiwan::consistency {
+
+// SiteId -> per-site write counter.
+using VersionVector = std::map<SiteId, std::uint64_t>;
+
+// a dominates b: a[k] >= b[k] for every k in b.
+bool Dominates(const VersionVector& a, const VersionVector& b);
+
+Bytes EncodeVersionVector(const VersionVector& vv);
+VersionVector DecodeVersionVector(BytesView data);
+
+class VersionVectorPolicy final : public core::ConsistencyPolicy {
+ public:
+  // `self` is the site id this policy instance writes as.
+  explicit VersionVectorPolicy(SiteId self) : self_(self) {}
+
+  std::string_view name() const override { return "version-vector"; }
+
+  Bytes MakePutData(const core::ReplicaView& replica, Clock& clock) override;
+  Status ValidatePut(const core::MasterView& master,
+                     const core::PutView& put) override;
+  std::vector<net::Address> AfterPut(const core::MasterView& master,
+                                     const core::PutView& put) override;
+  Bytes MakeGetData(const core::MasterView& master,
+                    const net::Address& requester) override;
+  void OnReplicaData(const core::ReplicaView& replica,
+                     BytesView policy_data) override;
+
+ private:
+  SiteId self_;
+};
+
+}  // namespace obiwan::consistency

@@ -1,0 +1,38 @@
+// Write-invalidate consistency (the classic protocol of Li & Hudak's shared
+// virtual memory, cited by the paper as [13]).
+//
+// The master accepts a put only from a replica that is up to date
+// (base_version == master version); on acceptance it invalidates every other
+// replica holder. Invalidated replicas are marked stale on their sites —
+// readable (LMI keeps working, possibly on old data, which is exactly the
+// disconnected-operation story), but their next put will be rejected until
+// they refresh.
+#pragma once
+
+#include "core/consistency.h"
+
+namespace obiwan::consistency {
+
+class WriteInvalidate final : public core::ConsistencyPolicy {
+ public:
+  std::string_view name() const override { return "write-invalidate"; }
+
+  Status ValidatePut(const core::MasterView& master,
+                     const core::PutView& put) override {
+    if (put.base_version != master.version) {
+      return ConflictError(
+          "write-invalidate: replica of " + ToString(put.id) + " is stale "
+          "(based on version " + std::to_string(put.base_version) +
+          ", master at " + std::to_string(master.version) + "); refresh first");
+    }
+    return Status::Ok();
+  }
+
+  std::vector<net::Address> AfterPut(const core::MasterView& master,
+                                     const core::PutView& put) override {
+    (void)put;
+    return master.holders;  // the site filters out the writer itself
+  }
+};
+
+}  // namespace obiwan::consistency

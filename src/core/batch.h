@@ -1,0 +1,114 @@
+// CallBatch<T> — typed batched remote invocation.
+//
+// Queue several calls against one remote object (or several objects on one
+// provider), execute them in a single round trip, then read the typed
+// results back:
+//
+//   core::CallBatch<Agenda> batch(site, remote);
+//   auto a = batch.Add(&Agenda::Touch);
+//   auto b = batch.Add(&Agenda::Label);
+//   if (batch.Execute().ok()) {
+//     auto touched = batch.Get<std::int64_t>(a);
+//     auto label   = batch.Get<std::string>(b);
+//   }
+//
+// On the paper's LAN a round trip costs 2.8 ms regardless of size (§4.1), so
+// batching N small calls amortizes the dominant cost by N. Items fail
+// independently: a bad method name yields an error at its own index only.
+#pragma once
+
+#include <any>
+#include <tuple>
+#include <vector>
+
+#include "core/remote_ref.h"
+#include "core/shareable.h"
+#include "core/site.h"
+#include "rmi/call.h"
+
+namespace obiwan::core {
+
+template <typename T>
+class CallBatch {
+ public:
+  CallBatch(Site& site, const RemoteRef<T>& remote)
+      : site_(site), remote_(remote) {}
+
+  // Queue a call; returns its index for Get() after Execute().
+  template <typename R, typename C, typename... Args, typename... CallArgs>
+  std::size_t Add(R (C::*m)(Args...), CallArgs&&... args) {
+    return AddImpl<Args...>(std::any(m), std::forward<CallArgs>(args)...);
+  }
+  template <typename R, typename C, typename... Args, typename... CallArgs>
+  std::size_t Add(R (C::*m)(Args...) const, CallArgs&&... args) {
+    return AddImpl<Args...>(std::any(m), std::forward<CallArgs>(args)...);
+  }
+
+  std::size_t size() const { return calls_.size(); }
+
+  // One round trip for everything queued. A transport-level failure fails
+  // the whole batch; per-item results are read with Get().
+  Status Execute() {
+    results_.clear();
+    if (calls_.empty()) return Status::Ok();
+    OBIWAN_ASSIGN_OR_RETURN(
+        Bytes reply,
+        site_.transport().Request(remote_.provider(),
+                                  AsView(rmi::EncodeCallBatch(calls_))));
+    OBIWAN_ASSIGN_OR_RETURN(results_, rmi::DecodeBatchReply(AsView(reply)));
+    if (results_.size() != calls_.size()) {
+      results_.clear();
+      return DataLossError("batch reply item count mismatch");
+    }
+    calls_.clear();
+    return Status::Ok();
+  }
+
+  // Typed result of call `index`. R must match the method's return type
+  // (void methods: use Ok(index)).
+  template <typename R>
+  Result<R> Get(std::size_t index) const {
+    if (index >= results_.size()) {
+      return InvalidArgumentError("no result at batch index " +
+                                  std::to_string(index));
+    }
+    const Result<Bytes>& raw = results_[index];
+    if (!raw.ok()) return raw.status();
+    wire::Reader r(AsView(*raw));
+    R value = wire::Decode<R>(r);
+    OBIWAN_RETURN_IF_ERROR(r.status());
+    return value;
+  }
+
+  Status Ok(std::size_t index) const {
+    if (index >= results_.size()) {
+      return InvalidArgumentError("no result at batch index " +
+                                  std::to_string(index));
+    }
+    return results_[index].status();
+  }
+
+ private:
+  template <typename... Args, typename... CallArgs>
+  std::size_t AddImpl(std::any pm, CallArgs&&... args) {
+    rmi::CallRequest call;
+    call.target = remote_.id();
+    Result<std::string> name = ClassInfoFor<T>().MethodNameOf(pm);
+    // An unregistered method is deferred to Execute-time per-item error via
+    // an impossible method name (keeps Add() infallible and indices stable).
+    call.method = name.ok() ? *name : "<unregistered-method>";
+    wire::Writer w;
+    wire::Encode(w, std::tuple<std::remove_cvref_t<Args>...>(
+                        std::forward<CallArgs>(args)...));
+    call.args = std::move(w).Take();
+    calls_.push_back(std::move(call));
+    return calls_.size() - 1;
+  }
+
+  Site& site_;
+  RemoteRef<T> remote_;
+  std::vector<rmi::CallRequest> calls_;
+  std::vector<Result<Bytes>> results_;
+};
+
+}  // namespace obiwan::core

@@ -1,0 +1,124 @@
+// Consistency-policy hooks.
+//
+// OBIWAN deliberately leaves replica consistency to the application: "We
+// leave the responsibility of maintaining (or not) the consistency of
+// replicas to the programmer. [...] he may simply use a library of specific
+// consistency protocols written by any other programmer" (§2.1). This
+// interface is that hook: a site installs one policy, and the replication
+// engine calls it at the four points where a protocol can intervene — when a
+// replica is created (get), when an update is proposed (put, provider side),
+// after an accepted update, and when policy data arrives at a replica.
+//
+// The library of ready-made policies the paper promises lives in
+// src/consistency (last-writer-wins, version vectors, write-invalidate);
+// the default is kNone: puts always win, exactly the paper's baseline.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace obiwan::core {
+
+// Provider-side view of a master object's replication metadata.
+struct MasterView {
+  ObjectId id;
+  std::uint64_t version;
+  Bytes& policy_state;                        // policy-owned, persisted per master
+  const std::vector<net::Address>& holders;   // sites that fetched replicas
+};
+
+// Provider-side view of an incoming put.
+struct PutView {
+  net::Address from;
+  ObjectId id;
+  std::uint64_t base_version;  // version the replica last synchronised at
+  BytesView policy_data;       // produced by MakePutData on the replica side
+};
+
+// Demander-side view of a local replica.
+struct ReplicaView {
+  ObjectId id;
+  std::uint64_t version;
+  Bytes& policy_state;  // policy-owned, persisted per replica
+};
+
+class ConsistencyPolicy {
+ public:
+  virtual ~ConsistencyPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Demander side, before a put: produce the policy payload shipped with the
+  // replica's state (e.g. a timestamp, a version vector).
+  virtual Bytes MakePutData(const ReplicaView& replica, Clock& clock) {
+    (void)replica;
+    (void)clock;
+    return {};
+  }
+
+  // Provider side: accept or reject the proposed update. Returning non-ok
+  // (conventionally kConflict) leaves the master untouched and propagates the
+  // status to the writer.
+  virtual Status ValidatePut(const MasterView& master, const PutView& put) {
+    (void)master;
+    (void)put;
+    return Status::Ok();
+  }
+
+  // Provider side, after the master was updated: advance policy state and
+  // name the replica holders that must be notified (e.g. invalidated).
+  virtual std::vector<net::Address> AfterPut(const MasterView& master,
+                                             const PutView& put) {
+    (void)master;
+    (void)put;
+    return {};
+  }
+
+  // Provider side, when a replica is handed out: produce the policy payload
+  // shipped with the object record.
+  virtual Bytes MakeGetData(const MasterView& master,
+                            const net::Address& requester) {
+    (void)master;
+    (void)requester;
+    return {};
+  }
+
+  // Demander side: policy payload arrived with a replica (get/refresh).
+  virtual void OnReplicaData(const ReplicaView& replica, BytesView policy_data) {
+    (void)replica;
+    (void)policy_data;
+  }
+
+  // Provider side: if true, an accepted put is *pushed* (full new state) to
+  // the other replica holders instead of merely listing them for
+  // invalidation — the paper's "updates dissemination" hook (§1).
+  virtual bool PushUpdatesOnPut() const { return false; }
+};
+
+// Updates-dissemination: every accepted put is eagerly propagated to all
+// replica holders, keeping connected replicas continuously fresh (and
+// leaving disconnected ones to catch up via their next refresh).
+class PushUpdates final : public ConsistencyPolicy {
+ public:
+  std::string_view name() const override { return "push-updates"; }
+  bool PushUpdatesOnPut() const override { return true; }
+  std::vector<net::Address> AfterPut(const MasterView& master,
+                                     const PutView&) override {
+    return master.holders;  // the site pushes to these (minus the writer)
+  }
+};
+
+// The paper's baseline: no consistency protocol; every put is applied.
+class NoConsistency final : public ConsistencyPolicy {
+ public:
+  std::string_view name() const override { return "none"; }
+};
+
+}  // namespace obiwan::core

@@ -1,0 +1,334 @@
+// Replication protocol messages (the bodies of kGet / kPut / kInvalidate /
+// kCommit requests).
+//
+// The formats mirror what travels in the Java prototype: replica state
+// (serialized fields), the reference topology (so the demander can swizzle),
+// and proxy descriptors — the serialized form of a proxy-out, whose creation
+// and transfer is exactly the per-object cost the paper measures in §4.2 and
+// eliminates with clustering in §4.3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "core/mode.h"
+#include "net/transport.h"
+#include "wire/codec.h"
+
+namespace obiwan::core {
+
+// Serialized proxy-out: everything a demander needs to later fault on the
+// target — which proxy-in to demand through, where it lives, and what it
+// stands in for.
+struct ProxyDescriptor {
+  ProxyId pin;             // provider-side proxy-in handle
+  net::Address provider;   // address of the site serving the proxy-in
+  ObjectId target;         // master object the proxy stands in for
+  std::string class_name;  // registered class of the target
+
+  bool valid() const { return pin.valid(); }
+
+  friend bool operator==(const ProxyDescriptor&, const ProxyDescriptor&) = default;
+};
+
+// One reference field of one serialized object.
+struct RefEntry {
+  enum class Tag : std::uint8_t {
+    kNull = 0,    // empty reference
+    kInline = 1,  // target travels in the same batch (or is already local)
+    kProxy = 2,   // boundary: demander materializes a proxy-out
+  };
+
+  Tag tag = Tag::kNull;
+  ObjectId target;        // kInline
+  ProxyDescriptor proxy;  // kProxy
+
+  static RefEntry Null() { return {}; }
+  static RefEntry Inline(ObjectId id) {
+    return {Tag::kInline, id, {}};
+  }
+  static RefEntry Proxy(ProxyDescriptor d) {
+    return {Tag::kProxy, d.target, std::move(d)};
+  }
+};
+
+// One replicated object on the wire.
+struct ObjectRecord {
+  ObjectId id;
+  std::string class_name;
+  std::uint64_t version = 0;
+  Bytes policy_data;           // consistency-policy payload (opaque here)
+  Bytes fields;                // encoded value fields
+  std::vector<RefEntry> refs;  // aligned with ClassInfo::refs() order
+  // Per-object put/refresh channel. Valid only in incremental mode — its
+  // creation and transfer is the per-object proxy-pair cost of §4.2. In
+  // cluster modes the batch-level descriptor below replaces it.
+  ProxyDescriptor provider;
+};
+
+// Batch-level proxy pair for cluster-flavoured modes (§2.2's "single pair of
+// proxy-in/proxy-out ... created and transferred").
+struct ClusterInfo {
+  ProxyDescriptor provider;
+  std::vector<ObjectId> members;
+};
+
+struct GetRequest {
+  ProxyId pin;           // proxy-in the demand goes through
+  ObjectId root;         // object to start replication from
+  ReplicationMode mode;
+  bool refresh = false;  // update already-held replicas instead of expanding
+};
+
+struct GetReply {
+  std::vector<ObjectRecord> objects;  // objects[0] is the root
+  std::optional<ClusterInfo> cluster;
+};
+
+// One object's state travelling back to its master.
+struct PutItem {
+  ObjectId id;
+  std::uint64_t base_version = 0;  // version the replica last synchronised at
+  // Transactional read-set validation: the provider checks base_version but
+  // does not apply any state (fields/refs travel empty).
+  bool read_only = false;
+  Bytes policy_data;  // consistency-policy payload
+  Bytes fields;
+  // Topology from the replica; kProxy collapses to kInline (the provider
+  // resolves ids locally).
+  std::vector<RefEntry> refs;
+};
+
+struct PutRequest {
+  ProxyId pin;                 // per-object or cluster proxy-in
+  std::vector<PutItem> items;  // one item, or all cluster members
+  bool transactional = false;  // kCommit: validate all versions before applying
+};
+
+struct PutReply {
+  std::vector<std::uint64_t> new_versions;  // aligned with request items
+};
+
+struct InvalidateRequest {
+  std::vector<ObjectId> ids;
+};
+
+}  // namespace obiwan::core
+
+namespace obiwan::wire {
+
+template <>
+struct Codec<core::ProxyDescriptor> {
+  static void Encode(Writer& w, const core::ProxyDescriptor& v) {
+    wire::Encode(w, v.pin);
+    w.String(v.provider);
+    wire::Encode(w, v.target);
+    w.String(v.class_name);
+  }
+  static core::ProxyDescriptor Decode(Reader& r) {
+    core::ProxyDescriptor v;
+    v.pin = wire::Decode<ProxyId>(r);
+    v.provider = r.String();
+    v.target = wire::Decode<ObjectId>(r);
+    v.class_name = r.String();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::RefEntry> {
+  static void Encode(Writer& w, const core::RefEntry& v) {
+    w.U8(static_cast<std::uint8_t>(v.tag));
+    switch (v.tag) {
+      case core::RefEntry::Tag::kNull:
+        break;
+      case core::RefEntry::Tag::kInline:
+        wire::Encode(w, v.target);
+        break;
+      case core::RefEntry::Tag::kProxy:
+        wire::Encode(w, v.proxy);
+        break;
+    }
+  }
+  static core::RefEntry Decode(Reader& r) {
+    core::RefEntry v;
+    std::uint8_t tag = r.U8();
+    if (tag > 2) {
+      r.Fail("bad ref entry tag");
+      return v;
+    }
+    v.tag = static_cast<core::RefEntry::Tag>(tag);
+    switch (v.tag) {
+      case core::RefEntry::Tag::kNull:
+        break;
+      case core::RefEntry::Tag::kInline:
+        v.target = wire::Decode<ObjectId>(r);
+        break;
+      case core::RefEntry::Tag::kProxy:
+        v.proxy = wire::Decode<core::ProxyDescriptor>(r);
+        v.target = v.proxy.target;
+        break;
+    }
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::ObjectRecord> {
+  static void Encode(Writer& w, const core::ObjectRecord& v) {
+    wire::Encode(w, v.id);
+    w.String(v.class_name);
+    w.Varint(v.version);
+    w.Blob(AsView(v.policy_data));
+    w.Blob(AsView(v.fields));
+    wire::Encode(w, v.refs);
+    w.Bool(v.provider.valid());
+    if (v.provider.valid()) wire::Encode(w, v.provider);
+  }
+  static core::ObjectRecord Decode(Reader& r) {
+    core::ObjectRecord v;
+    v.id = wire::Decode<ObjectId>(r);
+    v.class_name = r.String();
+    v.version = r.Varint();
+    v.policy_data = r.Blob();
+    v.fields = r.Blob();
+    v.refs = wire::Decode<std::vector<core::RefEntry>>(r);
+    if (r.Bool()) v.provider = wire::Decode<core::ProxyDescriptor>(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::ClusterInfo> {
+  static void Encode(Writer& w, const core::ClusterInfo& v) {
+    wire::Encode(w, v.provider);
+    wire::Encode(w, v.members);
+  }
+  static core::ClusterInfo Decode(Reader& r) {
+    core::ClusterInfo v;
+    v.provider = wire::Decode<core::ProxyDescriptor>(r);
+    v.members = wire::Decode<std::vector<ObjectId>>(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::ReplicationMode> {
+  static void Encode(Writer& w, const core::ReplicationMode& v) {
+    w.U8(static_cast<std::uint8_t>(v.kind));
+    w.Varint(v.count);
+    w.Varint(v.depth);
+  }
+  static core::ReplicationMode Decode(Reader& r) {
+    core::ReplicationMode v;
+    std::uint8_t kind = r.U8();
+    if (kind > 3) {
+      r.Fail("bad replication mode");
+      return v;
+    }
+    v.kind = static_cast<core::ReplicationMode::Kind>(kind);
+    v.count = static_cast<std::uint32_t>(r.Varint());
+    v.depth = static_cast<std::uint32_t>(r.Varint());
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::GetRequest> {
+  static void Encode(Writer& w, const core::GetRequest& v) {
+    wire::Encode(w, v.pin);
+    wire::Encode(w, v.root);
+    wire::Encode(w, v.mode);
+    w.Bool(v.refresh);
+  }
+  static core::GetRequest Decode(Reader& r) {
+    core::GetRequest v;
+    v.pin = wire::Decode<ProxyId>(r);
+    v.root = wire::Decode<ObjectId>(r);
+    v.mode = wire::Decode<core::ReplicationMode>(r);
+    v.refresh = r.Bool();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::GetReply> {
+  static void Encode(Writer& w, const core::GetReply& v) {
+    wire::Encode(w, v.objects);
+    wire::Encode(w, v.cluster);
+  }
+  static core::GetReply Decode(Reader& r) {
+    core::GetReply v;
+    v.objects = wire::Decode<std::vector<core::ObjectRecord>>(r);
+    v.cluster = wire::Decode<std::optional<core::ClusterInfo>>(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::PutItem> {
+  static void Encode(Writer& w, const core::PutItem& v) {
+    wire::Encode(w, v.id);
+    w.Varint(v.base_version);
+    w.Bool(v.read_only);
+    w.Blob(AsView(v.policy_data));
+    w.Blob(AsView(v.fields));
+    wire::Encode(w, v.refs);
+  }
+  static core::PutItem Decode(Reader& r) {
+    core::PutItem v;
+    v.id = wire::Decode<ObjectId>(r);
+    v.base_version = r.Varint();
+    v.read_only = r.Bool();
+    v.policy_data = r.Blob();
+    v.fields = r.Blob();
+    v.refs = wire::Decode<std::vector<core::RefEntry>>(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::PutRequest> {
+  static void Encode(Writer& w, const core::PutRequest& v) {
+    wire::Encode(w, v.pin);
+    wire::Encode(w, v.items);
+    w.Bool(v.transactional);
+  }
+  static core::PutRequest Decode(Reader& r) {
+    core::PutRequest v;
+    v.pin = wire::Decode<ProxyId>(r);
+    v.items = wire::Decode<std::vector<core::PutItem>>(r);
+    v.transactional = r.Bool();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::PutReply> {
+  static void Encode(Writer& w, const core::PutReply& v) {
+    wire::Encode(w, v.new_versions);
+  }
+  static core::PutReply Decode(Reader& r) {
+    core::PutReply v;
+    v.new_versions = wire::Decode<std::vector<std::uint64_t>>(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::InvalidateRequest> {
+  static void Encode(Writer& w, const core::InvalidateRequest& v) {
+    wire::Encode(w, v.ids);
+  }
+  static core::InvalidateRequest Decode(Reader& r) {
+    core::InvalidateRequest v;
+    v.ids = wire::Decode<std::vector<ObjectId>>(r);
+    return v;
+  }
+};
+
+}  // namespace obiwan::wire

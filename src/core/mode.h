@@ -1,0 +1,47 @@
+// Replication modes (the paper's `mode` argument to IProvideRemote::get).
+//
+// §2.1/§2.2 describe four ways to bring an object graph to the demander:
+//   - incremental, N objects per fault, one proxy pair *per object* so each
+//     replica can be individually updated (§4.2);
+//   - cluster, N objects per fault sharing a *single* proxy pair — cheap but
+//     the cluster can only be updated as a whole (§2.2, §4.3);
+//   - cluster by depth — "the application specifies the depth of the partial
+//     reachability graph that it wants to replicate as a whole";
+//   - transitive closure — the entire reachable graph in one step.
+#pragma once
+
+#include <cstdint>
+
+namespace obiwan::core {
+
+struct ReplicationMode {
+  enum class Kind : std::uint8_t {
+    kIncremental = 0,
+    kCluster = 1,
+    kClusterDepth = 2,
+    kTransitiveClosure = 3,
+  };
+
+  Kind kind = Kind::kIncremental;
+  std::uint32_t count = 1;  // objects per batch (kIncremental, kCluster)
+  std::uint32_t depth = 0;  // reachability depth (kClusterDepth)
+
+  static ReplicationMode Incremental(std::uint32_t n = 1) {
+    return {Kind::kIncremental, n, 0};
+  }
+  static ReplicationMode Cluster(std::uint32_t n) {
+    return {Kind::kCluster, n, 0};
+  }
+  static ReplicationMode ClusterDepth(std::uint32_t d) {
+    return {Kind::kClusterDepth, 1, d};
+  }
+  static ReplicationMode Closure() { return {Kind::kTransitiveClosure, 0, 0}; }
+
+  // Cluster-flavoured modes create one proxy pair per batch; the others one
+  // per object.
+  bool SharedProxyPair() const { return kind != Kind::kIncremental; }
+
+  friend bool operator==(const ReplicationMode&, const ReplicationMode&) = default;
+};
+
+}  // namespace obiwan::core

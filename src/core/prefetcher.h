@@ -1,0 +1,109 @@
+// BackgroundPrefetcher — "a perfect mechanism of pre-fetching in the
+// background can completely eliminate the latency" (§2.1, footnote 3).
+//
+// A worker thread walks object graphs behind the application's back,
+// resolving proxy-outs ahead of use: the application touches object i while
+// the prefetcher is already demanding i+1..i+k. On a link with real latency
+// this hides the fault round trips entirely once the prefetcher is ahead.
+//
+// Resolving a fault swizzles reference fields inside shared objects, and
+// those fields are not atomic: do not *traverse the same graph* from another
+// thread while it is being prefetched. The intended pattern is
+// fire-and-forget before the data is needed —
+//
+//     prefetcher.Prefetch(agenda);      // at connect time
+//     ... unrelated work ...
+//     prefetcher.Drain();               // or just start touching later
+//     agenda->...                       // faults now short-circuit locally
+//
+// Use with real transports (loopback/TCP). On the virtual-clock simulated
+// network a background thread has no latency to hide (the clock only
+// advances when someone sends), so simulations model prefetching with
+// Site::PrefetchAll instead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/ref.h"
+#include "core/site.h"
+
+namespace obiwan::core {
+
+class BackgroundPrefetcher {
+ public:
+  // `site` must outlive the prefetcher.
+  explicit BackgroundPrefetcher(Site& site) : site_(site) {
+    worker_ = std::thread([this] { Run(); });
+  }
+
+  ~BackgroundPrefetcher() { Stop(); }
+
+  BackgroundPrefetcher(const BackgroundPrefetcher&) = delete;
+  BackgroundPrefetcher& operator=(const BackgroundPrefetcher&) = delete;
+
+  // Ask the worker to fault in everything reachable from `ref` (snapshot of
+  // its current target; later rebinds of the application's Ref are fine).
+  void Prefetch(const RefBase& ref) {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(ref);  // copies the Ref state (shared_ptr / proxy)
+    cv_.notify_one();
+  }
+
+  // Block until the queue is drained and the worker is idle.
+  void Drain() {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  }
+
+  void Stop() {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+      cv_.notify_one();
+    }
+    if (worker_.joinable()) worker_.join();
+  }
+
+  std::uint64_t graphs_prefetched() const { return done_.load(); }
+
+ private:
+  void Run() {
+    while (true) {
+      RefBase ref;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        ref = queue_.front();
+        queue_.pop_front();
+        busy_ = true;
+      }
+      // Best effort: a disconnection mid-prefetch leaves the rest for the
+      // application's own (status-surfacing) faults.
+      (void)site_.PrefetchAll(ref);
+      ++done_;
+      {
+        std::lock_guard lock(mutex_);
+        busy_ = false;
+        idle_cv_.notify_all();
+      }
+    }
+  }
+
+  Site& site_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<RefBase> queue_;
+  bool busy_ = false;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> done_{0};
+  std::thread worker_;
+};
+
+}  // namespace obiwan::core

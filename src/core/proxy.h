@@ -1,0 +1,50 @@
+// ProxyOut — the demander-side stand-in for a not-yet-replicated object
+// (the paper's BProxyOut, §2).
+//
+// A proxy-out is created when a replication batch reaches a graph boundary:
+// the boundary reference is materialized as a Ref holding a ProxyOut instead
+// of a local object. The first invocation through that Ref triggers the
+// demand sequence of §2.2: fetch the next batch from the provider's proxy-in,
+// install the replicas, patch the reference (updateMember), and let the
+// original call proceed directly on the new replica. After the patch the
+// proxy-out's last shared_ptr reference is dropped — the C++ equivalent of
+// step 6, where the JVM's garbage collector reclaims it.
+//
+// The mode the original get() was issued with travels with the proxy, so a
+// traversal keeps replicating in batches of the size the application chose.
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/messages.h"
+#include "core/mode.h"
+
+namespace obiwan::core {
+
+class Site;
+class Shareable;
+
+class ProxyOut {
+ public:
+  // `site` is the demander site owning this proxy; it must outlive it.
+  ProxyOut(Site* site, ProxyDescriptor descriptor, ReplicationMode mode)
+      : site_(site), descriptor_(std::move(descriptor)), mode_(mode) {}
+
+  const ObjectId& target() const { return descriptor_.target; }
+  const std::string& class_name() const { return descriptor_.class_name; }
+  const ProxyDescriptor& descriptor() const { return descriptor_; }
+  const ReplicationMode& mode() const { return mode_; }
+
+  // Resolve the fault: returns the local replica of target(), fetching the
+  // next batch from the provider if it is not already here. Defined in
+  // site.cc (needs the Site definition).
+  Result<std::shared_ptr<Shareable>> Demand();
+
+ private:
+  Site* site_;
+  ProxyDescriptor descriptor_;
+  ReplicationMode mode_;
+};
+
+}  // namespace obiwan::core

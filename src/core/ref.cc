@@ -1,0 +1,25 @@
+#include "core/ref.h"
+
+#include "core/proxy.h"
+
+namespace obiwan::core {
+
+void RefBase::BindProxy(std::shared_ptr<ProxyOut> proxy) {
+  id_ = proxy->target();
+  local_.reset();
+  proxy_ = std::move(proxy);
+}
+
+Status RefBase::Demand() {
+  if (IsLocal()) return Status::Ok();
+  if (IsEmpty()) return FailedPreconditionError("dereference of null reference");
+  Result<std::shared_ptr<Shareable>> replica = proxy_->Demand();
+  if (!replica.ok()) return replica.status();
+  // The paper's updateMember step: this reference now points directly at the
+  // replica; dropping proxy_ below is step 6 (the proxy-out becomes
+  // unreachable and is reclaimed).
+  BindLocal(proxy_->target(), std::move(replica).value());
+  return Status::Ok();
+}
+
+}  // namespace obiwan::core

@@ -1,0 +1,124 @@
+// Ref<T>: the reference type through which shareable objects point at each
+// other.
+//
+// A Ref is the C++ face of the paper's "reference of interface type" (§2): it
+// can hold
+//   - nothing (null reference),
+//   - a local object — a master or an already-resolved replica, in which case
+//     invocation through operator-> is a plain virtual call (LMI, §4.1), or
+//   - a proxy-out standing in for an object that is not yet replicated here.
+//
+// Invoking through a Ref that holds a proxy-out is an *object fault* (§2.2):
+// the proxy demands the next batch from its provider, the Ref is patched to
+// point directly at the new replica (the paper's updateMember step), the
+// proxy-out loses its last reference and dies (step 6), and the original call
+// proceeds — all transparently inside operator->.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace obiwan::core {
+
+class Shareable;
+class ProxyOut;
+
+// Thrown by Ref<T>::operator-> when an object fault cannot be resolved (for
+// example, the provider is disconnected). This is the only exception in the
+// public API: a dereference has no status-return channel, and touching a
+// non-colocated object while offline is precisely the "exceptional" situation
+// the paper's programming model asks applications to plan around.
+class ObjectFaultError : public std::runtime_error {
+ public:
+  explicit ObjectFaultError(Status status)
+      : std::runtime_error("object fault failed: " + status.ToString()),
+        status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+// Type-erased part of Ref<T>. The class registry stores accessors returning
+// RefBase& so the replication engine can traverse and swizzle reference
+// fields without knowing their static type.
+class RefBase {
+ public:
+  RefBase() = default;
+
+  bool IsEmpty() const { return local_ == nullptr && proxy_ == nullptr; }
+  bool IsLocal() const { return local_ != nullptr; }
+  bool IsProxy() const { return proxy_ != nullptr; }
+
+  // Identity of the target master. Valid in proxy state and in local state
+  // once the target has been exported/replicated; invalid for a local object
+  // the owning site has not yet assigned an id to.
+  const ObjectId& id() const { return id_; }
+
+  Shareable* local_raw() const { return local_.get(); }
+  const std::shared_ptr<Shareable>& local() const { return local_; }
+  const std::shared_ptr<ProxyOut>& proxy() const { return proxy_; }
+
+  void BindLocal(ObjectId id, std::shared_ptr<Shareable> obj) {
+    id_ = id;
+    local_ = std::move(obj);
+    proxy_.reset();
+  }
+
+  // Defined in ref.cc (needs the ProxyOut definition).
+  void BindProxy(std::shared_ptr<ProxyOut> proxy);
+
+  void Reset() {
+    id_ = {};
+    local_.reset();
+    proxy_.reset();
+  }
+
+  // Resolve an object fault now: if this ref holds a proxy-out, demand the
+  // replica and swizzle to it. No-op when already local; error when empty or
+  // when the demand fails. Applications use this to *pre*-fault (e.g. before
+  // going offline); operator-> calls it implicitly.
+  Status Demand();
+
+  // The site's id assignment path updates refs in place.
+  void set_id(ObjectId id) { id_ = id; }
+
+ protected:
+  ObjectId id_{};
+  std::shared_ptr<Shareable> local_;
+  std::shared_ptr<ProxyOut> proxy_;
+};
+
+template <typename T>
+class Ref : public RefBase {
+ public:
+  Ref() = default;
+
+  // A Ref is constructible straight from a local object so graph-building
+  // code reads naturally: `node->next = std::make_shared<Node>();`
+  Ref(std::shared_ptr<T> obj) {  // NOLINT(google-explicit-constructor)
+    BindLocal({}, std::move(obj));
+  }
+
+  // Local pointer if resolved, nullptr otherwise. Never faults.
+  T* get() const { return static_cast<T*>(local_.get()); }
+
+  // Invocation entry point: resolves an object fault if needed.
+  T* operator->() {
+    Status s = Demand();
+    if (!s.ok()) throw ObjectFaultError(std::move(s));
+    return static_cast<T*>(local_.get());
+  }
+
+  T& operator*() { return *operator->(); }
+
+  explicit operator bool() const { return !IsEmpty(); }
+};
+
+}  // namespace obiwan::core

@@ -1,0 +1,113 @@
+// RemoteRef<T> — the typed remote handle (the paper's reference of type
+// Remote<I> through AProxyIn).
+//
+// Holding a RemoteRef, an application can — at any time, §2.1 — choose
+// between the two invocation mechanisms the paper contrasts:
+//
+//   remote.Invoke(&Agenda::Add, entry)          // RMI on the master
+//   auto ref = remote.Replicate(mode);          // bring a replica here ...
+//   ref->Add(entry);                            // ... then LMI
+//
+// Both stay available simultaneously: replicating does not invalidate the
+// remote handle, and the master and the replica "can be freely invoked"; it
+// is the programmer (or the user) who decides which is best.
+#pragma once
+
+#include <any>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "core/ref.h"
+#include "core/remote_ref_fwd.h"
+#include "core/shareable.h"
+#include "core/site.h"
+#include "rmi/registry.h"
+
+namespace obiwan::core {
+
+template <typename T>
+class RemoteRef {
+ public:
+  RemoteRef() = default;
+  RemoteRef(Site* site, rmi::BoundObject info)
+      : site_(site), info_(std::move(info)) {}
+
+  bool valid() const { return site_ != nullptr && info_.id.valid(); }
+  const ObjectId& id() const { return info_.id; }
+  const net::Address& provider() const { return info_.address; }
+  const rmi::BoundObject& info() const { return info_; }
+
+  // Remote method invocation. `m` must be registered in T's ObiwanDefine
+  // block; arguments are marshalled with the wire codecs. Returns Status for
+  // void methods, Result<R> otherwise.
+  template <typename R, typename C, typename... Args, typename... CallArgs>
+  auto Invoke(R (C::*m)(Args...), CallArgs&&... call_args) const
+      -> std::conditional_t<std::is_void_v<R>, Status, Result<R>> {
+    static_assert(std::is_base_of_v<C, T>);
+    return InvokeImpl<R, Args...>(std::any(m), std::forward<CallArgs>(call_args)...);
+  }
+
+  template <typename R, typename C, typename... Args, typename... CallArgs>
+  auto Invoke(R (C::*m)(Args...) const, CallArgs&&... call_args) const
+      -> std::conditional_t<std::is_void_v<R>, Status, Result<R>> {
+    static_assert(std::is_base_of_v<C, T>);
+    return InvokeImpl<R, Args...>(std::any(m), std::forward<CallArgs>(call_args)...);
+  }
+
+  // Replicate the target graph to the local site (the paper's
+  // AProxyIn.get(mode)) and return a local reference to it.
+  Result<Ref<T>> Replicate(ReplicationMode mode) const {
+    if (!valid()) return FailedPreconditionError("invalid remote reference");
+    ProxyDescriptor descriptor{info_.pin, info_.address, info_.id, info_.class_name};
+    OBIWAN_ASSIGN_OR_RETURN(
+        std::shared_ptr<Shareable> obj,
+        site_->DemandThrough(descriptor, info_.id, mode, /*refresh=*/false,
+                             /*shortcut_local=*/false));
+    Ref<T> ref;
+    ref.BindLocal(info_.id, std::move(obj));
+    return ref;
+  }
+
+ private:
+  template <typename R, typename... Args, typename... CallArgs>
+  auto InvokeImpl(std::any pm, CallArgs&&... call_args) const
+      -> std::conditional_t<std::is_void_v<R>, Status, Result<R>> {
+    using Ret = std::conditional_t<std::is_void_v<R>, Status, Result<R>>;
+    if (!valid()) return Ret(FailedPreconditionError("invalid remote reference"));
+
+    Result<std::string> name = ClassInfoFor<T>().MethodNameOf(pm);
+    if (!name.ok()) return Ret(name.status());
+
+    wire::Writer args;
+    wire::Encode(args, std::tuple<std::remove_cvref_t<Args>...>(
+                           std::forward<CallArgs>(call_args)...));
+    Result<Bytes> raw =
+        site_->CallRaw(info_.address, info_.id, *name, std::move(args).Take());
+    if constexpr (std::is_void_v<R>) {
+      return raw.status();
+    } else {
+      if (!raw.ok()) return raw.status();
+      wire::Reader r(AsView(*raw));
+      R value = wire::Decode<R>(r);
+      if (!r.ok()) return r.status();
+      return value;
+    }
+  }
+
+  Site* site_ = nullptr;
+  rmi::BoundObject info_;
+};
+
+// Out-of-line definition of the Site template declared in site.h.
+template <typename T>
+Result<RemoteRef<T>> Site::Lookup(const std::string& name) {
+  if (!registry_client_) {
+    return FailedPreconditionError("no registry configured (UseRegistry/HostRegistry)");
+  }
+  OBIWAN_ASSIGN_OR_RETURN(rmi::BoundObject bo, registry_client_->Lookup(name));
+  return RemoteRef<T>(this, std::move(bo));
+}
+
+}  // namespace obiwan::core

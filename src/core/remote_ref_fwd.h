@@ -1,0 +1,8 @@
+#pragma once
+
+namespace obiwan::core {
+
+template <typename T>
+class RemoteRef;
+
+}  // namespace obiwan::core

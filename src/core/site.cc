@@ -1,0 +1,1226 @@
+#include "core/site.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.h"
+
+namespace obiwan::core {
+
+namespace {
+const std::vector<net::Address> kNoHolders;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProxyOut
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<Shareable>> ProxyOut::Demand() {
+  return site_->DemandThrough(descriptor_, descriptor_.target, mode_,
+                              /*refresh=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Construction / lifecycle
+// ---------------------------------------------------------------------------
+
+Site::Site(SiteId id, std::unique_ptr<net::Transport> transport, Clock& clock)
+    : id_(id),
+      transport_(std::move(transport)),
+      clock_(clock),
+      policy_(std::make_unique<NoConsistency>()) {
+  dispatcher_.RegisterService(rmi::MessageKind::kCall, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kPing, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kGet, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kPut, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kCommit, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kInvalidate, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kRelease, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kRenew, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kPush, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kCallBatch, this);
+}
+
+Site::~Site() {
+  Stop();
+  // The object graph is reference-counted (shared_ptr), so cyclic graphs —
+  // which OBIWAN fully supports — would never free themselves (the Java
+  // prototype leaned on the JVM's tracing GC here). The site owns its
+  // masters and replicas: unlink every reference field at teardown so cycles
+  // break. Objects an application still holds survive individually, but
+  // their links are gone once their site is.
+  auto unlink = [](Shareable& obj) {
+    for (const RefFieldInfo& rf : obj.obiwan_class().refs()) {
+      rf.get(obj).Reset();
+    }
+  };
+  for (auto& [oid, entry] : masters_) unlink(*entry.obj);
+  for (auto& [oid, entry] : replicas_) unlink(*entry.obj);
+}
+
+Status Site::Start() {
+  if (started_) return FailedPreconditionError("site already started");
+  OBIWAN_RETURN_IF_ERROR(transport_->Serve(&dispatcher_));
+  started_ = true;
+  return Status::Ok();
+}
+
+void Site::Stop() {
+  if (!started_) return;
+  transport_->StopServing();
+  started_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Naming
+// ---------------------------------------------------------------------------
+
+void Site::HostRegistry() {
+  registry_service_.emplace();
+  registry_service_->AttachTo(dispatcher_);
+  if (!registry_client_) UseRegistry(address());
+}
+
+void Site::UseRegistry(net::Address registry_address) {
+  registry_client_.emplace(*transport_, std::move(registry_address));
+}
+
+Status Site::Bind(const std::string& name, const std::shared_ptr<Shareable>& obj) {
+  if (!registry_client_) {
+    return FailedPreconditionError("no registry configured (UseRegistry/HostRegistry)");
+  }
+  rmi::BoundObject bo;
+  {
+    std::lock_guard lock(mutex_);
+    ObjectId oid = EnsureId(obj);
+    ProxyId pin = NewProxyIn(oid);
+    // A bound name is advertised indefinitely; its pin must not be swept by
+    // the lease collector while the registry still points at it.
+    auto& entry = proxy_ins_.at(pin);
+    entry.anchored = true;
+    entry.expires_at = 0;
+    bo = {address(), oid, pin, obj->obiwan_class().name()};
+  }
+  return registry_client_->Bind(name, bo);
+}
+
+Status Site::Rebind(const std::string& name, const std::shared_ptr<Shareable>& obj) {
+  if (!registry_client_) {
+    return FailedPreconditionError("no registry configured (UseRegistry/HostRegistry)");
+  }
+  rmi::BoundObject bo;
+  {
+    std::lock_guard lock(mutex_);
+    ObjectId oid = EnsureId(obj);
+    ProxyId pin = NewProxyIn(oid);
+    auto& entry = proxy_ins_.at(pin);
+    entry.anchored = true;
+    entry.expires_at = 0;
+    bo = {address(), oid, pin, obj->obiwan_class().name()};
+  }
+  return registry_client_->Rebind(name, bo);
+}
+
+Status Site::Unbind(const std::string& name) {
+  if (!registry_client_) {
+    return FailedPreconditionError("no registry configured (UseRegistry/HostRegistry)");
+  }
+  return registry_client_->Unbind(name);
+}
+
+// ---------------------------------------------------------------------------
+// Masters and identity
+// ---------------------------------------------------------------------------
+
+ObjectId Site::Export(const std::shared_ptr<Shareable>& obj) {
+  std::lock_guard lock(mutex_);
+  return EnsureId(obj);
+}
+
+ObjectId Site::EnsureId(const std::shared_ptr<Shareable>& obj) {
+  auto it = ptr_ids_.find(obj.get());
+  if (it != ptr_ids_.end()) return it->second;
+  ObjectId oid{id_, next_object_++};
+  masters_.emplace(oid, MasterEntry{obj, /*version=*/1, {}, {}});
+  ptr_ids_.emplace(obj.get(), oid);
+  return oid;
+}
+
+Result<std::uint64_t> Site::MasterVersion(ObjectId id) const {
+  std::lock_guard lock(mutex_);
+  auto it = masters_.find(id);
+  if (it == masters_.end()) return NotFoundError("not a master here: " + ToString(id));
+  return it->second.version;
+}
+
+void Site::TouchPin(ProxyInEntry& entry) {
+  if (proxy_lease_ > 0 && !entry.anchored) {
+    entry.expires_at = clock_.Now() + proxy_lease_;
+  }
+}
+
+ProxyId Site::NewProxyIn(ObjectId target) {
+  // Reuse an existing single-object proxy-in for the same target; repeated
+  // gets of one object do not need distinct channels.
+  for (auto& [pin, entry] : proxy_ins_) {
+    if (!entry.cluster && entry.target == target) {
+      TouchPin(entry);
+      return pin;
+    }
+  }
+  ProxyId pin{id_, next_pin_++};
+  auto [it, inserted] =
+      proxy_ins_.emplace(pin, ProxyInEntry{target, {}, /*cluster=*/false, 0});
+  (void)inserted;
+  TouchPin(it->second);
+  ++stats_.proxy_ins_created;
+  clock_.Sleep(proxy_export_cost_);
+  return pin;
+}
+
+ProxyId Site::NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members) {
+  ProxyId pin{id_, next_pin_++};
+  auto [it, inserted] = proxy_ins_.emplace(
+      pin, ProxyInEntry{root, std::move(members), /*cluster=*/true, 0});
+  (void)inserted;
+  TouchPin(it->second);
+  ++stats_.proxy_ins_created;
+  clock_.Sleep(proxy_export_cost_);
+  return pin;
+}
+
+std::size_t Site::CollectExpiredProxyIns() {
+  std::lock_guard lock(mutex_);
+  if (proxy_lease_ <= 0) return 0;
+  const Nanos now = clock_.Now();
+  std::size_t collected = 0;
+  for (auto it = proxy_ins_.begin(); it != proxy_ins_.end();) {
+    if (it->second.expires_at != 0 && it->second.expires_at <= now) {
+      it = proxy_ins_.erase(it);
+      ++collected;
+    } else {
+      ++it;
+    }
+  }
+  return collected;
+}
+
+ProxyDescriptor Site::DescriptorFor(ProxyId pin, ObjectId target,
+                                    std::string class_name) const {
+  return ProxyDescriptor{pin, transport_->LocalAddress(), target,
+                         std::move(class_name)};
+}
+
+std::shared_ptr<Shareable> Site::FindLocalUnlocked(ObjectId id) const {
+  if (auto it = masters_.find(id); it != masters_.end()) return it->second.obj;
+  if (auto it = replicas_.find(id); it != replicas_.end()) return it->second.obj;
+  return nullptr;
+}
+
+Result<std::shared_ptr<Shareable>> Site::FindLocal(ObjectId id) const {
+  std::lock_guard lock(mutex_);
+  std::shared_ptr<Shareable> obj = FindLocalUnlocked(id);
+  if (obj == nullptr) return NotFoundError("object not present: " + ToString(id));
+  return obj;
+}
+
+Result<Site::MetaRef> Site::FindMeta(ObjectId id) {
+  if (auto it = masters_.find(id); it != masters_.end()) {
+    MasterEntry& e = it->second;
+    return MetaRef{e.obj, &e.version, &e.policy_state, &e.holders};
+  }
+  if (auto it = replicas_.find(id); it != replicas_.end()) {
+    ReplicaEntry& e = it->second;
+    return MetaRef{e.obj, &e.version, &e.policy_state, &e.holders};
+  }
+  return NotFoundError("object not present: " + ToString(id));
+}
+
+std::size_t Site::master_count() const {
+  std::lock_guard lock(mutex_);
+  return masters_.size();
+}
+std::size_t Site::replica_count() const {
+  std::lock_guard lock(mutex_);
+  return replicas_.size();
+}
+std::size_t Site::proxy_in_count() const {
+  std::lock_guard lock(mutex_);
+  return proxy_ins_.size();
+}
+
+void Site::SetConsistencyPolicy(std::unique_ptr<ConsistencyPolicy> policy) {
+  std::lock_guard lock(mutex_);
+  if (policy != nullptr) policy_ = std::move(policy);
+}
+
+// ---------------------------------------------------------------------------
+// Provider side: Get
+// ---------------------------------------------------------------------------
+
+Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req) {
+  std::lock_guard lock(mutex_);
+  ++stats_.gets_served;
+  Trace("get", "from " + from + ", root " + ToString(req.root) +
+                    (req.refresh ? " (refresh)" : ""));
+
+  auto pit = proxy_ins_.find(req.pin);
+  if (pit == proxy_ins_.end()) {
+    return NotFoundError("unknown proxy-in at provider");
+  }
+  TouchPin(pit->second);
+
+  // --- select the batch -----------------------------------------------------
+  std::vector<ObjectId> batch_ids;
+  std::vector<std::shared_ptr<Shareable>> batch_objs;
+  std::unordered_set<ObjectId, ObjectIdHash> in_batch;
+
+  auto add = [&](ObjectId oid, std::shared_ptr<Shareable> obj) {
+    in_batch.insert(oid);
+    batch_ids.push_back(oid);
+    batch_objs.push_back(std::move(obj));
+  };
+
+  if (req.refresh) {
+    // Refresh returns current state of what the pin covers: the whole
+    // cluster for a cluster pin, the requested root otherwise.
+    if (pit->second.cluster) {
+      for (ObjectId member : pit->second.members) {
+        if (auto obj = FindLocalUnlocked(member)) add(member, std::move(obj));
+      }
+    } else {
+      auto obj = FindLocalUnlocked(req.root);
+      if (obj == nullptr) return NotFoundError("refresh root not present");
+      add(req.root, std::move(obj));
+    }
+    if (batch_ids.empty()) return NotFoundError("nothing left to refresh");
+  } else {
+    std::shared_ptr<Shareable> root = FindLocalUnlocked(req.root);
+    if (root == nullptr) return NotFoundError("get root not present");
+
+    const bool by_count = req.mode.kind == ReplicationMode::Kind::kIncremental ||
+                          req.mode.kind == ReplicationMode::Kind::kCluster;
+    const std::uint32_t limit = by_count ? std::max<std::uint32_t>(req.mode.count, 1)
+                                         : 0;  // 0 = unlimited
+
+    // Breadth-first expansion from the root; boundaries are refs that are
+    // unresolved proxies here (forwarded) or nodes beyond the batch budget.
+    std::deque<std::pair<ObjectId, std::uint32_t>> queue;
+    queue.emplace_back(EnsureId(root), 0);
+    while (!queue.empty()) {
+      auto [oid, depth] = queue.front();
+      queue.pop_front();
+      if (in_batch.contains(oid)) continue;
+      if (limit != 0 && batch_ids.size() >= limit) break;
+      std::shared_ptr<Shareable> obj = FindLocalUnlocked(oid);
+      if (obj == nullptr) continue;
+      add(oid, obj);
+      if (req.mode.kind == ReplicationMode::Kind::kClusterDepth &&
+          depth >= req.mode.depth) {
+        continue;  // frontier of the depth-bounded cluster
+      }
+      for (const RefFieldInfo& rf : obj->obiwan_class().refs()) {
+        RefBase& rb = rf.get(*obj);
+        if (rb.IsLocal()) queue.emplace_back(EnsureId(rb.local()), depth + 1);
+      }
+    }
+  }
+
+  // --- serialize -------------------------------------------------------------
+  GetReply reply;
+  const bool shared_pair = req.mode.SharedProxyPair() && !req.refresh;
+  if (shared_pair) {
+    ProxyId cpin = NewClusterProxyIn(batch_ids.front(), batch_ids);
+    reply.cluster = ClusterInfo{
+        DescriptorFor(cpin, batch_ids.front(),
+                      batch_objs.front()->obiwan_class().name()),
+        batch_ids};
+  }
+
+  reply.objects.reserve(batch_ids.size());
+  for (std::size_t i = 0; i < batch_ids.size(); ++i) {
+    ObjectId oid = batch_ids[i];
+    const std::shared_ptr<Shareable>& obj = batch_objs[i];
+    const ClassInfo& ci = obj->obiwan_class();
+
+    OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(oid));
+
+    ObjectRecord rec;
+    rec.id = oid;
+    rec.class_name = ci.name();
+    rec.version = *meta.version;
+    rec.policy_data = policy_->MakeGetData(
+        MasterView{oid, *meta.version, *meta.policy_state,
+                   meta.holders != nullptr ? *meta.holders : kNoHolders},
+        from);
+
+    wire::Writer fields;
+    ci.EncodeFields(*obj, fields);
+    rec.fields = std::move(fields).Take();
+
+    rec.refs.reserve(ci.refs().size());
+    for (const RefFieldInfo& rf : ci.refs()) {
+      RefBase& rb = rf.get(*obj);
+      if (rb.IsEmpty()) {
+        rec.refs.push_back(RefEntry::Null());
+      } else if (rb.IsLocal()) {
+        ObjectId tid = EnsureId(rb.local());
+        if (in_batch.contains(tid)) {
+          rec.refs.push_back(RefEntry::Inline(tid));
+        } else {
+          rec.refs.push_back(RefEntry::Proxy(DescriptorFor(
+              NewProxyIn(tid), tid, rb.local_raw()->obiwan_class().name())));
+        }
+      } else {
+        // An unresolved proxy here: forward its descriptor so the demander
+        // faults straight to the original provider (replica chains).
+        rec.refs.push_back(RefEntry::Proxy(rb.proxy()->descriptor()));
+      }
+    }
+
+    if (!req.refresh && !shared_pair) {
+      // Incremental mode: the per-object proxy pair of §4.2, giving this
+      // replica its individual put/refresh channel.
+      rec.provider = DescriptorFor(NewProxyIn(oid), oid, rec.class_name);
+    }
+
+    if (meta.holders != nullptr) {
+      auto& holders = *meta.holders;
+      if (std::find(holders.begin(), holders.end(), from) == holders.end()) {
+        holders.push_back(from);
+      }
+    }
+
+    ++stats_.objects_served;
+    reply.objects.push_back(std::move(rec));
+  }
+
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Provider side: Put
+// ---------------------------------------------------------------------------
+
+Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req) {
+  // Notifications (invalidations / pushes) are built under the lock but sent
+  // after releasing it — network I/O under the site lock deadlocks when the
+  // recipient is served by another thread of this process.
+  std::vector<std::pair<net::Address, Bytes>> notifications;
+
+  std::unique_lock lock(mutex_);
+  ++stats_.puts_served;
+  Trace("put", "from " + from + ", " + std::to_string(req.items.size()) +
+                    " item(s)" + (req.transactional ? " (tx)" : ""));
+
+  if (auto pit = proxy_ins_.find(req.pin); pit != proxy_ins_.end()) {
+    TouchPin(pit->second);
+  } else {
+    return NotFoundError("unknown proxy-in at provider");
+  }
+  if (req.items.empty()) return InvalidArgumentError("empty put");
+
+  // Validate everything before applying anything, so a multi-object put
+  // (cluster or transaction) is all-or-nothing.
+  struct Target {
+    MetaRef meta;
+    const PutItem* item;
+    const ClassInfo* ci;
+  };
+  std::vector<Target> targets;
+  targets.reserve(req.items.size());
+  for (const PutItem& item : req.items) {
+    OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(item.id));
+    const ClassInfo& ci = meta.obj->obiwan_class();
+    if (req.transactional && item.base_version != *meta.version) {
+      return ConflictError("transaction conflict on " + ToString(item.id) +
+                           ": expected version " + std::to_string(item.base_version) +
+                           ", master at " + std::to_string(*meta.version));
+    }
+    if (item.read_only) {
+      if (!req.transactional) {
+        return InvalidArgumentError("read-only item outside a transaction");
+      }
+      targets.push_back(Target{std::move(meta), &item, &ci});
+      continue;
+    }
+    if (item.refs.size() != ci.refs().size()) {
+      return DataLossError("put ref schema mismatch for " + ToString(item.id));
+    }
+    OBIWAN_RETURN_IF_ERROR(policy_->ValidatePut(
+        MasterView{item.id, *meta.version, *meta.policy_state,
+                   meta.holders != nullptr ? *meta.holders : kNoHolders},
+        PutView{from, item.id, item.base_version, AsView(item.policy_data)}));
+    targets.push_back(Target{std::move(meta), &item, &ci});
+  }
+
+  PutReply reply;
+  reply.new_versions.reserve(targets.size());
+  std::vector<std::pair<net::Address, ObjectId>> invalidations;
+
+  for (Target& t : targets) {
+    if (t.item->read_only) {
+      reply.new_versions.push_back(*t.meta.version);
+      continue;
+    }
+    wire::Reader fields(AsView(t.item->fields));
+    OBIWAN_RETURN_IF_ERROR(t.ci->DecodeFields(*t.meta.obj, fields));
+
+    const auto& ref_infos = t.ci->refs();
+    for (std::size_t j = 0; j < ref_infos.size(); ++j) {
+      RefBase& rb = ref_infos[j].get(*t.meta.obj);
+      const RefEntry& entry = t.item->refs[j];
+      switch (entry.tag) {
+        case RefEntry::Tag::kNull:
+          rb.Reset();
+          break;
+        case RefEntry::Tag::kInline: {
+          if (auto local = FindLocalUnlocked(entry.target)) {
+            rb.BindLocal(entry.target, std::move(local));
+          }
+          // Unresolvable id: the replica references an object this provider
+          // has never seen and supplied no channel for; keep the old ref.
+          break;
+        }
+        case RefEntry::Tag::kProxy: {
+          if (auto local = FindLocalUnlocked(entry.proxy.target)) {
+            rb.BindLocal(entry.proxy.target, std::move(local));
+          } else {
+            rb.BindProxy(std::make_shared<ProxyOut>(this, entry.proxy,
+                                                    ReplicationMode::Incremental()));
+            ++stats_.proxy_outs_created;
+          }
+          break;
+        }
+      }
+    }
+
+    ++*t.meta.version;
+    reply.new_versions.push_back(*t.meta.version);
+
+    for (net::Address addr : policy_->AfterPut(
+             MasterView{t.item->id, *t.meta.version, *t.meta.policy_state,
+                        t.meta.holders != nullptr ? *t.meta.holders : kNoHolders},
+             PutView{from, t.item->id, t.item->base_version,
+                     AsView(t.item->policy_data)})) {
+      if (addr != from) invalidations.emplace_back(std::move(addr), t.item->id);
+    }
+  }
+
+  // Best-effort notifications (an offline holder simply misses it; its next
+  // put will be caught by the policy's version check). Under an
+  // updates-dissemination policy the new state itself is pushed instead of
+  // an invalidation.
+  const bool push = policy_->PushUpdatesOnPut();
+  for (const auto& [addr, oid] : invalidations) {
+    wire::Writer body;
+    if (push) {
+      Result<ObjectRecord> record = BuildPushRecord(oid);
+      if (!record.ok()) continue;
+      wire::Encode(body, *record);
+    } else {
+      wire::Encode(body, InvalidateRequest{{oid}});
+    }
+    notifications.emplace_back(
+        addr, rmi::WrapRequest(
+                  push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
+                  body));
+  }
+
+  lock.unlock();
+  for (const auto& [addr, frame] : notifications) {
+    Result<Bytes> r = transport_->Request(addr, AsView(frame));
+    if (r.ok()) {
+      std::lock_guard relock(mutex_);
+      ++stats_.invalidations_sent;
+    } else {
+      OBIWAN_LOG(kDebug) << "notification to " << addr << " failed: " << r.status();
+    }
+  }
+
+  return reply;
+}
+
+Result<ObjectRecord> Site::BuildPushRecord(ObjectId id) {
+  OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(id));
+  const ClassInfo& ci = meta.obj->obiwan_class();
+
+  ObjectRecord rec;
+  rec.id = id;
+  rec.class_name = ci.name();
+  rec.version = *meta.version;
+
+  wire::Writer fields;
+  ci.EncodeFields(*meta.obj, fields);
+  rec.fields = std::move(fields).Take();
+
+  for (const RefFieldInfo& rf : ci.refs()) {
+    RefBase& rb = rf.get(*meta.obj);
+    if (rb.IsEmpty()) {
+      rec.refs.push_back(RefEntry::Null());
+    } else if (rb.IsLocal()) {
+      ObjectId tid = EnsureId(rb.local());
+      rec.refs.push_back(RefEntry::Proxy(DescriptorFor(
+          NewProxyIn(tid), tid, rb.local_raw()->obiwan_class().name())));
+    } else {
+      rec.refs.push_back(RefEntry::Proxy(rb.proxy()->descriptor()));
+    }
+  }
+  return rec;
+}
+
+Status Site::ServePush(const ObjectRecord& record) {
+  ReplicaUpdateCallback callback;
+  {
+    std::lock_guard lock(mutex_);
+    if (!replicas_.contains(record.id)) {
+      // No longer holding this replica; nothing to update.
+      return Status::Ok();
+    }
+    GetReply reply;
+    reply.objects.push_back(record);
+    ProxyDescriptor via;
+    via.target = record.id;
+    OBIWAN_ASSIGN_OR_RETURN(
+        auto obj, Materialize(via, reply, ReplicationMode::Incremental(),
+                              /*refresh=*/true, record.id));
+    (void)obj;
+    ++stats_.invalidations_received;  // counted as an update notification
+    Trace("push", ToString(record.id) + " updated in place");
+    callback = on_replica_update_;
+  }
+  if (callback) callback(record.id, /*stale=*/false);
+  return Status::Ok();
+}
+
+Status Site::ServeRenew(ProxyId pin) {
+  std::lock_guard lock(mutex_);
+  auto it = proxy_ins_.find(pin);
+  if (it == proxy_ins_.end()) return NotFoundError("unknown proxy-in");
+  TouchPin(it->second);
+  return Status::Ok();
+}
+
+Status Site::RenewProxy(const ProxyDescriptor& descriptor) {
+  wire::Writer body;
+  wire::Encode(body, descriptor.pin);
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply,
+      transport_->Request(descriptor.provider,
+                          AsView(rmi::WrapRequest(rmi::MessageKind::kRenew, body))));
+  (void)reply;
+  return Status::Ok();
+}
+
+Status Site::ServeInvalidate(const InvalidateRequest& req) {
+  std::vector<ObjectId> invalidated;
+  ReplicaUpdateCallback callback;
+  {
+    std::lock_guard lock(mutex_);
+    for (ObjectId oid : req.ids) {
+      if (auto it = replicas_.find(oid); it != replicas_.end()) {
+        it->second.stale = true;
+        ++stats_.invalidations_received;
+        Trace("invalidate", ToString(oid) + " marked stale");
+        invalidated.push_back(oid);
+      }
+    }
+    callback = on_replica_update_;
+  }
+  if (callback) {
+    for (ObjectId oid : invalidated) callback(oid, /*stale=*/true);
+  }
+  return Status::Ok();
+}
+
+Status Site::ServeRelease(ProxyId pin) {
+  std::lock_guard lock(mutex_);
+  if (proxy_ins_.erase(pin) == 0) return NotFoundError("unknown proxy-in");
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Provider side: Call (the RMI skeleton path)
+// ---------------------------------------------------------------------------
+
+Result<Bytes> Site::ServeCall(const rmi::CallRequest& call) {
+  std::lock_guard lock(mutex_);
+  ++stats_.calls_served;
+  Trace("call", call.method + " on " + ToString(call.target));
+  std::shared_ptr<Shareable> obj = FindLocalUnlocked(call.target);
+  if (obj == nullptr) {
+    return NotFoundError("call target not present: " + ToString(call.target));
+  }
+  const MethodInfo* method = obj->obiwan_class().FindMethod(call.method);
+  if (method == nullptr) {
+    return NotFoundError("no method '" + call.method + "' on class " +
+                         obj->obiwan_class().name());
+  }
+  wire::Reader args(AsView(call.args));
+  return method->dispatch(*obj, args);
+}
+
+// ---------------------------------------------------------------------------
+// Demander side
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<Shareable>> Site::DemandThrough(
+    const ProxyDescriptor& descriptor, ObjectId root, ReplicationMode mode,
+    bool refresh, bool shortcut_local) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!refresh && shortcut_local) {
+      // Identity preservation: a replica (or our own master) short-circuits
+      // the fault without touching the network.
+      if (auto local = FindLocalUnlocked(root)) return local;
+      ++stats_.object_faults;
+      Trace("fault", ToString(root) + " via " + descriptor.provider);
+    }
+    ++stats_.gets_sent;
+  }
+
+  // The request travels with the site lock *released*: a synchronous
+  // transport may serve the provider side on another thread of this very
+  // process (or even this very site, over TCP loopback).
+  GetRequest req{descriptor.pin, root, mode, refresh};
+  wire::Writer body;
+  wire::Encode(body, req);
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply_bytes,
+      transport_->Request(descriptor.provider,
+                          AsView(rmi::WrapRequest(rmi::MessageKind::kGet, body))));
+  wire::Reader r(AsView(reply_bytes));
+  GetReply reply = wire::Decode<GetReply>(r);
+  OBIWAN_RETURN_IF_ERROR(r.status());
+
+  return Materialize(descriptor, reply, mode, refresh, root);
+}
+
+Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
+                                                     const GetReply& reply,
+                                                     ReplicationMode mode,
+                                                     bool refresh, ObjectId want) {
+  std::lock_guard lock(mutex_);
+  if (reply.objects.empty()) return DataLossError("empty replication batch");
+
+  const ProxyDescriptor* cluster_provider =
+      reply.cluster ? &reply.cluster->provider : nullptr;
+
+  std::unordered_map<ObjectId, std::shared_ptr<Shareable>, ObjectIdHash> present;
+  std::vector<bool> fresh(reply.objects.size(), false);
+
+  // Pass 1: instantiate new replicas / reconcile existing ones.
+  for (std::size_t i = 0; i < reply.objects.size(); ++i) {
+    const ObjectRecord& rec = reply.objects[i];
+
+    if (auto mit = masters_.find(rec.id); mit != masters_.end()) {
+      // Our own object came back around a chain; the master is
+      // authoritative — never overwrite it from a get.
+      present.emplace(rec.id, mit->second.obj);
+      continue;
+    }
+
+    if (auto rit = replicas_.find(rec.id); rit != replicas_.end()) {
+      ReplicaEntry& e = rit->second;
+      present.emplace(rec.id, e.obj);
+      if (refresh) {
+        if (e.obj->obiwan_class().refs().size() != rec.refs.size()) {
+          return DataLossError("refresh ref schema mismatch for class " +
+                               rec.class_name);
+        }
+        wire::Reader fields(AsView(rec.fields));
+        OBIWAN_RETURN_IF_ERROR(e.obj->obiwan_class().DecodeFields(*e.obj, fields));
+        e.version = rec.version;
+        e.stale = false;
+        policy_->OnReplicaData(ReplicaView{rec.id, e.version, e.policy_state},
+                               AsView(rec.policy_data));
+        fresh[i] = true;
+      }
+      // A per-object channel upgrades a replica that had none (or only the
+      // shared cluster channel) to individually updatable.
+      if (rec.provider.valid() && (!e.provider.valid() || e.in_cluster)) {
+        e.provider = rec.provider;
+        e.in_cluster = false;
+      }
+      continue;
+    }
+
+    OBIWAN_ASSIGN_OR_RETURN(const ClassInfo* ci,
+                            ClassRegistry::Instance().Find(rec.class_name));
+    if (ci->refs().size() != rec.refs.size()) {
+      return DataLossError("ref schema mismatch for class " + rec.class_name);
+    }
+    std::shared_ptr<Shareable> obj = ci->NewInstance();
+    wire::Reader fields(AsView(rec.fields));
+    OBIWAN_RETURN_IF_ERROR(ci->DecodeFields(*obj, fields));
+
+    ReplicaEntry entry;
+    entry.obj = obj;
+    entry.version = rec.version;
+    if (rec.provider.valid()) {
+      entry.provider = rec.provider;
+    } else if (cluster_provider != nullptr) {
+      entry.provider = *cluster_provider;
+      entry.in_cluster = true;
+    }
+    auto [rit, inserted] = replicas_.emplace(rec.id, std::move(entry));
+    (void)inserted;
+    ptr_ids_.emplace(obj.get(), rec.id);
+    policy_->OnReplicaData(
+        ReplicaView{rec.id, rit->second.version, rit->second.policy_state},
+        AsView(rec.policy_data));
+    present.emplace(rec.id, std::move(obj));
+    fresh[i] = true;
+    ++stats_.replicas_created;
+  }
+
+  if (reply.cluster) {
+    cluster_members_[reply.cluster->provider.pin] = reply.cluster->members;
+  }
+
+  // Pass 2: swizzle references of fresh records. Existing replicas touched
+  // by a non-refresh get keep their topology (they may carry local edits).
+  for (std::size_t i = 0; i < reply.objects.size(); ++i) {
+    if (!fresh[i]) continue;
+    const ObjectRecord& rec = reply.objects[i];
+    std::shared_ptr<Shareable>& obj = present.at(rec.id);
+    const auto& ref_infos = obj->obiwan_class().refs();
+    for (std::size_t j = 0; j < ref_infos.size(); ++j) {
+      RefBase& rb = ref_infos[j].get(*obj);
+      const RefEntry& entry = rec.refs[j];
+      switch (entry.tag) {
+        case RefEntry::Tag::kNull:
+          rb.Reset();
+          break;
+        case RefEntry::Tag::kInline: {
+          std::shared_ptr<Shareable> target;
+          if (auto it = present.find(entry.target); it != present.end()) {
+            target = it->second;
+          } else {
+            target = FindLocalUnlocked(entry.target);
+          }
+          if (target == nullptr) {
+            return DataLossError("dangling inline reference in batch");
+          }
+          rb.BindLocal(entry.target, std::move(target));
+          break;
+        }
+        case RefEntry::Tag::kProxy: {
+          if (auto local = FindLocalUnlocked(entry.proxy.target)) {
+            // Already replicated here earlier: bind directly, no fault.
+            rb.BindLocal(entry.proxy.target, std::move(local));
+          } else {
+            rb.BindProxy(std::make_shared<ProxyOut>(this, entry.proxy, mode));
+            ++stats_.proxy_outs_created;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  ObjectId root = want.valid() ? want : via.target;
+  auto it = present.find(root);
+  if (it == present.end()) {
+    return DataLossError("replication batch missing requested root");
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Put / Refresh / Prefetch
+// ---------------------------------------------------------------------------
+
+Result<PutItem> Site::BuildPutItem(ObjectId id, bool read_only) {
+  std::lock_guard lock(mutex_);
+  auto rit = replicas_.find(id);
+  if (rit == replicas_.end()) {
+    return FailedPreconditionError("not a replica here: " + ToString(id));
+  }
+  ReplicaEntry& e = rit->second;
+  const ClassInfo& ci = e.obj->obiwan_class();
+
+  PutItem item;
+  item.id = id;
+  item.base_version = e.version;
+  item.read_only = read_only;
+  if (read_only) return item;  // validation-only: no state travels
+  item.policy_data =
+      policy_->MakePutData(ReplicaView{id, e.version, e.policy_state}, clock_);
+
+  wire::Writer fields;
+  ci.EncodeFields(*e.obj, fields);
+  item.fields = std::move(fields).Take();
+
+  item.refs.reserve(ci.refs().size());
+  for (const RefFieldInfo& rf : ci.refs()) {
+    RefBase& rb = rf.get(*e.obj);
+    if (rb.IsEmpty()) {
+      item.refs.push_back(RefEntry::Null());
+    } else if (rb.IsProxy()) {
+      // Never resolved here; the provider still holds (or can reach) it.
+      item.refs.push_back(RefEntry::Inline(rb.proxy()->target()));
+    } else {
+      ObjectId tid = EnsureId(rb.local());
+      if (masters_.contains(tid)) {
+        // The replica grew an edge to an object *we* master: hand the
+        // provider a proxy descriptor pointing back at us, making the new
+        // object reachable from the master graph.
+        item.refs.push_back(RefEntry::Proxy(DescriptorFor(
+            NewProxyIn(tid), tid, rb.local_raw()->obiwan_class().name())));
+      } else {
+        item.refs.push_back(RefEntry::Inline(tid));
+      }
+    }
+  }
+  return item;
+}
+
+Status Site::PutItems(const ProxyDescriptor& provider,
+                      const std::vector<std::pair<ObjectId, bool>>& ids,
+                      bool transactional) {
+  PutRequest req;
+  req.pin = provider.pin;
+  req.transactional = transactional;
+  req.items.reserve(ids.size());
+  for (const auto& [oid, read_only] : ids) {
+    OBIWAN_ASSIGN_OR_RETURN(PutItem item, BuildPutItem(oid, read_only));
+    req.items.push_back(std::move(item));
+  }
+
+  wire::Writer body;
+  wire::Encode(body, req);
+  ++stats_.puts_sent;
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply_bytes,
+      transport_->Request(
+          provider.provider,
+          AsView(rmi::WrapRequest(
+              transactional ? rmi::MessageKind::kCommit : rmi::MessageKind::kPut,
+              body))));
+  wire::Reader r(AsView(reply_bytes));
+  PutReply reply = wire::Decode<PutReply>(r);
+  OBIWAN_RETURN_IF_ERROR(r.status());
+  if (reply.new_versions.size() != ids.size()) {
+    return DataLossError("put reply version count mismatch");
+  }
+
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i].second) continue;  // read-only items do not advance
+    if (auto it = replicas_.find(ids[i].first); it != replicas_.end()) {
+      it->second.version = reply.new_versions[i];
+      it->second.stale = false;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Site::CommitReplicas(const std::vector<ObjectId>& reads,
+                            const std::vector<ObjectId>& writes) {
+  // Group by provider address; each group commits atomically at its
+  // provider, groups commit independently (relaxed, per DESIGN.md).
+  std::unordered_map<net::Address, std::pair<ProxyDescriptor,
+                                             std::vector<std::pair<ObjectId, bool>>>>
+      groups;
+  auto add = [&](ObjectId oid, bool read_only) -> Status {
+    OBIWAN_ASSIGN_OR_RETURN(ProxyDescriptor provider, ReplicaProvider(oid));
+    auto& group = groups[provider.provider];
+    if (group.second.empty()) group.first = provider;
+    group.second.emplace_back(oid, read_only);
+    return Status::Ok();
+  };
+  for (ObjectId oid : writes) OBIWAN_RETURN_IF_ERROR(add(oid, /*read_only=*/false));
+  for (ObjectId oid : reads) {
+    // An object both read and written travels once, as a write.
+    if (std::find(writes.begin(), writes.end(), oid) != writes.end()) continue;
+    OBIWAN_RETURN_IF_ERROR(add(oid, /*read_only=*/true));
+  }
+  for (auto& [addr, group] : groups) {
+    OBIWAN_RETURN_IF_ERROR(PutItems(group.first, group.second,
+                                    /*transactional=*/true));
+  }
+  return Status::Ok();
+}
+
+Status Site::Put(RefBase& ref) {
+  ProxyDescriptor provider;
+  ObjectId oid;
+  {
+    std::lock_guard lock(mutex_);
+    if (!ref.IsLocal()) {
+      return FailedPreconditionError("put requires a resolved local replica");
+    }
+    oid = ref.id();
+    if (!oid.valid()) {
+      if (auto it = ptr_ids_.find(ref.local_raw()); it != ptr_ids_.end()) {
+        oid = it->second;
+      } else {
+        return FailedPreconditionError("object was never replicated or exported");
+      }
+    }
+    if (masters_.contains(oid)) {
+      return FailedPreconditionError("object is mastered here; nothing to put");
+    }
+    auto rit = replicas_.find(oid);
+    if (rit == replicas_.end()) {
+      return FailedPreconditionError("not a replica here: " + ToString(oid));
+    }
+    if (rit->second.in_cluster) {
+      // §4.3: cluster members share a single proxy pair and "can not be
+      // individually updated".
+      return FailedPreconditionError(
+          "replica belongs to a cluster; use PutCluster");
+    }
+    if (!rit->second.provider.valid()) {
+      return FailedPreconditionError("replica has no provider channel");
+    }
+    provider = rit->second.provider;
+  }
+  return PutItems(provider, {{oid, false}}, /*transactional=*/false);
+}
+
+Status Site::PutCluster(RefBase& ref) {
+  ProxyDescriptor provider;
+  std::vector<ObjectId> members;
+  {
+    std::lock_guard lock(mutex_);
+    if (!ref.IsLocal()) {
+      return FailedPreconditionError("put requires a resolved local replica");
+    }
+    auto rit = replicas_.find(ref.id());
+    if (rit == replicas_.end()) {
+      return FailedPreconditionError("not a replica here: " + ToString(ref.id()));
+    }
+    if (!rit->second.provider.valid()) {
+      return FailedPreconditionError("replica has no provider channel");
+    }
+    provider = rit->second.provider;
+    auto cit = cluster_members_.find(provider.pin);
+    if (cit != cluster_members_.end()) {
+      for (ObjectId member : cit->second) {
+        if (replicas_.contains(member)) members.push_back(member);
+      }
+    } else {
+      members.push_back(ref.id());  // degenerate cluster of one
+    }
+  }
+  std::vector<std::pair<ObjectId, bool>> items;
+  items.reserve(members.size());
+  for (ObjectId member : members) items.emplace_back(member, false);
+  return PutItems(provider, items, /*transactional=*/false);
+}
+
+Status Site::Refresh(RefBase& ref) {
+  ProxyDescriptor provider;
+  ObjectId oid;
+  {
+    std::lock_guard lock(mutex_);
+    if (!ref.IsLocal()) {
+      return FailedPreconditionError("refresh requires a resolved local replica");
+    }
+    oid = ref.id();
+    auto rit = replicas_.find(oid);
+    if (rit == replicas_.end()) {
+      return FailedPreconditionError("not a replica here: " + ToString(oid));
+    }
+    if (!rit->second.provider.valid()) {
+      return FailedPreconditionError("replica has no provider channel");
+    }
+    provider = rit->second.provider;
+  }
+  return DemandThrough(provider, oid, ReplicationMode::Incremental(),
+                       /*refresh=*/true)
+      .status();
+}
+
+Status Site::PrefetchAll(RefBase& ref) {
+  if (ref.IsEmpty()) return Status::Ok();
+  OBIWAN_RETURN_IF_ERROR(ref.Demand());
+
+  std::unordered_set<const Shareable*> visited;
+  std::vector<Shareable*> stack{ref.local_raw()};
+  while (!stack.empty()) {
+    Shareable* obj = stack.back();
+    stack.pop_back();
+    if (!visited.insert(obj).second) continue;
+    for (const RefFieldInfo& rf : obj->obiwan_class().refs()) {
+      RefBase& rb = rf.get(*obj);
+      if (rb.IsEmpty()) continue;
+      OBIWAN_RETURN_IF_ERROR(rb.Demand());
+      stack.push_back(rb.local_raw());
+    }
+  }
+  return Status::Ok();
+}
+
+std::size_t Site::EvictIdleReplicas() {
+  std::lock_guard lock(mutex_);
+  // Iterate until a fixed point: evicting one replica can strand another
+  // (a list tail only referenced by the evicted node's ref field).
+  std::size_t evicted = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = replicas_.begin(); it != replicas_.end();) {
+      // use_count()==1 means the replica table holds the only shared_ptr:
+      // no application Ref, no reference field of any live object, and no
+      // in-flight batch holds it.
+      if (it->second.obj.use_count() == 1) {
+        ptr_ids_.erase(it->second.obj.get());
+        it = replicas_.erase(it);
+        ++evicted;
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
+}
+
+bool Site::IsStale(const RefBase& ref) const {
+  std::lock_guard lock(mutex_);
+  auto it = replicas_.find(ref.id());
+  return it != replicas_.end() && it->second.stale;
+}
+
+Result<std::uint64_t> Site::ReplicaVersion(const RefBase& ref) const {
+  std::lock_guard lock(mutex_);
+  auto it = replicas_.find(ref.id());
+  if (it == replicas_.end()) {
+    return NotFoundError("not a replica here: " + ToString(ref.id()));
+  }
+  return it->second.version;
+}
+
+Result<ProxyDescriptor> Site::ReplicaProvider(ObjectId id) const {
+  std::lock_guard lock(mutex_);
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return NotFoundError("not a replica here: " + ToString(id));
+  }
+  if (!it->second.provider.valid()) {
+    return FailedPreconditionError("replica has no provider channel");
+  }
+  return it->second.provider;
+}
+
+Result<PutReply> Site::SendCommit(const net::Address& provider, ProxyId pin,
+                                  std::vector<PutItem> items) {
+  PutRequest req{pin, std::move(items), /*transactional=*/true};
+  wire::Writer body;
+  wire::Encode(body, req);
+  ++stats_.puts_sent;
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply_bytes,
+      transport_->Request(provider,
+                          AsView(rmi::WrapRequest(rmi::MessageKind::kCommit, body))));
+  wire::Reader r(AsView(reply_bytes));
+  PutReply reply = wire::Decode<PutReply>(r);
+  OBIWAN_RETURN_IF_ERROR(r.status());
+  return reply;
+}
+
+Status Site::ReleaseProxy(const ProxyDescriptor& descriptor) {
+  wire::Writer body;
+  wire::Encode(body, descriptor.pin);
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply,
+      transport_->Request(descriptor.provider,
+                          AsView(rmi::WrapRequest(rmi::MessageKind::kRelease, body))));
+  (void)reply;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// RMI client side
+// ---------------------------------------------------------------------------
+
+Result<Bytes> Site::CallRaw(const net::Address& to, ObjectId target,
+                            const std::string& method, Bytes args) {
+  ++stats_.calls_sent;
+  rmi::CallRequest call{target, method, std::move(args)};
+  return transport_->Request(to, AsView(rmi::EncodeCall(call)));
+}
+
+Status Site::Ping(const net::Address& to) {
+  wire::Writer body;
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply,
+      transport_->Request(to, AsView(rmi::WrapRequest(rmi::MessageKind::kPing, body))));
+  (void)reply;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Inbound dispatch
+// ---------------------------------------------------------------------------
+
+Result<Bytes> Site::Handle(rmi::MessageKind kind, const net::Address& from,
+                           wire::Reader& body) {
+  switch (kind) {
+    case rmi::MessageKind::kCall: {
+      OBIWAN_ASSIGN_OR_RETURN(rmi::CallRequest call, rmi::DecodeCall(body));
+      return ServeCall(call);
+    }
+    case rmi::MessageKind::kPing:
+      return Bytes{};
+    case rmi::MessageKind::kGet: {
+      GetRequest req = wire::Decode<GetRequest>(body);
+      OBIWAN_RETURN_IF_ERROR(body.status());
+      OBIWAN_ASSIGN_OR_RETURN(GetReply reply, ServeGet(from, req));
+      wire::Writer w;
+      wire::Encode(w, reply);
+      return std::move(w).Take();
+    }
+    case rmi::MessageKind::kPut:
+    case rmi::MessageKind::kCommit: {
+      PutRequest req = wire::Decode<PutRequest>(body);
+      OBIWAN_RETURN_IF_ERROR(body.status());
+      if (kind == rmi::MessageKind::kCommit) req.transactional = true;
+      OBIWAN_ASSIGN_OR_RETURN(PutReply reply, ServePut(from, req));
+      wire::Writer w;
+      wire::Encode(w, reply);
+      return std::move(w).Take();
+    }
+    case rmi::MessageKind::kInvalidate: {
+      InvalidateRequest req = wire::Decode<InvalidateRequest>(body);
+      OBIWAN_RETURN_IF_ERROR(body.status());
+      OBIWAN_RETURN_IF_ERROR(ServeInvalidate(req));
+      return Bytes{};
+    }
+    case rmi::MessageKind::kRelease: {
+      auto pin = wire::Decode<ProxyId>(body);
+      OBIWAN_RETURN_IF_ERROR(body.status());
+      OBIWAN_RETURN_IF_ERROR(ServeRelease(pin));
+      return Bytes{};
+    }
+    case rmi::MessageKind::kRenew: {
+      auto pin = wire::Decode<ProxyId>(body);
+      OBIWAN_RETURN_IF_ERROR(body.status());
+      OBIWAN_RETURN_IF_ERROR(ServeRenew(pin));
+      return Bytes{};
+    }
+    case rmi::MessageKind::kPush: {
+      auto record = wire::Decode<ObjectRecord>(body);
+      OBIWAN_RETURN_IF_ERROR(body.status());
+      OBIWAN_RETURN_IF_ERROR(ServePush(record));
+      return Bytes{};
+    }
+    case rmi::MessageKind::kCallBatch: {
+      OBIWAN_ASSIGN_OR_RETURN(std::vector<rmi::CallRequest> calls,
+                              rmi::DecodeCallBatch(body));
+      std::vector<Result<Bytes>> results;
+      results.reserve(calls.size());
+      for (const rmi::CallRequest& call : calls) {
+        results.push_back(ServeCall(call));  // items fail independently
+      }
+      return rmi::EncodeBatchReply(results);
+    }
+    default:
+      return UnimplementedError("site cannot handle this message kind");
+  }
+}
+
+}  // namespace obiwan::core

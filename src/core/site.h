@@ -1,0 +1,374 @@
+// Site: one OBIWAN process.
+//
+// The paper's architecture gives "the application programmer the view of a
+// network of machines in which one or more processes run; objects exist
+// inside processes" (§2). A Site is such a process: it owns a transport
+// endpoint, the tables that implement both halves of the replication
+// protocol, and the RMI dispatch plane.
+//
+// Provider side (site S2 in Figure 1):
+//   - masters_     : objects this site created, with version + policy state
+//   - proxy_ins_   : proxy-in handles through which demanders fetch/put
+//   - ServeGet     : graph traversal + serialization of a replica batch
+//   - ServePut     : applying replica state back onto masters
+//
+// Demander side (site S1):
+//   - replicas_    : local replicas keyed by their master's ObjectId —
+//                    the identity map that guarantees one replica per master
+//   - Materialize  : instantiate records, swizzle references, create
+//                    proxy-outs at graph boundaries
+//   - DemandThrough: the object-fault path used by ProxyOut
+//
+// A site is usually both at once: it re-exports replicas it holds, so chains
+// of sites (PDA <- laptop <- office PC) work without special cases.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "core/consistency.h"
+#include "core/messages.h"
+#include "core/mode.h"
+#include "core/proxy.h"
+#include "core/ref.h"
+#include "core/shareable.h"
+#include "net/transport.h"
+#include "rmi/call.h"
+#include "rmi/dispatcher.h"
+#include "rmi/registry.h"
+
+namespace obiwan::core {
+
+template <typename T>
+class RemoteRef;
+
+struct SiteStats {
+  std::uint64_t object_faults = 0;  // proxy-out demands that went remote
+  std::uint64_t gets_sent = 0;
+  std::uint64_t gets_served = 0;
+  std::uint64_t puts_sent = 0;
+  std::uint64_t puts_served = 0;
+  std::uint64_t calls_sent = 0;
+  std::uint64_t calls_served = 0;
+  std::uint64_t proxy_ins_created = 0;
+  std::uint64_t proxy_outs_created = 0;
+  std::uint64_t replicas_created = 0;
+  std::uint64_t objects_served = 0;
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t invalidations_received = 0;
+};
+
+class Site final : public rmi::Service {
+ public:
+  // The site takes ownership of its transport. `clock` is used for
+  // policy timestamps; benches pass the simulation's VirtualClock.
+  Site(SiteId id, std::unique_ptr<net::Transport> transport,
+       Clock& clock = SystemClock::Instance());
+  ~Site() override;
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  // Start serving inbound requests (registers the dispatcher with the
+  // transport).
+  Status Start();
+  void Stop();
+
+  SiteId id() const { return id_; }
+  net::Address address() const { return transport_->LocalAddress(); }
+  net::Transport& transport() { return *transport_; }
+  Clock& clock() { return clock_; }
+
+  // --- naming ---------------------------------------------------------------
+
+  // Host the name server on this site.
+  void HostRegistry();
+  // Point this site at a name server (possibly its own address).
+  void UseRegistry(net::Address registry_address);
+
+  // Export `obj` (if needed) and register it under `name`.
+  Status Bind(const std::string& name, const std::shared_ptr<Shareable>& obj);
+  Status Rebind(const std::string& name, const std::shared_ptr<Shareable>& obj);
+  Status Unbind(const std::string& name);
+
+  // Resolve `name` to a typed remote reference. Defined in remote_ref.h.
+  template <typename T>
+  Result<RemoteRef<T>> Lookup(const std::string& name);
+
+  // --- masters ----------------------------------------------------------------
+
+  // Make `obj` a master of this site (idempotent); returns its ObjectId.
+  ObjectId Export(const std::shared_ptr<Shareable>& obj);
+
+  // Master version counter (bumped on every accepted put).
+  Result<std::uint64_t> MasterVersion(ObjectId id) const;
+
+  // --- replication (demander side) -------------------------------------------
+
+  // Core of the demand path: fetch a batch through `descriptor` and
+  // materialize it locally. Returns the local object for `root`.
+  // With `shortcut_local` (the object-fault path), a root that is already
+  // local resolves without touching the network; an explicit get
+  // (RemoteRef::Replicate) passes false so the batch is always fetched and
+  // coverage expands, with existing replicas reused by identity.
+  Result<std::shared_ptr<Shareable>> DemandThrough(const ProxyDescriptor& descriptor,
+                                                   ObjectId root,
+                                                   ReplicationMode mode,
+                                                   bool refresh,
+                                                   bool shortcut_local = true);
+
+  // Ship a replica's state back to its master (§2.2 step: B'.put ->
+  // BProxyIn.put). Fails with kFailedPrecondition for cluster members, which
+  // can only be updated as a whole (§4.3).
+  Status Put(RefBase& ref);
+
+  // Ship the whole cluster `ref` belongs to back to the provider.
+  Status PutCluster(RefBase& ref);
+
+  // Re-fetch current master state into the existing replica (the paper's
+  // "refresh replica B' (method BProxyIn.get)").
+  Status Refresh(RefBase& ref);
+
+  // Resolve every proxy-out reachable from `ref`, using each proxy's own
+  // mode — the "perfect mechanism of pre-fetching" of §2.1 footnote 3, and
+  // the way an application pins a graph before disconnecting.
+  Status PrefetchAll(RefBase& ref);
+
+  bool IsStale(const RefBase& ref) const;
+  Result<std::uint64_t> ReplicaVersion(const RefBase& ref) const;
+
+  // Memory reclamation for limited-memory info-appliances (§2.1 motivates
+  // incremental replication with exactly this constraint): drop every
+  // replica that nothing outside the replica table references — no
+  // application Ref and no other local object's reference field points at
+  // it. An evicted object is re-fetched transparently if a proxy for it
+  // faults later. Local edits that were never Put are lost with the replica;
+  // call sparingly or after synchronising. Returns the number evicted.
+  std::size_t EvictIdleReplicas();
+
+  // --- persistence (mobility across restarts) ----------------------------------
+  // Serialize this site's full object state — masters, replicas (with their
+  // provider channels), proxy-ins and cluster membership — so a mobile
+  // device can power down and resume where it left off, including replicas
+  // it was editing offline. Counters and ids are preserved, so remote sites'
+  // descriptors remain valid if this site restarts at the same address.
+  // (Non-const: objects that never needed an id are assigned one so the
+  // snapshot is self-consistent.)
+  Result<Bytes> SaveSnapshot();
+  // Restore into a freshly constructed site with the same SiteId. Fails with
+  // kFailedPrecondition if the site already holds objects.
+  Status LoadSnapshot(BytesView snapshot);
+
+  // Low-level building block shared with the transaction layer. Read-only
+  // items carry only the base version (for commit-time validation).
+  Result<PutItem> BuildPutItem(ObjectId id, bool read_only = false);
+  // Send an already-built transactional batch to a provider.
+  Result<PutReply> SendCommit(const net::Address& provider, ProxyId pin,
+                              std::vector<PutItem> items);
+
+  // Atomic (per provider) optimistic commit: validate that every object in
+  // `reads` and `writes` is still at the version this site last synchronised
+  // at, then apply the write states. Objects are grouped by provider; each
+  // provider's group is all-or-nothing, groups commit independently — the
+  // paper's "relaxed transactional support" hook (§1).
+  Status CommitReplicas(const std::vector<ObjectId>& reads,
+                        const std::vector<ObjectId>& writes);
+
+  // Replica's provider channel (needed by the transaction layer to route a
+  // commit). Error if `id` is not a replica here.
+  Result<ProxyDescriptor> ReplicaProvider(ObjectId id) const;
+
+  // Release a provider-side proxy-in this site no longer needs.
+  Status ReleaseProxy(const ProxyDescriptor& descriptor);
+
+  // --- proxy-in leases (distributed GC) ----------------------------------------
+  // The Java prototype relied on the JVM collecting unreachable proxies; for
+  // provider-side proxy-ins this site offers lease-based collection instead:
+  // with a lease duration set, every proxy-in expires unless used or renewed,
+  // and CollectExpiredProxyIns() reclaims the dead ones. Zero (default)
+  // disables leasing — proxy-ins then live until released explicitly.
+  void SetProxyLeaseDuration(Nanos duration) { proxy_lease_ = duration; }
+  std::size_t CollectExpiredProxyIns();
+  // Demander side: keep a proxy-in alive across idle periods.
+  Status RenewProxy(const ProxyDescriptor& descriptor);
+
+  // --- RMI --------------------------------------------------------------------
+
+  // Raw remote invocation; the typed face is RemoteRef<T>::Invoke.
+  Result<Bytes> CallRaw(const net::Address& to, ObjectId target,
+                        const std::string& method, Bytes args);
+
+  Status Ping(const net::Address& to);
+
+  // --- consistency -------------------------------------------------------------
+
+  // Install a policy (provider and demander side of this site). Never null.
+  void SetConsistencyPolicy(std::unique_ptr<ConsistencyPolicy> policy);
+  ConsistencyPolicy& consistency_policy() { return *policy_; }
+
+  // Model the cost of creating and exporting one proxy-in — in the Java
+  // prototype this is a UnicastRemoteObject export plus stub bookkeeping,
+  // the per-object cost §4.2 measures and §4.3 eliminates with clustering.
+  // Charged against the site's clock (virtual in simulations); zero by
+  // default, so real deployments pay only the true CPU cost.
+  void SetProxyExportCost(Nanos cost) { proxy_export_cost_ = cost; }
+
+  // --- introspection -------------------------------------------------------------
+
+  const SiteStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+  // Attach an event tracer (shared across sites to get a merged timeline).
+  // Pass nullptr to detach; the tracer must outlive the site while attached.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Application hook for remotely triggered replica changes: fires after an
+  // invalidation marks a replica stale (`stale`=true) and after a pushed
+  // update refreshed one in place (`stale`=false). Runs outside the site
+  // lock, on the thread that served the notification; keep it quick and do
+  // not call back into blocking site operations from it.
+  using ReplicaUpdateCallback = std::function<void(ObjectId id, bool stale)>;
+  void SetReplicaUpdateCallback(ReplicaUpdateCallback callback) {
+    std::lock_guard lock(mutex_);
+    on_replica_update_ = std::move(callback);
+  }
+
+  std::size_t master_count() const;
+  std::size_t replica_count() const;
+  std::size_t proxy_in_count() const;
+
+  // Local object (master or replica) by id, if present.
+  Result<std::shared_ptr<Shareable>> FindLocal(ObjectId id) const;
+
+  // rmi::Service: handles kCall/kPing/kGet/kPut/kRelease/kInvalidate/kCommit.
+  Result<Bytes> Handle(rmi::MessageKind kind, const net::Address& from,
+                       wire::Reader& body) override;
+
+ private:
+  struct MasterEntry {
+    std::shared_ptr<Shareable> obj;
+    std::uint64_t version = 1;
+    Bytes policy_state;
+    std::vector<net::Address> holders;
+  };
+
+  struct ProxyInEntry {
+    ObjectId target;                // demand root at creation time
+    std::vector<ObjectId> members;  // cluster pins only
+    bool cluster = false;
+    Nanos expires_at = 0;   // 0 = no lease
+    bool anchored = false;  // name-server bind pins never expire
+  };
+
+  struct ReplicaEntry {
+    std::shared_ptr<Shareable> obj;
+    std::uint64_t version = 0;
+    Bytes policy_state;
+    ProxyDescriptor provider;  // per-object channel, or the cluster channel
+    bool in_cluster = false;
+    bool stale = false;  // write-invalidate marked this replica out of date
+    // Re-exporting makes this site a provider for the replica; track the
+    // downstream holders just like a master's.
+    std::vector<net::Address> holders;
+  };
+
+  // Assign an ObjectId to a local object if it does not have one, making it
+  // a master of this site. Replicas keep their master's id.
+  ObjectId EnsureId(const std::shared_ptr<Shareable>& obj);
+
+  ProxyId NewProxyIn(ObjectId target);
+  ProxyId NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members);
+  ProxyDescriptor DescriptorFor(ProxyId pin, ObjectId target,
+                                std::string class_name) const;
+
+  // Uniform provider-side metadata for masters and re-exported replicas.
+  struct MetaRef {
+    std::shared_ptr<Shareable> obj;
+    std::uint64_t* version;
+    Bytes* policy_state;
+    std::vector<net::Address>* holders;  // null for replicas
+  };
+  Result<MetaRef> FindMeta(ObjectId id);
+
+  // Refresh a pin's lease on any use.
+  void TouchPin(ProxyInEntry& entry);
+
+  void Trace(std::string_view category, std::string detail) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(clock_.Now(), id_, category, std::move(detail));
+    }
+  }
+
+  // Snapshot restore body; the public wrapper clears all tables on failure.
+  Status LoadSnapshotLocked(BytesView snapshot);
+
+  // Serialize the current master/replica state of `id` for a push: every
+  // resolved reference travels as a proxy descriptor so any holder can
+  // swizzle or fault it.
+  Result<ObjectRecord> BuildPushRecord(ObjectId id);
+
+  // Provider side.
+  Result<GetReply> ServeGet(const net::Address& from, const GetRequest& req);
+  Result<PutReply> ServePut(const net::Address& from, const PutRequest& req);
+  Status ServeInvalidate(const InvalidateRequest& req);
+  Result<Bytes> ServeCall(const rmi::CallRequest& call);
+  Status ServeRelease(ProxyId pin);
+  Status ServeRenew(ProxyId pin);
+  Status ServePush(const ObjectRecord& record);
+
+  // Demander side.
+  Result<std::shared_ptr<Shareable>> Materialize(const ProxyDescriptor& via,
+                                                 const GetReply& reply,
+                                                 ReplicationMode mode,
+                                                 bool refresh, ObjectId want);
+
+  std::shared_ptr<Shareable> FindLocalUnlocked(ObjectId id) const;
+
+  // Ship the listed replicas to one provider; the bool marks read-only
+  // (validation-only) items.
+  Status PutItems(const ProxyDescriptor& provider,
+                  const std::vector<std::pair<ObjectId, bool>>& ids,
+                  bool transactional);
+
+  SiteId id_;
+  std::unique_ptr<net::Transport> transport_;
+  Clock& clock_;
+  rmi::Dispatcher dispatcher_;
+  std::optional<rmi::RegistryService> registry_service_;
+  std::optional<rmi::RegistryClient> registry_client_;
+  std::unique_ptr<ConsistencyPolicy> policy_;
+  bool started_ = false;
+
+  // Synchronous loopback delivery can re-enter a site from its own call
+  // chain (e.g. an invalidation arriving while a put is in flight), so the
+  // site lock is recursive.
+  mutable std::recursive_mutex mutex_;
+
+  std::unordered_map<ObjectId, MasterEntry, ObjectIdHash> masters_;
+  std::unordered_map<ObjectId, ReplicaEntry, ObjectIdHash> replicas_;
+  std::unordered_map<const Shareable*, ObjectId> ptr_ids_;
+  std::unordered_map<ProxyId, ProxyInEntry, ProxyIdHash> proxy_ins_;
+  // Demander-side cluster membership: cluster proxy-in -> member ids.
+  std::unordered_map<ProxyId, std::vector<ObjectId>, ProxyIdHash> cluster_members_;
+
+  std::uint64_t next_object_ = 1;
+  std::uint64_t next_pin_ = 1;
+  Nanos proxy_export_cost_ = 0;
+  Nanos proxy_lease_ = 0;
+
+  SiteStats stats_;
+  Tracer* tracer_ = nullptr;
+  ReplicaUpdateCallback on_replica_update_;
+};
+
+}  // namespace obiwan::core

@@ -1,0 +1,283 @@
+// Site snapshots: persist and restore a site's complete object state.
+//
+// The mobility scenario this serves: a PDA replicates a graph, edits it
+// offline, powers down, and later resumes — its replicas, their provider
+// channels, and its own masters must all survive. The snapshot also covers
+// the provider role (proxy-ins, cluster membership), so a site that restarts
+// at the same address keeps honouring descriptors that other sites hold.
+#include "core/site.h"
+
+#include <algorithm>
+
+namespace obiwan::core {
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x4F424931;  // "OBI1"
+
+enum class RefTag : std::uint8_t { kNull = 0, kLocal = 1, kProxy = 2 };
+
+}  // namespace
+
+Result<Bytes> Site::SaveSnapshot() {
+  std::lock_guard lock(mutex_);
+  wire::Writer w;
+  w.U32(kSnapshotMagic);
+  w.Varint(id_);
+  w.Varint(next_object_);
+  w.Varint(next_pin_);
+
+  // Serialize one object's refs; assigns ids to local targets as needed.
+  auto encode_refs = [&](Shareable& obj) {
+    const ClassInfo& ci = obj.obiwan_class();
+    w.Varint(ci.refs().size());
+    for (const RefFieldInfo& rf : ci.refs()) {
+      RefBase& rb = rf.get(obj);
+      if (rb.IsEmpty()) {
+        w.U8(static_cast<std::uint8_t>(RefTag::kNull));
+      } else if (rb.IsLocal()) {
+        w.U8(static_cast<std::uint8_t>(RefTag::kLocal));
+        wire::Encode(w, EnsureId(rb.local()));
+      } else {
+        w.U8(static_cast<std::uint8_t>(RefTag::kProxy));
+        wire::Encode(w, rb.proxy()->descriptor());
+      }
+    }
+  };
+
+  // Pre-pass: assign ids to every locally referenced object so the master
+  // table is complete before anything is written. Minting an id inserts a
+  // new master whose own refs must be visited too — iterate to a fixed point.
+  std::size_t known = 0;
+  while (known != masters_.size()) {
+    known = masters_.size();
+    std::vector<std::shared_ptr<Shareable>> objects;
+    objects.reserve(masters_.size() + replicas_.size());
+    for (const auto& [oid, entry] : masters_) objects.push_back(entry.obj);
+    for (const auto& [oid, entry] : replicas_) objects.push_back(entry.obj);
+    for (const auto& obj : objects) {
+      for (const RefFieldInfo& rf : obj->obiwan_class().refs()) {
+        RefBase& rb = rf.get(*obj);
+        if (rb.IsLocal()) (void)EnsureId(rb.local());
+      }
+    }
+  }
+
+  std::vector<ObjectId> master_ids;
+  master_ids.reserve(masters_.size());
+  for (const auto& [oid, entry] : masters_) master_ids.push_back(oid);
+
+  w.Varint(master_ids.size());
+  for (ObjectId oid : master_ids) {
+    const MasterEntry& entry = masters_.at(oid);
+    wire::Encode(w, oid);
+    w.String(entry.obj->obiwan_class().name());
+    w.Varint(entry.version);
+    w.Blob(AsView(entry.policy_state));
+    wire::Encode(w, entry.holders);
+    wire::Writer fields;
+    entry.obj->obiwan_class().EncodeFields(*entry.obj, fields);
+    w.Blob(AsView(fields.data()));
+    encode_refs(*entry.obj);
+  }
+
+  w.Varint(replicas_.size());
+  for (auto& [oid, entry] : replicas_) {
+    wire::Encode(w, oid);
+    w.String(entry.obj->obiwan_class().name());
+    w.Varint(entry.version);
+    w.Blob(AsView(entry.policy_state));
+    w.Bool(entry.provider.valid());
+    if (entry.provider.valid()) wire::Encode(w, entry.provider);
+    w.Bool(entry.in_cluster);
+    w.Bool(entry.stale);
+    wire::Encode(w, entry.holders);
+    wire::Writer fields;
+    entry.obj->obiwan_class().EncodeFields(*entry.obj, fields);
+    w.Blob(AsView(fields.data()));
+    encode_refs(*entry.obj);
+  }
+
+  w.Varint(proxy_ins_.size());
+  for (const auto& [pin, entry] : proxy_ins_) {
+    wire::Encode(w, pin);
+    wire::Encode(w, entry.target);
+    wire::Encode(w, entry.members);
+    w.Bool(entry.cluster);
+    w.Bool(entry.anchored);
+  }
+
+  w.Varint(cluster_members_.size());
+  for (const auto& [pin, members] : cluster_members_) {
+    wire::Encode(w, pin);
+    wire::Encode(w, members);
+  }
+
+  return std::move(w).Take();
+}
+
+Status Site::LoadSnapshot(BytesView snapshot) {
+  std::lock_guard lock(mutex_);
+  if (!masters_.empty() || !replicas_.empty() || !proxy_ins_.empty()) {
+    return FailedPreconditionError("LoadSnapshot requires an empty site");
+  }
+  Status status = LoadSnapshotLocked(snapshot);
+  if (!status.ok()) {
+    // Never leave a half-restored site behind a failed load.
+    masters_.clear();
+    replicas_.clear();
+    ptr_ids_.clear();
+    proxy_ins_.clear();
+    cluster_members_.clear();
+    next_object_ = 1;
+    next_pin_ = 1;
+  }
+  return status;
+}
+
+Status Site::LoadSnapshotLocked(BytesView snapshot) {
+  wire::Reader r(snapshot);
+  if (r.U32() != kSnapshotMagic) {
+    return DataLossError("not an OBIWAN site snapshot");
+  }
+  auto snapshot_site = static_cast<SiteId>(r.Varint());
+  if (r.ok() && snapshot_site != id_) {
+    return FailedPreconditionError(
+        "snapshot belongs to site " + std::to_string(snapshot_site) +
+        ", this site is " + std::to_string(id_));
+  }
+  next_object_ = r.Varint();
+  next_pin_ = r.Varint();
+
+  struct PendingRef {
+    RefBase* ref;
+    RefTag tag;
+    ObjectId target;
+    ProxyDescriptor proxy;
+  };
+  std::vector<PendingRef> pending;
+
+  auto decode_object = [&](const std::string& class_name, ObjectId oid)
+      -> Result<std::shared_ptr<Shareable>> {
+    OBIWAN_ASSIGN_OR_RETURN(const ClassInfo* ci,
+                            ClassRegistry::Instance().Find(class_name));
+    std::shared_ptr<Shareable> obj = ci->NewInstance();
+    Bytes fields = r.Blob();
+    wire::Reader fr(AsView(fields));
+    OBIWAN_RETURN_IF_ERROR(ci->DecodeFields(*obj, fr));
+    std::uint64_t ref_count = r.Varint();
+    if (ref_count != ci->refs().size()) {
+      return DataLossError("snapshot ref count mismatch for " + class_name);
+    }
+    for (std::uint64_t i = 0; i < ref_count && r.ok(); ++i) {
+      PendingRef p;
+      p.ref = &ci->refs()[i].get(*obj);
+      std::uint8_t tag = r.U8();
+      if (tag > 2) {
+        r.Fail("bad snapshot ref tag");
+        break;
+      }
+      p.tag = static_cast<RefTag>(tag);
+      if (p.tag == RefTag::kLocal) {
+        p.target = wire::Decode<ObjectId>(r);
+      } else if (p.tag == RefTag::kProxy) {
+        p.proxy = wire::Decode<ProxyDescriptor>(r);
+      }
+      pending.push_back(p);
+    }
+    OBIWAN_RETURN_IF_ERROR(r.status());
+    ptr_ids_.emplace(obj.get(), oid);
+    return obj;
+  };
+
+  // Duplicate ids would make the table emplace drop the second object while
+  // `pending` still points into it — corrupt input must be rejected here.
+  auto fresh_id = [&](ObjectId oid) {
+    return oid.valid() && !masters_.contains(oid) && !replicas_.contains(oid);
+  };
+
+  std::uint64_t master_count = r.Varint();
+  for (std::uint64_t i = 0; i < master_count && r.ok(); ++i) {
+    auto oid = wire::Decode<ObjectId>(r);
+    std::string class_name = r.String();
+    if (r.ok() && !fresh_id(oid)) {
+      return DataLossError("snapshot contains duplicate or invalid id " +
+                           ToString(oid));
+    }
+    MasterEntry entry;
+    entry.version = r.Varint();
+    entry.policy_state = r.Blob();
+    entry.holders = wire::Decode<std::vector<net::Address>>(r);
+    OBIWAN_ASSIGN_OR_RETURN(entry.obj, decode_object(class_name, oid));
+    masters_.emplace(oid, std::move(entry));
+  }
+
+  std::uint64_t replica_count = r.Varint();
+  for (std::uint64_t i = 0; i < replica_count && r.ok(); ++i) {
+    auto oid = wire::Decode<ObjectId>(r);
+    std::string class_name = r.String();
+    if (r.ok() && !fresh_id(oid)) {
+      return DataLossError("snapshot contains duplicate or invalid id " +
+                           ToString(oid));
+    }
+    ReplicaEntry entry;
+    entry.version = r.Varint();
+    entry.policy_state = r.Blob();
+    if (r.Bool()) entry.provider = wire::Decode<ProxyDescriptor>(r);
+    entry.in_cluster = r.Bool();
+    entry.stale = r.Bool();
+    entry.holders = wire::Decode<std::vector<net::Address>>(r);
+    OBIWAN_ASSIGN_OR_RETURN(entry.obj, decode_object(class_name, oid));
+    replicas_.emplace(oid, std::move(entry));
+  }
+
+  std::uint64_t pin_count = r.Varint();
+  for (std::uint64_t i = 0; i < pin_count && r.ok(); ++i) {
+    auto pin = wire::Decode<ProxyId>(r);
+    ProxyInEntry entry;
+    entry.target = wire::Decode<ObjectId>(r);
+    entry.members = wire::Decode<std::vector<ObjectId>>(r);
+    entry.cluster = r.Bool();
+    entry.anchored = r.Bool();
+    TouchPin(entry);  // restart the lease clock after restore
+    proxy_ins_.emplace(pin, std::move(entry));
+  }
+
+  std::uint64_t cluster_count = r.Varint();
+  for (std::uint64_t i = 0; i < cluster_count && r.ok(); ++i) {
+    auto pin = wire::Decode<ProxyId>(r);
+    cluster_members_[pin] = wire::Decode<std::vector<ObjectId>>(r);
+  }
+
+  OBIWAN_RETURN_IF_ERROR(r.status());
+  if (!r.AtEnd()) return DataLossError("trailing bytes after snapshot");
+
+  // Second pass: swizzle.
+  for (const PendingRef& p : pending) {
+    switch (p.tag) {
+      case RefTag::kNull:
+        p.ref->Reset();
+        break;
+      case RefTag::kLocal: {
+        std::shared_ptr<Shareable> target = FindLocalUnlocked(p.target);
+        if (target == nullptr) {
+          return DataLossError("snapshot refers to missing object " +
+                               ToString(p.target));
+        }
+        p.ref->BindLocal(p.target, std::move(target));
+        break;
+      }
+      case RefTag::kProxy: {
+        if (auto local = FindLocalUnlocked(p.proxy.target)) {
+          p.ref->BindLocal(p.proxy.target, std::move(local));
+        } else {
+          p.ref->BindProxy(
+              std::make_shared<ProxyOut>(this, p.proxy, ReplicationMode::Incremental()));
+        }
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace obiwan::core

@@ -1,0 +1,66 @@
+#include "net/loopback.h"
+
+namespace obiwan::net {
+
+std::unique_ptr<LoopbackTransport> LoopbackNetwork::CreateEndpoint(
+    const Address& address) {
+  auto endpoint =
+      std::unique_ptr<LoopbackTransport>(new LoopbackTransport(this, address));
+  Status s = Register(address, endpoint.get());
+  if (!s.ok()) return nullptr;
+  return endpoint;
+}
+
+Status LoopbackNetwork::Register(const Address& address,
+                                 LoopbackTransport* endpoint) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = endpoints_.emplace(address, endpoint);
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("endpoint already bound: " + address);
+  }
+  return Status::Ok();
+}
+
+void LoopbackNetwork::Unregister(const Address& address) {
+  std::lock_guard lock(mutex_);
+  endpoints_.erase(address);
+}
+
+Result<Bytes> LoopbackNetwork::Deliver(const Address& from, const Address& to,
+                                       BytesView request) {
+  LoopbackTransport* dest = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = endpoints_.find(to);
+    if (it != endpoints_.end()) dest = it->second;
+  }
+  if (dest == nullptr || dest->handler_ == nullptr) {
+    ++stats_.failures;
+    return NotFoundError("no endpoint serving at " + to);
+  }
+  ++stats_.requests;
+  stats_.request_bytes += request.size();
+  Result<Bytes> reply = dest->handler_->HandleRequest(from, request);
+  if (reply.ok()) {
+    stats_.reply_bytes += reply->size();
+  } else {
+    ++stats_.failures;
+  }
+  return reply;
+}
+
+LoopbackTransport::~LoopbackTransport() { network_->Unregister(address_); }
+
+Result<Bytes> LoopbackTransport::Request(const Address& to, BytesView request) {
+  return network_->Deliver(address_, to, request);
+}
+
+Status LoopbackTransport::Serve(MessageHandler* handler) {
+  handler_ = handler;
+  return Status::Ok();
+}
+
+void LoopbackTransport::StopServing() { handler_ = nullptr; }
+
+}  // namespace obiwan::net

@@ -1,0 +1,76 @@
+// RetryingTransport — a decorator that retries failed round trips.
+//
+// The paper's setting is "slow and unreliable connections" (§1): on wireless
+// links, individual messages drop. Retrying gives *at-least-once* semantics:
+// when the lost message was the reply, the operation already executed and
+// will run again. OBIWAN's own protocol tolerates that — Get re-sends the
+// same batch, Put re-applies the same state, Bind of an identical record is
+// idempotent at the registry — so retries never corrupt platform state. The
+// one caveat is application RMI: a retried call to a non-idempotent method
+// (counters, appends) may execute more than once; make such methods
+// idempotent, or invoke them over an unretried transport.
+//
+// Retries fire on kTimeout (lost message) and, optionally, on kDisconnected
+// (a link that flaps faster than the retry budget). All other errors are
+// definitive and propagate immediately. Backoff is charged to the provided
+// clock, so simulations account the waiting time virtually.
+#pragma once
+
+#include <memory>
+
+#include "common/clock.h"
+#include "net/transport.h"
+
+namespace obiwan::net {
+
+struct RetryPolicy {
+  int max_attempts = 3;             // total tries, including the first
+  Nanos initial_backoff = 10 * kMilli;
+  double backoff_multiplier = 2.0;
+  bool retry_disconnected = false;  // also retry kDisconnected
+};
+
+class RetryingTransport final : public Transport {
+ public:
+  // Decorates `inner`; the clock paces the backoff (virtual in simulations).
+  RetryingTransport(std::unique_ptr<Transport> inner, RetryPolicy policy,
+                    Clock& clock = SystemClock::Instance())
+      : inner_(std::move(inner)), policy_(policy), clock_(clock) {}
+
+  Result<Bytes> Request(const Address& to, BytesView request) override {
+    Nanos backoff = policy_.initial_backoff;
+    Result<Bytes> reply = InternalError("retry loop did not run");
+    for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+      reply = inner_->Request(to, request);
+      if (reply.ok() || !ShouldRetry(reply.status())) return reply;
+      ++retries_;
+      if (attempt < policy_.max_attempts) {
+        clock_.Sleep(backoff);
+        backoff = static_cast<Nanos>(static_cast<double>(backoff) *
+                                     policy_.backoff_multiplier);
+      }
+    }
+    return reply;
+  }
+
+  Status Serve(MessageHandler* handler) override { return inner_->Serve(handler); }
+  void StopServing() override { inner_->StopServing(); }
+  Address LocalAddress() const override { return inner_->LocalAddress(); }
+
+  // Number of retry attempts performed (not counting first tries).
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  bool ShouldRetry(const Status& status) const {
+    return status.code() == StatusCode::kTimeout ||
+           (policy_.retry_disconnected &&
+            status.code() == StatusCode::kDisconnected);
+  }
+
+  std::unique_ptr<Transport> inner_;
+  RetryPolicy policy_;
+  Clock& clock_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace obiwan::net

@@ -1,0 +1,119 @@
+#include "net/sim.h"
+
+namespace obiwan::net {
+
+std::unique_ptr<SimTransport> SimNetwork::CreateEndpoint(const Address& address) {
+  auto endpoint = std::unique_ptr<SimTransport>(new SimTransport(this, address));
+  Status s = Register(address, endpoint.get());
+  if (!s.ok()) return nullptr;
+  return endpoint;
+}
+
+Status SimNetwork::Register(const Address& address, SimTransport* endpoint) {
+  auto [it, inserted] = endpoints_.emplace(address, endpoint);
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("endpoint already bound: " + address);
+  }
+  return Status::Ok();
+}
+
+void SimNetwork::Unregister(const Address& address) { endpoints_.erase(address); }
+
+void SimNetwork::SetEndpointUp(const Address& address, bool up) {
+  endpoint_down_[address] = !up;
+}
+
+void SimNetwork::SetLinkUp(const Address& a, const Address& b, bool up) {
+  link_down_[PairKeyOf(a, b)] = !up;
+}
+
+void SimNetwork::SetLinkParams(const Address& a, const Address& b,
+                               LinkParams params) {
+  link_params_[PairKeyOf(a, b)] = params;
+}
+
+const LinkParams& SimNetwork::LinkFor(const Address& a, const Address& b) const {
+  auto it = link_params_.find(PairKeyOf(a, b));
+  return it != link_params_.end() ? it->second : default_link_;
+}
+
+bool SimNetwork::LinkUp(const Address& a, const Address& b) const {
+  auto down = [this](const Address& addr) {
+    auto it = endpoint_down_.find(addr);
+    return it != endpoint_down_.end() && it->second;
+  };
+  if (down(a) || down(b)) return false;
+  auto it = link_down_.find(PairKeyOf(a, b));
+  return it == link_down_.end() || !it->second;
+}
+
+bool SimNetwork::ChargeMessage(const LinkParams& link, std::size_t bytes) {
+  Nanos cost = link.OneWayCost(bytes);
+  if (link.jitter > 0) {
+    cost += static_cast<Nanos>(rng_() % static_cast<std::uint64_t>(link.jitter));
+  }
+  clock_.Sleep(cost);
+  if (link.drop_probability > 0) {
+    double u = static_cast<double>(rng_()) /
+               static_cast<double>(std::mt19937_64::max());
+    if (u < link.drop_probability) return false;
+  }
+  return true;
+}
+
+Result<Bytes> SimNetwork::Deliver(const Address& from, const Address& to,
+                                  BytesView request) {
+  if (!LinkUp(from, to)) {
+    ++stats_.failures;
+    return DisconnectedError("link down: " + from + " -> " + to);
+  }
+  SimTransport* dest = nullptr;
+  if (auto it = endpoints_.find(to); it != endpoints_.end()) dest = it->second;
+  if (dest == nullptr || dest->handler_ == nullptr) {
+    ++stats_.failures;
+    return NotFoundError("no endpoint serving at " + to);
+  }
+
+  const LinkParams& link = LinkFor(from, to);
+  ++stats_.requests;
+  stats_.request_bytes += request.size();
+  if (!ChargeMessage(link, request.size())) {
+    ++stats_.failures;
+    return TimeoutError("request dropped: " + from + " -> " + to);
+  }
+
+  Result<Bytes> reply = dest->handler_->HandleRequest(from, request);
+  if (!reply.ok()) {
+    ++stats_.failures;
+    return reply;
+  }
+
+  stats_.reply_bytes += reply->size();
+  // A disconnection during the reply flight is indistinguishable from a
+  // request-side failure to the caller; model it the same way.
+  if (!LinkUp(from, to)) {
+    ++stats_.failures;
+    return DisconnectedError("link down during reply: " + to + " -> " + from);
+  }
+  if (!ChargeMessage(link, reply->size())) {
+    ++stats_.failures;
+    return TimeoutError("reply dropped: " + to + " -> " + from);
+  }
+  return reply;
+}
+
+SimTransport::~SimTransport() { network_->Unregister(address_); }
+
+Result<Bytes> SimTransport::Request(const Address& to, BytesView request) {
+  return network_->Deliver(address_, to, request);
+}
+
+Status SimTransport::Serve(MessageHandler* handler) {
+  handler_ = handler;
+  return Status::Ok();
+}
+
+void SimTransport::StopServing() { handler_ = nullptr; }
+
+}  // namespace obiwan::net

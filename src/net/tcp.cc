@@ -1,0 +1,224 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+#include "net/frame.h"
+
+namespace obiwan::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+// Blocking write of the whole buffer.
+Status WriteFull(int fd, BytesView data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Blocking read of exactly `size` bytes. A clean close mid-frame is data loss.
+Status ReadFull(int fd, std::uint8_t* out, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, out + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return DataLossError("peer closed connection mid-frame");
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, BytesView payload) {
+  std::uint8_t header[4];
+  auto size = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<std::uint8_t>(size);
+  header[1] = static_cast<std::uint8_t>(size >> 8);
+  header[2] = static_cast<std::uint8_t>(size >> 16);
+  header[3] = static_cast<std::uint8_t>(size >> 24);
+  OBIWAN_RETURN_IF_ERROR(WriteFull(fd, BytesView(header, 4)));
+  return WriteFull(fd, payload);
+}
+
+Result<Bytes> ReadFrame(int fd) {
+  std::uint8_t header[4];
+  OBIWAN_RETURN_IF_ERROR(ReadFull(fd, header, 4));
+  std::uint32_t size = std::uint32_t{header[0]} | std::uint32_t{header[1]} << 8 |
+                       std::uint32_t{header[2]} << 16 |
+                       std::uint32_t{header[3]} << 24;
+  // 64 MiB frame cap: a corrupt length prefix must not trigger a huge
+  // allocation.
+  if (size > (64u << 20)) return DataLossError("oversized frame");
+  Bytes payload(size);
+  OBIWAN_RETURN_IF_ERROR(ReadFull(fd, payload.data(), size));
+  return payload;
+}
+
+Result<std::pair<std::string, std::uint16_t>> ParseAddress(const Address& addr) {
+  auto colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size()) {
+    return InvalidArgumentError("expected host:port, got '" + addr + "'");
+  }
+  int port = 0;
+  for (std::size_t i = colon + 1; i < addr.size(); ++i) {
+    char c = addr[i];
+    if (c < '0' || c > '9') return InvalidArgumentError("bad port in '" + addr + "'");
+    port = port * 10 + (c - '0');
+    if (port > 65535) return InvalidArgumentError("port out of range in '" + addr + "'");
+  }
+  return std::make_pair(addr.substr(0, colon), static_cast<std::uint16_t>(port));
+}
+
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  int get() const { return fd_; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Create(std::uint16_t port) {
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0) return Errno("socket");
+
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), 64) < 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return std::unique_ptr<TcpTransport>(
+      new TcpTransport(fd.release(), ntohs(addr.sin_port)));
+}
+
+TcpTransport::TcpTransport(int listen_fd, std::uint16_t port)
+    : listen_fd_(listen_fd), port_(port) {}
+
+TcpTransport::~TcpTransport() {
+  StopServing();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Address TcpTransport::LocalAddress() const {
+  return "127.0.0.1:" + std::to_string(port_);
+}
+
+Status TcpTransport::Serve(MessageHandler* handler) {
+  if (running_.load()) return FailedPreconditionError("already serving");
+  handler_.store(handler);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpTransport::StopServing() {
+  if (!running_.exchange(false)) return;
+  // Unblock accept() by shutting the listening socket down; keep the fd so
+  // LocalAddress stays valid until destruction.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(conn_threads_mutex_);
+    to_join.swap(conn_threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  handler_.store(nullptr);
+}
+
+void TcpTransport::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // socket shut down or fatal error: stop accepting
+    }
+    std::lock_guard lock(conn_threads_mutex_);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void TcpTransport::HandleConnection(int fd) {
+  FdGuard guard(fd);
+  // A connection carries any number of request/reply exchanges in sequence.
+  while (running_.load()) {
+    Result<Bytes> request = ReadFrame(fd);
+    if (!request.ok()) return;  // peer closed or stream corrupt
+    MessageHandler* handler = handler_.load();
+    if (handler == nullptr) return;
+    Result<Bytes> reply = handler->HandleRequest("tcp-peer", AsView(*request));
+    Bytes frame = EncodeReplyFrame(reply);
+    if (!WriteFrame(fd, AsView(frame)).ok()) return;
+  }
+}
+
+Result<Bytes> TcpTransport::Request(const Address& to, BytesView request) {
+  OBIWAN_ASSIGN_OR_RETURN(auto host_port, ParseAddress(to));
+
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0) return Errno("socket");
+
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(host_port.second);
+  if (::inet_pton(AF_INET, host_port.first.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad IPv4 address: " + host_port.first);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    // Connection refused / unreachable is the TCP face of a disconnection.
+    return DisconnectedError("connect to " + to + ": " + std::strerror(errno));
+  }
+
+  OBIWAN_RETURN_IF_ERROR(WriteFrame(fd.get(), request));
+  OBIWAN_ASSIGN_OR_RETURN(Bytes frame, ReadFrame(fd.get()));
+  return DecodeReplyFrame(AsView(frame));
+}
+
+}  // namespace obiwan::net

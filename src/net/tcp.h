@@ -1,0 +1,52 @@
+// Real TCP transport.
+//
+// Deployment-grade counterpart to the in-process networks: length-prefixed
+// frames over POSIX sockets, one handler thread per accepted connection. The
+// simulated benchmarks never touch this; it exists so the same application
+// code (sites, registry, replication) runs across real processes, and it is
+// exercised by the cross-process integration tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace obiwan::net {
+
+class TcpTransport final : public Transport {
+ public:
+  // Binds and listens immediately so the address (with the kernel-assigned
+  // port when `port` is 0) is known before Serve is called.
+  static Result<std::unique_ptr<TcpTransport>> Create(std::uint16_t port);
+
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Result<Bytes> Request(const Address& to, BytesView request) override;
+  Status Serve(MessageHandler* handler) override;
+  void StopServing() override;
+  Address LocalAddress() const override;
+
+ private:
+  TcpTransport(int listen_fd, std::uint16_t port);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  int listen_fd_;
+  std::uint16_t port_;
+  std::atomic<MessageHandler*> handler_{nullptr};
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_threads_mutex_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace obiwan::net

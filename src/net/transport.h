@@ -1,0 +1,64 @@
+// Transport abstraction.
+//
+// OBIWAN's RMI substrate (src/rmi) is written against this synchronous
+// request/reply interface. Three implementations exist:
+//   - LoopbackNetwork: zero-cost in-process delivery, for unit tests and for
+//     measuring pure CPU overheads (marshalling, proxy bookkeeping).
+//   - SimNetwork: in-process delivery that charges latency/bandwidth against a
+//     virtual clock and supports disconnection injection — the calibrated
+//     stand-in for the paper's 10 Mbit/s LAN and for mobile links (DESIGN.md,
+//     substitutions 2 and 5).
+//   - TcpTransport: real sockets, for deployment and cross-process tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace obiwan::net {
+
+// Logical endpoint address. Loopback/sim networks use opaque names
+// (e.g. "site-a"); the TCP transport uses "host:port".
+using Address = std::string;
+
+// Receives inbound requests. A site's RMI dispatcher implements this.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+
+  // Handle one request and produce the reply payload. Returning a non-ok
+  // status sends a transport-level error back to the caller (used for
+  // "no such object"-class failures detected before dispatch).
+  virtual Result<Bytes> HandleRequest(const Address& from, BytesView request) = 0;
+};
+
+// Aggregate traffic counters, used by benches to report bytes on the wire.
+struct TrafficStats {
+  std::uint64_t requests = 0;
+  std::uint64_t request_bytes = 0;
+  std::uint64_t reply_bytes = 0;
+  std::uint64_t failures = 0;
+};
+
+// One site's view of a network: it can serve requests at its own address and
+// issue requests to other addresses.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Synchronous round trip: deliver `request` to `to`, return its reply.
+  virtual Result<Bytes> Request(const Address& to, BytesView request) = 0;
+
+  // Start serving inbound requests with `handler`. The handler must outlive
+  // the transport (or a subsequent StopServing call).
+  virtual Status Serve(MessageHandler* handler) = 0;
+
+  virtual void StopServing() = 0;
+
+  // Address other endpoints should use to reach this transport.
+  virtual Address LocalAddress() const = 0;
+};
+
+}  // namespace obiwan::net

@@ -1,0 +1,45 @@
+// OBIWAN — Object Broker Infrastructure for Wide Area Networks.
+//
+// Umbrella header: everything an application needs.
+//
+//   #include "obiwan.h"
+//
+//   using namespace obiwan;
+//
+//   // 1. Declare shareable classes (see core/shareable.h for the contract).
+//   // 2. Create sites on a transport (loopback / simulated / TCP).
+//   // 3. Bind masters in the name server, Lookup remote refs elsewhere.
+//   // 4. Invoke remotely (RMI) or Replicate(mode) and invoke locally (LMI);
+//   //    replicas keep working across disconnections and are pushed back
+//   //    with Put / PutCluster.
+#pragma once
+
+#include "adaptive/adaptive_ref.h"
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/log.h"
+#include "common/status.h"
+#include "consistency/lww.h"
+#include "consistency/version_vector.h"
+#include "consistency/write_invalidate.h"
+#include "core/batch.h"
+#include "core/consistency.h"
+#include "core/messages.h"
+#include "core/mode.h"
+#include "core/prefetcher.h"
+#include "core/proxy.h"
+#include "core/ref.h"
+#include "core/remote_ref.h"
+#include "core/shareable.h"
+#include "core/site.h"
+#include "net/compressed.h"
+#include "net/loopback.h"
+#include "net/retry.h"
+#include "net/sim.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "rmi/registry.h"
+#include "tx/transaction.h"
+#include "wire/codec.h"
+#include "wire/compress.h"

@@ -1,0 +1,110 @@
+// RMI call marshalling.
+//
+// A remote invocation names the target master object and the method (by the
+// name it was registered under — the same contract a Java RMI stub/skeleton
+// pair enforces by interface), and carries the argument tuple encoded with
+// the wire codecs. The reply body is the encoded return value (empty for
+// void methods).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "rmi/protocol.h"
+#include "wire/codec.h"
+
+namespace obiwan::rmi {
+
+struct CallRequest {
+  ObjectId target;
+  std::string method;
+  Bytes args;  // encoded argument tuple
+};
+
+inline Bytes EncodeCall(const CallRequest& call) {
+  wire::Writer body;
+  wire::Encode(body, call.target);
+  body.String(call.method);
+  body.Blob(AsView(call.args));
+  return WrapRequest(MessageKind::kCall, body);
+}
+
+inline Result<CallRequest> DecodeCall(wire::Reader& body) {
+  CallRequest call;
+  call.target = wire::Decode<ObjectId>(body);
+  call.method = body.String();
+  call.args = body.Blob();
+  OBIWAN_RETURN_IF_ERROR(body.status());
+  return call;
+}
+
+// --- batched invocation (kCallBatch) ------------------------------------------
+//
+// Several calls in one round trip: on the paper's LAN every round trip costs
+// 2.8 ms, so a batch of N amortizes the network to 1/N per call. Items fail
+// independently — one unknown method does not poison its neighbours.
+
+inline Bytes EncodeCallBatch(const std::vector<CallRequest>& calls) {
+  wire::Writer body;
+  body.Varint(calls.size());
+  for (const CallRequest& call : calls) {
+    wire::Encode(body, call.target);
+    body.String(call.method);
+    body.Blob(AsView(call.args));
+  }
+  return WrapRequest(MessageKind::kCallBatch, body);
+}
+
+inline Result<std::vector<CallRequest>> DecodeCallBatch(wire::Reader& body) {
+  std::uint64_t count = body.Varint();
+  std::vector<CallRequest> calls;
+  for (std::uint64_t i = 0; i < count && body.ok(); ++i) {
+    CallRequest call;
+    call.target = wire::Decode<ObjectId>(body);
+    call.method = body.String();
+    call.args = body.Blob();
+    calls.push_back(std::move(call));
+  }
+  OBIWAN_RETURN_IF_ERROR(body.status());
+  return calls;
+}
+
+inline Bytes EncodeBatchReply(const std::vector<Result<Bytes>>& results) {
+  wire::Writer w;
+  w.Varint(results.size());
+  for (const Result<Bytes>& result : results) {
+    w.Bool(result.ok());
+    if (result.ok()) {
+      w.Blob(AsView(*result));
+    } else {
+      w.Varint(static_cast<std::uint64_t>(result.status().code()));
+      w.String(result.status().message());
+    }
+  }
+  return std::move(w).Take();
+}
+
+inline Result<std::vector<Result<Bytes>>> DecodeBatchReply(BytesView reply) {
+  wire::Reader r(reply);
+  std::uint64_t count = r.Varint();
+  std::vector<Result<Bytes>> results;
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    if (r.Bool()) {
+      results.emplace_back(r.Blob());
+    } else {
+      auto code = static_cast<StatusCode>(r.Varint());
+      std::string message = r.String();
+      if (code == StatusCode::kOk) {
+        r.Fail("batch error item with OK code");
+        break;
+      }
+      results.emplace_back(Status(code, std::move(message)));
+    }
+  }
+  OBIWAN_RETURN_IF_ERROR(r.status());
+  return results;
+}
+
+}  // namespace obiwan::rmi

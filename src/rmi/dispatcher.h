@@ -1,0 +1,44 @@
+// Request dispatcher: one per site, routes message kinds to services.
+#pragma once
+
+#include <array>
+
+#include "net/transport.h"
+#include "rmi/protocol.h"
+#include "wire/reader.h"
+
+namespace obiwan::rmi {
+
+// A protocol plane (invocation, replication, naming) implements Service and
+// claims the message kinds it understands.
+class Service {
+ public:
+  virtual ~Service() = default;
+  virtual Result<Bytes> Handle(MessageKind kind, const net::Address& from,
+                               wire::Reader& body) = 0;
+};
+
+class Dispatcher final : public net::MessageHandler {
+ public:
+  // `service` must outlive the dispatcher.
+  void RegisterService(MessageKind kind, Service* service) {
+    services_[static_cast<std::size_t>(kind)] = service;
+  }
+
+  Result<Bytes> HandleRequest(const net::Address& from,
+                              BytesView request) override {
+    OBIWAN_ASSIGN_OR_RETURN(ParsedRequest parsed, ParseRequest(request));
+    Service* service = services_[static_cast<std::size_t>(parsed.kind)];
+    if (service == nullptr) {
+      return UnimplementedError("no service for message kind " +
+                                std::to_string(static_cast<int>(parsed.kind)));
+    }
+    wire::Reader body(parsed.body);
+    return service->Handle(parsed.kind, from, body);
+  }
+
+ private:
+  std::array<Service*, kMaxMessageKind + 1> services_{};
+};
+
+}  // namespace obiwan::rmi

@@ -1,0 +1,60 @@
+// Wire protocol envelope.
+//
+// Every request between sites is `kind | body`. The kinds cover the three
+// planes of the paper's architecture:
+//   - invocation (kCall, kPing)            — the RMI substrate (§2, §4.1)
+//   - replication (kGet, kPut, kRefresh-is-a-Get-flag, kRelease, kInvalidate,
+//     kCommit)                             — the OBIWAN contribution (§2.1–2.2)
+//   - naming (kBind, kLookup, kUnbind, kList) — the name server (§2, Fig. 1)
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace obiwan::rmi {
+
+enum class MessageKind : std::uint8_t {
+  kCall = 1,
+  kPing = 2,
+  kGet = 3,
+  kPut = 4,
+  kRelease = 5,
+  kInvalidate = 6,
+  kCommit = 7,
+  kBind = 8,
+  kLookup = 9,
+  kUnbind = 10,
+  kList = 11,
+  kRenew = 12,      // renew a proxy-in lease (distributed GC)
+  kPush = 13,       // master pushes updated state to replica holders
+  kCallBatch = 14,  // several invocations in one round trip
+};
+
+inline constexpr std::uint8_t kMaxMessageKind = 14;
+
+inline Bytes WrapRequest(MessageKind kind, const wire::Writer& body) {
+  wire::Writer w(body.size() + 1);
+  w.U8(static_cast<std::uint8_t>(kind));
+  w.Raw(AsView(body.data()));
+  return std::move(w).Take();
+}
+
+struct ParsedRequest {
+  MessageKind kind;
+  BytesView body;
+};
+
+inline Result<ParsedRequest> ParseRequest(BytesView request) {
+  if (request.empty()) return DataLossError("empty request");
+  std::uint8_t kind = request[0];
+  if (kind == 0 || kind > kMaxMessageKind) {
+    return DataLossError("unknown message kind " + std::to_string(kind));
+  }
+  return ParsedRequest{static_cast<MessageKind>(kind), request.subspan(1)};
+}
+
+}  // namespace obiwan::rmi

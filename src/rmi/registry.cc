@@ -1,0 +1,140 @@
+#include "rmi/registry.h"
+
+namespace obiwan::rmi {
+
+void RegistryService::AttachTo(Dispatcher& dispatcher) {
+  dispatcher.RegisterService(MessageKind::kBind, this);
+  dispatcher.RegisterService(MessageKind::kLookup, this);
+  dispatcher.RegisterService(MessageKind::kUnbind, this);
+  dispatcher.RegisterService(MessageKind::kList, this);
+}
+
+Status RegistryService::BindLocal(const std::string& name, BoundObject entry,
+                                  bool rebind) {
+  std::lock_guard lock(mutex_);
+  if (!rebind) {
+    if (auto it = bindings_.find(name); it != bindings_.end()) {
+      // Idempotent re-bind of the identical record succeeds: a retried Bind
+      // whose first reply was lost must not surface as a failure.
+      if (it->second == entry) return Status::Ok();
+      return AlreadyExistsError("name already bound: " + name);
+    }
+  }
+  bindings_[name] = std::move(entry);
+  return Status::Ok();
+}
+
+Result<BoundObject> RegistryService::LookupLocal(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) return NotFoundError("name not bound: " + name);
+  return it->second;
+}
+
+Status RegistryService::UnbindLocal(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (bindings_.erase(name) == 0) return NotFoundError("name not bound: " + name);
+  return Status::Ok();
+}
+
+std::vector<std::string> RegistryService::ListLocal() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(bindings_.size());
+  for (const auto& [name, entry] : bindings_) names.push_back(name);
+  return names;
+}
+
+Result<Bytes> RegistryService::Handle(MessageKind kind, const net::Address&,
+                                      wire::Reader& body) {
+  switch (kind) {
+    case MessageKind::kBind: {
+      std::string name = body.String();
+      bool rebind = body.Bool();
+      auto entry = wire::Decode<BoundObject>(body);
+      OBIWAN_RETURN_IF_ERROR(body.status());
+      OBIWAN_RETURN_IF_ERROR(BindLocal(name, std::move(entry), rebind));
+      return Bytes{};
+    }
+    case MessageKind::kLookup: {
+      std::string name = body.String();
+      OBIWAN_RETURN_IF_ERROR(body.status());
+      OBIWAN_ASSIGN_OR_RETURN(BoundObject entry, LookupLocal(name));
+      wire::Writer w;
+      wire::Encode(w, entry);
+      return std::move(w).Take();
+    }
+    case MessageKind::kUnbind: {
+      std::string name = body.String();
+      OBIWAN_RETURN_IF_ERROR(body.status());
+      OBIWAN_RETURN_IF_ERROR(UnbindLocal(name));
+      return Bytes{};
+    }
+    case MessageKind::kList: {
+      wire::Writer w;
+      wire::Encode(w, ListLocal());
+      return std::move(w).Take();
+    }
+    default:
+      return InternalError("registry got unexpected message kind");
+  }
+}
+
+namespace {
+
+Status BindImpl(net::Transport& transport, const net::Address& registry,
+                const std::string& name, const BoundObject& entry, bool rebind) {
+  wire::Writer body;
+  body.String(name);
+  body.Bool(rebind);
+  wire::Encode(body, entry);
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply, transport.Request(registry, AsView(WrapRequest(MessageKind::kBind, body))));
+  (void)reply;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RegistryClient::Bind(const std::string& name, const BoundObject& entry) {
+  return BindImpl(transport_, registry_address_, name, entry, /*rebind=*/false);
+}
+
+Status RegistryClient::Rebind(const std::string& name, const BoundObject& entry) {
+  return BindImpl(transport_, registry_address_, name, entry, /*rebind=*/true);
+}
+
+Result<BoundObject> RegistryClient::Lookup(const std::string& name) {
+  wire::Writer body;
+  body.String(name);
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply,
+      transport_.Request(registry_address_, AsView(WrapRequest(MessageKind::kLookup, body))));
+  wire::Reader r(AsView(reply));
+  auto entry = wire::Decode<BoundObject>(r);
+  OBIWAN_RETURN_IF_ERROR(r.status());
+  return entry;
+}
+
+Status RegistryClient::Unbind(const std::string& name) {
+  wire::Writer body;
+  body.String(name);
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply,
+      transport_.Request(registry_address_, AsView(WrapRequest(MessageKind::kUnbind, body))));
+  (void)reply;
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> RegistryClient::List() {
+  wire::Writer body;
+  OBIWAN_ASSIGN_OR_RETURN(
+      Bytes reply,
+      transport_.Request(registry_address_, AsView(WrapRequest(MessageKind::kList, body))));
+  wire::Reader r(AsView(reply));
+  auto names = wire::Decode<std::vector<std::string>>(r);
+  OBIWAN_RETURN_IF_ERROR(r.status());
+  return names;
+}
+
+}  // namespace obiwan::rmi

@@ -1,0 +1,97 @@
+// Name server (the paper's "name server" in which AProxyIn is registered).
+//
+// RegistryService is hosted by one site; RegistryClient is how every other
+// site binds and looks up names. A bound name resolves to a BoundObject: the
+// provider's address plus the master's ObjectId and the proxy-in handle
+// through which replicas are demanded.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/transport.h"
+#include "rmi/dispatcher.h"
+#include "rmi/protocol.h"
+#include "wire/codec.h"
+
+namespace obiwan::rmi {
+
+struct BoundObject {
+  net::Address address;    // site serving the master
+  ObjectId id;             // master identity
+  ProxyId pin;             // proxy-in to demand replicas through
+  std::string class_name;  // registered class of the master
+
+  friend bool operator==(const BoundObject&, const BoundObject&) = default;
+};
+
+}  // namespace obiwan::rmi
+
+namespace obiwan::wire {
+
+template <>
+struct Codec<rmi::BoundObject> {
+  static void Encode(Writer& w, const rmi::BoundObject& v) {
+    w.String(v.address);
+    wire::Encode(w, v.id);
+    wire::Encode(w, v.pin);
+    w.String(v.class_name);
+  }
+  static rmi::BoundObject Decode(Reader& r) {
+    rmi::BoundObject v;
+    v.address = r.String();
+    v.id = wire::Decode<ObjectId>(r);
+    v.pin = wire::Decode<ProxyId>(r);
+    v.class_name = r.String();
+    return v;
+  }
+};
+
+}  // namespace obiwan::wire
+
+namespace obiwan::rmi {
+
+class RegistryService final : public Service {
+ public:
+  Result<Bytes> Handle(MessageKind kind, const net::Address& from,
+                       wire::Reader& body) override;
+
+  // Attach to a dispatcher, claiming the naming message kinds.
+  void AttachTo(Dispatcher& dispatcher);
+
+  // Local (in-process) access, used when the registry site binds its own
+  // objects without a network round trip.
+  Status BindLocal(const std::string& name, BoundObject entry, bool rebind);
+  Result<BoundObject> LookupLocal(const std::string& name) const;
+  Status UnbindLocal(const std::string& name);
+  std::vector<std::string> ListLocal() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, BoundObject> bindings_;
+};
+
+class RegistryClient {
+ public:
+  // `transport` must outlive the client.
+  RegistryClient(net::Transport& transport, net::Address registry_address)
+      : transport_(transport), registry_address_(std::move(registry_address)) {}
+
+  Status Bind(const std::string& name, const BoundObject& entry);
+  // Bind that replaces an existing entry instead of failing.
+  Status Rebind(const std::string& name, const BoundObject& entry);
+  Result<BoundObject> Lookup(const std::string& name);
+  Status Unbind(const std::string& name);
+  Result<std::vector<std::string>> List();
+
+  const net::Address& registry_address() const { return registry_address_; }
+
+ private:
+  net::Transport& transport_;
+  net::Address registry_address_;
+};
+
+}  // namespace obiwan::rmi

@@ -1,0 +1,51 @@
+#include "tx/transaction.h"
+
+#include <algorithm>
+
+namespace obiwan::tx {
+
+Status Transaction::Track(const core::RefBase& ref, std::vector<ObjectId>& set) {
+  if (!ref.IsLocal()) {
+    return FailedPreconditionError(
+        "transactions track resolved local replicas only");
+  }
+  if (!ref.id().valid()) {
+    return FailedPreconditionError("object was never replicated");
+  }
+  // Must be a replica with a put channel; surface the problem at tracking
+  // time rather than at commit.
+  OBIWAN_ASSIGN_OR_RETURN(auto provider, site_.ReplicaProvider(ref.id()));
+  (void)provider;
+  if (std::find(set.begin(), set.end(), ref.id()) == set.end()) {
+    set.push_back(ref.id());
+  }
+  return Status::Ok();
+}
+
+Status Transaction::Read(const core::RefBase& ref) { return Track(ref, reads_); }
+
+Status Transaction::Write(const core::RefBase& ref) { return Track(ref, writes_); }
+
+Status Transaction::Commit() {
+  OBIWAN_RETURN_IF_ERROR(site_.CommitReplicas(reads_, writes_));
+  reads_.clear();
+  writes_.clear();
+  return Status::Ok();
+}
+
+Status Transaction::Abort() {
+  Status first_error;
+  for (ObjectId oid : writes_) {
+    Result<std::shared_ptr<core::Shareable>> obj = site_.FindLocal(oid);
+    if (!obj.ok()) continue;
+    core::RefBase ref;
+    ref.BindLocal(oid, std::move(obj).value());
+    Status s = site_.Refresh(ref);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  reads_.clear();
+  writes_.clear();
+  return first_error;
+}
+
+}  // namespace obiwan::tx

@@ -1,0 +1,57 @@
+// Relaxed optimistic transactions over replicas.
+//
+// The paper lists "relaxed transactional support" as one of the
+// application-specific properties its hooks enable (§1). This layer builds it
+// from the core's transactional commit primitive: a Transaction records which
+// replicas were read and which were written while the application worked —
+// possibly disconnected — and Commit() validates, at each provider, that
+// every recorded object is still at the version this site last synchronised
+// at, applying the writes atomically per provider.
+//
+// "Relaxed" is precise: objects mastered at different providers commit
+// independently (no cross-provider two-phase commit), matching the paper's
+// loosely-coupled mobile setting where a global coordinator is exactly what
+// one cannot have.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/ref.h"
+#include "core/site.h"
+
+namespace obiwan::tx {
+
+class Transaction {
+ public:
+  // `site` must outlive the transaction.
+  explicit Transaction(core::Site& site) : site_(site) {}
+
+  // Record that the transaction's outcome depends on the current state of
+  // `ref` (commit fails if the master moves on underneath it).
+  Status Read(const core::RefBase& ref);
+
+  // Record that `ref`'s local modifications are part of the transaction.
+  Status Write(const core::RefBase& ref);
+
+  // Validate the read set and apply the write set (atomic per provider).
+  // After a successful commit the transaction can be reused.
+  Status Commit();
+
+  // Throw away local modifications: re-fetch master state into every
+  // written replica, then clear the sets.
+  Status Abort();
+
+  std::size_t read_set_size() const { return reads_.size(); }
+  std::size_t write_set_size() const { return writes_.size(); }
+
+ private:
+  Status Track(const core::RefBase& ref, std::vector<ObjectId>& set);
+
+  core::Site& site_;
+  std::vector<ObjectId> reads_;
+  std::vector<ObjectId> writes_;
+};
+
+}  // namespace obiwan::tx

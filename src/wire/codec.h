@@ -1,0 +1,250 @@
+// Codec<T>: compile-time marshalling traits.
+//
+// This is half of the obicomp substitute (DESIGN.md, substitution 3): where the
+// Java prototype used reflection to serialize any value, here a Codec<T>
+// specialization describes how each type crosses the wire. Built-ins cover the
+// scalar and standard-container types an application realistically passes as
+// RMI arguments or stores in shareable-object fields; applications add
+// specializations for their own value types.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace obiwan::wire {
+
+template <typename T>
+struct Codec;  // primary template intentionally undefined
+
+// A type is WireCodable if Codec<T> provides Encode/Decode with the expected
+// shapes. This is the constraint the RMI layer places on method signatures.
+template <typename T>
+concept WireCodable = requires(Writer& w, Reader& r, const T& v) {
+  { Codec<std::remove_cvref_t<T>>::Encode(w, v) };
+  { Codec<std::remove_cvref_t<T>>::Decode(r) } -> std::same_as<std::remove_cvref_t<T>>;
+};
+
+template <typename T>
+void Encode(Writer& w, const T& v) {
+  Codec<std::remove_cvref_t<T>>::Encode(w, v);
+}
+
+template <typename T>
+T Decode(Reader& r) {
+  return Codec<std::remove_cvref_t<T>>::Decode(r);
+}
+
+// --- scalars -----------------------------------------------------------------
+
+template <>
+struct Codec<bool> {
+  static void Encode(Writer& w, bool v) { w.Bool(v); }
+  static bool Decode(Reader& r) { return r.Bool(); }
+};
+
+template <typename T>
+  requires(std::unsigned_integral<T> && !std::same_as<T, bool>)
+struct Codec<T> {
+  static void Encode(Writer& w, T v) { w.Varint(v); }
+  static T Decode(Reader& r) {
+    std::uint64_t raw = r.Varint();
+    if (raw > std::numeric_limits<T>::max()) {
+      r.Fail("unsigned value out of range for destination type");
+      return 0;
+    }
+    return static_cast<T>(raw);
+  }
+};
+
+template <typename T>
+  requires std::signed_integral<T>
+struct Codec<T> {
+  static void Encode(Writer& w, T v) { w.Svarint(v); }
+  static T Decode(Reader& r) {
+    std::int64_t raw = r.Svarint();
+    if (raw > std::int64_t{std::numeric_limits<T>::max()} ||
+        raw < std::int64_t{std::numeric_limits<T>::min()}) {
+      r.Fail("signed value out of range for destination type");
+      return 0;
+    }
+    return static_cast<T>(raw);
+  }
+};
+
+template <>
+struct Codec<double> {
+  static void Encode(Writer& w, double v) { w.F64(v); }
+  static double Decode(Reader& r) { return r.F64(); }
+};
+
+template <>
+struct Codec<float> {
+  static void Encode(Writer& w, float v) { w.F32(v); }
+  static float Decode(Reader& r) { return r.F32(); }
+};
+
+template <>
+struct Codec<std::string> {
+  static void Encode(Writer& w, const std::string& v) { w.String(v); }
+  static std::string Decode(Reader& r) { return r.String(); }
+};
+
+// --- ids ---------------------------------------------------------------------
+
+template <>
+struct Codec<ObjectId> {
+  static void Encode(Writer& w, const ObjectId& v) {
+    w.Varint(v.site);
+    w.Varint(v.local);
+  }
+  static ObjectId Decode(Reader& r) {
+    ObjectId id;
+    id.site = static_cast<SiteId>(r.Varint());
+    id.local = r.Varint();
+    return id;
+  }
+};
+
+template <>
+struct Codec<ProxyId> {
+  static void Encode(Writer& w, const ProxyId& v) {
+    w.Varint(v.site);
+    w.Varint(v.local);
+  }
+  static ProxyId Decode(Reader& r) {
+    ProxyId id;
+    id.site = static_cast<SiteId>(r.Varint());
+    id.local = r.Varint();
+    return id;
+  }
+};
+
+// --- containers ----------------------------------------------------------------
+
+// Bytes (= std::vector<std::uint8_t>) gets the compact Blob form.
+template <>
+struct Codec<Bytes> {
+  static void Encode(Writer& w, const Bytes& v) { w.Blob(AsView(v)); }
+  static Bytes Decode(Reader& r) { return r.Blob(); }
+};
+
+template <WireCodable T>
+  requires(!std::same_as<T, std::uint8_t>)
+struct Codec<std::vector<T>> {
+  static void Encode(Writer& w, const std::vector<T>& v) {
+    w.Varint(v.size());
+    for (const T& e : v) wire::Encode(w, e);
+  }
+  static std::vector<T> Decode(Reader& r) {
+    std::uint64_t n = r.Varint();
+    std::vector<T> v;
+    // Guard against hostile length prefixes: never pre-reserve more entries
+    // than the remaining payload could possibly encode (>=1 byte each).
+    if (n > r.remaining()) {
+      if (n != 0) {
+        r.Fail("container length exceeds remaining payload");
+        return v;
+      }
+    }
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      v.push_back(wire::Decode<T>(r));
+    }
+    return v;
+  }
+};
+
+template <WireCodable T>
+struct Codec<std::optional<T>> {
+  static void Encode(Writer& w, const std::optional<T>& v) {
+    w.Bool(v.has_value());
+    if (v) wire::Encode(w, *v);
+  }
+  static std::optional<T> Decode(Reader& r) {
+    if (!r.Bool()) return std::nullopt;
+    return wire::Decode<T>(r);
+  }
+};
+
+template <WireCodable A, WireCodable B>
+struct Codec<std::pair<A, B>> {
+  static void Encode(Writer& w, const std::pair<A, B>& v) {
+    wire::Encode(w, v.first);
+    wire::Encode(w, v.second);
+  }
+  static std::pair<A, B> Decode(Reader& r) {
+    A a = wire::Decode<A>(r);
+    B b = wire::Decode<B>(r);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+template <WireCodable K, WireCodable V>
+struct Codec<std::map<K, V>> {
+  static void Encode(Writer& w, const std::map<K, V>& m) {
+    w.Varint(m.size());
+    for (const auto& [k, v] : m) {
+      wire::Encode(w, k);
+      wire::Encode(w, v);
+    }
+  }
+  static std::map<K, V> Decode(Reader& r) {
+    std::uint64_t n = r.Varint();
+    std::map<K, V> m;
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      K k = wire::Decode<K>(r);
+      V v = wire::Decode<V>(r);
+      m.emplace(std::move(k), std::move(v));
+    }
+    return m;
+  }
+};
+
+template <WireCodable K, WireCodable V>
+struct Codec<std::unordered_map<K, V>> {
+  static void Encode(Writer& w, const std::unordered_map<K, V>& m) {
+    w.Varint(m.size());
+    for (const auto& [k, v] : m) {
+      wire::Encode(w, k);
+      wire::Encode(w, v);
+    }
+  }
+  static std::unordered_map<K, V> Decode(Reader& r) {
+    std::uint64_t n = r.Varint();
+    std::unordered_map<K, V> m;
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      K k = wire::Decode<K>(r);
+      V v = wire::Decode<V>(r);
+      m.emplace(std::move(k), std::move(v));
+    }
+    return m;
+  }
+};
+
+// --- tuples (RMI argument packs) ---------------------------------------------
+
+template <WireCodable... Ts>
+struct Codec<std::tuple<Ts...>> {
+  static void Encode(Writer& w, const std::tuple<Ts...>& t) {
+    std::apply([&](const Ts&... vs) { (wire::Encode(w, vs), ...); }, t);
+  }
+  static std::tuple<Ts...> Decode(Reader& r) {
+    // Braced init guarantees left-to-right evaluation of the decodes.
+    return std::tuple<Ts...>{wire::Decode<Ts>(r)...};
+  }
+};
+
+}  // namespace obiwan::wire

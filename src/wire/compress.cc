@@ -1,0 +1,173 @@
+#include "wire/compress.h"
+
+#include <cstring>
+
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace obiwan::wire {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+inline std::uint32_t Load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t HashOf(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLength(Bytes& out, std::size_t extra) {
+  while (extra >= 255) {
+    out.push_back(255);
+    extra -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(extra));
+}
+
+void EmitSequence(Bytes& out, const std::uint8_t* literals, std::size_t lit_len,
+                  std::size_t match_len, std::size_t offset) {
+  std::uint8_t token = 0;
+  token |= static_cast<std::uint8_t>(std::min<std::size_t>(lit_len, 15)) << 4;
+  if (match_len > 0) {
+    token |= static_cast<std::uint8_t>(std::min(match_len - kMinMatch,
+                                                std::size_t{15}));
+  }
+  out.push_back(token);
+  if (lit_len >= 15) EmitLength(out, lit_len - 15);
+  out.insert(out.end(), literals, literals + lit_len);
+  if (match_len > 0) {
+    out.push_back(static_cast<std::uint8_t>(offset));
+    out.push_back(static_cast<std::uint8_t>(offset >> 8));
+    if (match_len - kMinMatch >= 15) EmitLength(out, match_len - kMinMatch - 15);
+  }
+}
+
+}  // namespace
+
+Bytes Compress(BytesView input) {
+  Writer header;
+  header.Varint(input.size());
+  Bytes out = std::move(header).Take();
+  if (input.empty()) return out;
+
+  const std::uint8_t* base = input.data();
+  const std::size_t size = input.size();
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  // Position table for 4-byte hashes; 0 means empty (position 0 handled by
+  // storing pos + 1).
+  std::vector<std::uint32_t> table(1u << kHashBits, 0);
+
+  while (size >= kMinMatch && pos + kMinMatch <= size) {
+    std::uint32_t h = HashOf(Load32(base + pos));
+    std::size_t candidate = table[h];
+    table[h] = static_cast<std::uint32_t>(pos + 1);
+
+    if (candidate != 0) {
+      std::size_t cand_pos = candidate - 1;
+      std::size_t offset = pos - cand_pos;
+      if (offset > 0 && offset <= kMaxOffset &&
+          Load32(base + cand_pos) == Load32(base + pos)) {
+        // Extend the match.
+        std::size_t match_len = kMinMatch;
+        while (pos + match_len < size &&
+               base[cand_pos + match_len] == base[pos + match_len]) {
+          ++match_len;
+        }
+        EmitSequence(out, base + literal_start, pos - literal_start, match_len,
+                     offset);
+        pos += match_len;
+        literal_start = pos;
+        continue;
+      }
+    }
+    ++pos;
+  }
+
+  // Trailing literals (possibly the whole input).
+  EmitSequence(out, base + literal_start, size - literal_start, 0, 0);
+  return out;
+}
+
+Result<Bytes> Decompress(BytesView input, std::size_t max_output) {
+  Reader r(input);
+  std::uint64_t expected = r.Varint();
+  if (!r.ok()) return DataLossError("compressed stream: bad size header");
+  if (expected > max_output) {
+    return DataLossError("compressed stream: declared size exceeds limit");
+  }
+
+  Bytes out;
+  out.reserve(expected);
+  std::size_t pos = input.size() - r.remaining();
+
+  auto read_extended = [&](std::size_t base_len) -> Result<std::size_t> {
+    std::size_t len = base_len;
+    while (true) {
+      if (pos >= input.size()) return DataLossError("truncated length");
+      std::uint8_t b = input[pos++];
+      len += b;
+      if (b != 255) return len;
+      if (len > max_output) return DataLossError("length overflow");
+    }
+  };
+
+  while (pos < input.size()) {
+    std::uint8_t token = input[pos++];
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15) {
+      OBIWAN_ASSIGN_OR_RETURN(lit_len, read_extended(15));
+    }
+    if (pos + lit_len > input.size()) {
+      return DataLossError("compressed stream: literal run past end");
+    }
+    if (out.size() + lit_len > expected) {
+      return DataLossError("compressed stream: output overrun (literals)");
+    }
+    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+               input.begin() + static_cast<std::ptrdiff_t>(pos + lit_len));
+    pos += lit_len;
+
+    if (pos == input.size()) break;  // final sequence: literals only
+
+    if (pos + 2 > input.size()) {
+      return DataLossError("compressed stream: truncated match offset");
+    }
+    std::size_t offset = input[pos] | (std::size_t{input[pos + 1]} << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size()) {
+      return DataLossError("compressed stream: match offset out of range");
+    }
+
+    std::size_t match_len = token & 0x0F;
+    if (match_len == 15) {
+      OBIWAN_ASSIGN_OR_RETURN(match_len, read_extended(15));
+    }
+    match_len += kMinMatch;
+    if (out.size() + match_len > expected) {
+      return DataLossError("compressed stream: output overrun (match)");
+    }
+    // Byte-by-byte copy: overlapping matches (offset < len) are the RLE case
+    // and must replicate already-written output.
+    std::size_t from = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+
+  if (out.size() != expected) {
+    return DataLossError("compressed stream: size mismatch (" +
+                         std::to_string(out.size()) + " vs declared " +
+                         std::to_string(expected) + ")");
+  }
+  return out;
+}
+
+}  // namespace obiwan::wire

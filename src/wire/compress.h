@@ -1,0 +1,31 @@
+// Byte-oriented LZ compression (LZ4-style block format).
+//
+// The paper's whole premise is narrow links — "OBIWAN attempts to minimize
+// bandwidth and connection time" (§5) — and replication batches of similar
+// objects compress extremely well (repeated class names, descriptors, and
+// payload patterns). This module provides the codec; net/compressed.h wraps
+// any transport with it.
+//
+// Format: varint(uncompressed_size) followed by LZ4-like sequences:
+//   token byte: high nibble = literal count, low nibble = match length - 4
+//               (15 in either nibble = continue with 255-extension bytes)
+//   <literals> <2-byte little-endian match offset, if a match follows>
+// The final sequence carries literals only. Decompression is hostile-input
+// safe: every read and copy is bounds-checked and corrupt input yields
+// kDataLoss, never UB.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace obiwan::wire {
+
+// Compress `input`. Always succeeds; worst case grows by ~1/255 + token
+// overhead (incompressible data is emitted as literal runs).
+Bytes Compress(BytesView input);
+
+// Decompress; fails with kDataLoss on malformed input or if the output would
+// exceed `max_output` bytes (guard against decompression bombs).
+Result<Bytes> Decompress(BytesView input, std::size_t max_output = 256 << 20);
+
+}  // namespace obiwan::wire

@@ -1,0 +1,82 @@
+// Binary wire format: Writer.
+//
+// This is the reproduction's stand-in for Java serialization (DESIGN.md,
+// substitution 3): a compact, portable, little-endian format with varint
+// compression for counts and ids. Everything that crosses a site boundary —
+// RMI arguments, replica state, proxy descriptors — goes through this module,
+// so the size-dependent costs the paper measures (transfer time, serialization
+// time) are real here too.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace obiwan::wire {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+
+  void U16(std::uint16_t v) { AppendLE(v); }
+  void U32(std::uint32_t v) { AppendLE(v); }
+  void U64(std::uint64_t v) { AppendLE(v); }
+
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  // LEB128 unsigned varint.
+  void Varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  // Zigzag-encoded signed varint.
+  void Svarint(std::int64_t v) {
+    Varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void F32(float v) { U32(std::bit_cast<std::uint32_t>(v)); }
+
+  // Length-prefixed UTF-8 string.
+  void String(std::string_view s) {
+    Varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  // Length-prefixed opaque bytes.
+  void Blob(BytesView b) {
+    Varint(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  // Raw bytes, no length prefix (caller manages framing).
+  void Raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& data() const& { return buf_; }
+  Bytes Take() && { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void AppendLE(T v) {
+    static_assert(std::is_unsigned_v<T>);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+}  // namespace obiwan::wire

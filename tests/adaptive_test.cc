@@ -1,0 +1,126 @@
+// AdaptiveRef tests: the automated RMI/LMI decision of §6, on the simulated
+// paper network so the cost model is exact.
+#include <gtest/gtest.h>
+
+#include "adaptive/adaptive_ref.h"
+#include "obiwan.h"
+#include "test_objects.h"
+
+namespace obiwan {
+namespace {
+
+using adaptive::AdaptiveOptions;
+using adaptive::AdaptiveRef;
+using core::ReplicationMode;
+using test::Node;
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<net::SimNetwork>(clock_, net::kPaperLan);
+    server_ = std::make_unique<core::Site>(1, network_->CreateEndpoint("s"), clock_);
+    client_ = std::make_unique<core::Site>(2, network_->CreateEndpoint("c"), clock_);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_->Start().ok());
+    server_->HostRegistry();
+    client_->UseRegistry("s");
+    master_ = test::MakeChain(1, 64, "m");
+    ASSERT_TRUE(server_->Bind("obj", master_).ok());
+  }
+
+  AdaptiveRef<Node> Make(AdaptiveOptions options = {}) {
+    auto remote = client_->Lookup<Node>("obj");
+    EXPECT_TRUE(remote.ok());
+    return AdaptiveRef<Node>(*client_, *remote, options);
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<net::SimNetwork> network_;
+  std::unique_ptr<core::Site> server_;
+  std::unique_ptr<core::Site> client_;
+  std::shared_ptr<Node> master_;
+};
+
+TEST_F(AdaptiveTest, StartsRemoteThenSwitchesAtTheCrossover) {
+  // Estimate = 2 RTTs; each RMI costs one RTT, so the switch happens after
+  // the 2nd remote call.
+  auto ref = Make();
+  EXPECT_FALSE(ref.local());
+
+  for (int i = 1; i <= 2; ++i) {
+    auto v = ref.Invoke(&Node::Touch);
+    ASSERT_TRUE(v.ok());
+    EXPECT_FALSE(ref.local()) << "switched too early at call " << i;
+  }
+  EXPECT_EQ(ref.remote_calls(), 2u);
+  EXPECT_EQ(master_->value, 2);  // both calls ran on the master
+
+  // Third call: cost model trips, call runs locally.
+  auto v = ref.Invoke(&Node::Touch);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 3);
+  EXPECT_TRUE(ref.local());
+  EXPECT_EQ(ref.remote_calls(), 2u);
+  EXPECT_EQ(master_->value, 2);  // master no longer touched
+
+  // Everything after is LMI: zero network time.
+  Nanos before = clock_.Now();
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(ref.Invoke(&Node::Touch).ok());
+  EXPECT_EQ(clock_.Now(), before);
+
+  // Sync pushes the accumulated local state back.
+  ASSERT_TRUE(ref.Sync().ok());
+  EXPECT_EQ(master_->value, 1003);
+}
+
+TEST_F(AdaptiveTest, PinRemoteNeverSwitches) {
+  AdaptiveOptions options;
+  options.pin_remote = true;
+  auto ref = Make(options);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ref.Invoke(&Node::Touch).ok());
+  EXPECT_FALSE(ref.local());
+  EXPECT_EQ(ref.remote_calls(), 10u);
+  EXPECT_EQ(master_->value, 10);
+  EXPECT_TRUE(ref.Sync().ok());  // no-op in remote mode
+}
+
+TEST_F(AdaptiveTest, HighEstimateDelaysTheSwitch) {
+  AdaptiveOptions options;
+  options.replication_cost_estimate = 100 * 2'800 * kMicro;  // ~100 RTTs
+  auto ref = Make(options);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(ref.Invoke(&Node::Touch).ok());
+  EXPECT_FALSE(ref.local());  // still below the threshold
+  for (int i = 0; i < 60; ++i) ASSERT_TRUE(ref.Invoke(&Node::Touch).ok());
+  EXPECT_TRUE(ref.local());
+}
+
+TEST_F(AdaptiveTest, ExplicitReplicateNowSwitchesImmediately) {
+  auto ref = Make();
+  ASSERT_TRUE(ref.ReplicateNow().ok());
+  EXPECT_TRUE(ref.local());
+  auto v = ref.Invoke(&Node::Value);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ref.remote_calls(), 0u);
+}
+
+TEST_F(AdaptiveTest, ConstAndVoidSignatures) {
+  auto ref = Make();
+  auto label = ref.Invoke(&Node::Label);  // const, returns string
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, "m0");
+  Status s = ref.Invoke(&Node::SetValue, std::int64_t{42});  // void
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(master_->value, 42);
+}
+
+TEST_F(AdaptiveTest, DisconnectionSurfacesThroughRmiMode) {
+  auto ref = Make();
+  network_->SetEndpointUp("c", false);
+  auto v = ref.Invoke(&Node::Touch);
+  EXPECT_EQ(v.status().code(), StatusCode::kDisconnected);
+  network_->SetEndpointUp("c", true);
+  EXPECT_TRUE(ref.Invoke(&Node::Touch).ok());
+}
+
+}  // namespace
+}  // namespace obiwan

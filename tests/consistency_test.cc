@@ -1,0 +1,233 @@
+// Consistency-policy tests: the baseline (none), last-writer-wins, version
+// vectors, and write-invalidate — each exercised through real multi-site
+// put/get traffic.
+#include <gtest/gtest.h>
+
+#include "obiwan.h"
+#include "test_objects.h"
+
+namespace obiwan {
+namespace {
+
+using consistency::Dominates;
+using consistency::LastWriterWins;
+using consistency::VersionVector;
+using consistency::VersionVectorPolicy;
+using consistency::WriteInvalidate;
+using core::ReplicationMode;
+using test::Node;
+
+// Master site + two independent demander sites (e.g. the office PC, the
+// laptop and the PDA), sharing one virtual clock.
+class ConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<net::SimNetwork>(clock_, net::LinkParams{});
+    master_ = std::make_unique<core::Site>(1, network_->CreateEndpoint("pc"), clock_);
+    laptop_ = std::make_unique<core::Site>(2, network_->CreateEndpoint("laptop"), clock_);
+    pda_ = std::make_unique<core::Site>(3, network_->CreateEndpoint("pda"), clock_);
+    ASSERT_TRUE(master_->Start().ok());
+    ASSERT_TRUE(laptop_->Start().ok());
+    ASSERT_TRUE(pda_->Start().ok());
+    master_->HostRegistry();
+    laptop_->UseRegistry("pc");
+    pda_->UseRegistry("pc");
+  }
+
+  core::Ref<Node> ReplicateOn(core::Site& site, const std::string& name) {
+    auto remote = site.Lookup<Node>(name);
+    EXPECT_TRUE(remote.ok()) << remote.status();
+    auto ref = remote->Replicate(ReplicationMode::Incremental(1));
+    EXPECT_TRUE(ref.ok()) << ref.status();
+    return *ref;
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<net::SimNetwork> network_;
+  std::unique_ptr<core::Site> master_;
+  std::unique_ptr<core::Site> laptop_;
+  std::unique_ptr<core::Site> pda_;
+};
+
+TEST_F(ConsistencyTest, BaselineLastPutWinsUnconditionally) {
+  auto obj = test::MakeChain(1, 8, "o");
+  ASSERT_TRUE(master_->Bind("obj", obj).ok());
+  auto on_laptop = ReplicateOn(*laptop_, "obj");
+  auto on_pda = ReplicateOn(*pda_, "obj");
+
+  on_laptop->SetLabel("from-laptop");
+  on_pda->SetLabel("from-pda");
+  ASSERT_TRUE(laptop_->Put(on_laptop).ok());
+  // The PDA's put is based on a stale replica, but the baseline accepts it.
+  ASSERT_TRUE(pda_->Put(on_pda).ok());
+  EXPECT_EQ(obj->label, "from-pda");
+}
+
+TEST_F(ConsistencyTest, LastWriterWinsWithSharedClockNeverConflicts) {
+  // Writes are stamped at put time; with one shared (synchronised) clock the
+  // later put always carries the later stamp, so it always wins.
+  master_->SetConsistencyPolicy(std::make_unique<LastWriterWins>());
+  laptop_->SetConsistencyPolicy(std::make_unique<LastWriterWins>());
+  pda_->SetConsistencyPolicy(std::make_unique<LastWriterWins>());
+  auto obj = test::MakeChain(1, 8, "o");
+  ASSERT_TRUE(master_->Bind("obj", obj).ok());
+  auto on_laptop = ReplicateOn(*laptop_, "obj");
+  auto on_pda = ReplicateOn(*pda_, "obj");
+
+  on_laptop->SetLabel("first");
+  clock_.Sleep(10 * kMilli);
+  ASSERT_TRUE(laptop_->Put(on_laptop).ok());
+  on_pda->SetLabel("second");
+  clock_.Sleep(10 * kMilli);
+  ASSERT_TRUE(pda_->Put(on_pda).ok());
+  EXPECT_EQ(obj->label, "second");
+}
+
+TEST(LastWriterWinsSkewedClocks, LaggingClockLosesUntilItCatchesUp) {
+  // Separate per-site clocks (real mobile devices drift): the site whose
+  // clock lags gets its writes rejected as "older".
+  VirtualClock net_clock, laptop_clock, pda_clock;
+  net::SimNetwork network(net_clock, net::LinkParams{});
+  core::Site master(1, network.CreateEndpoint("pc"), net_clock);
+  core::Site laptop(2, network.CreateEndpoint("laptop"), laptop_clock);
+  core::Site pda(3, network.CreateEndpoint("pda"), pda_clock);
+  ASSERT_TRUE(master.Start().ok());
+  ASSERT_TRUE(laptop.Start().ok());
+  ASSERT_TRUE(pda.Start().ok());
+  master.HostRegistry();
+  laptop.UseRegistry("pc");
+  pda.UseRegistry("pc");
+  master.SetConsistencyPolicy(std::make_unique<LastWriterWins>());
+  laptop.SetConsistencyPolicy(std::make_unique<LastWriterWins>());
+  pda.SetConsistencyPolicy(std::make_unique<LastWriterWins>());
+
+  auto obj = test::MakeChain(1, 8, "o");
+  ASSERT_TRUE(master.Bind("obj", obj).ok());
+  auto on_laptop = laptop.Lookup<Node>("obj")->Replicate(ReplicationMode::Incremental(1));
+  auto on_pda = pda.Lookup<Node>("obj")->Replicate(ReplicationMode::Incremental(1));
+  ASSERT_TRUE(on_laptop.ok());
+  ASSERT_TRUE(on_pda.ok());
+
+  laptop_clock.Sleep(100 * kMilli);  // laptop's clock runs ahead
+  (*on_laptop)->SetLabel("from-laptop");
+  ASSERT_TRUE(laptop.Put(*on_laptop).ok());
+
+  // The PDA's clock still reads ~0: its write is stamped earlier and loses.
+  (*on_pda)->SetLabel("from-pda");
+  EXPECT_EQ(pda.Put(*on_pda).code(), StatusCode::kConflict);
+  EXPECT_EQ(obj->label, "from-laptop");
+
+  // Once the PDA's clock passes the laptop's stamp, its writes win again.
+  ASSERT_TRUE(pda.Refresh(*on_pda).ok());
+  pda_clock.Sleep(200 * kMilli);
+  (*on_pda)->SetLabel("pda-later");
+  EXPECT_TRUE(pda.Put(*on_pda).ok());
+  EXPECT_EQ(obj->label, "pda-later");
+}
+
+TEST_F(ConsistencyTest, VersionVectorDetectsConcurrentUpdate) {
+  master_->SetConsistencyPolicy(std::make_unique<VersionVectorPolicy>(1));
+  laptop_->SetConsistencyPolicy(std::make_unique<VersionVectorPolicy>(2));
+  pda_->SetConsistencyPolicy(std::make_unique<VersionVectorPolicy>(3));
+
+  auto obj = test::MakeChain(1, 8, "o");
+  ASSERT_TRUE(master_->Bind("obj", obj).ok());
+  auto on_laptop = ReplicateOn(*laptop_, "obj");
+  auto on_pda = ReplicateOn(*pda_, "obj");
+
+  // Both edit concurrently from the same base version.
+  on_laptop->SetLabel("laptop-edit");
+  on_pda->SetLabel("pda-edit");
+
+  ASSERT_TRUE(laptop_->Put(on_laptop).ok());
+  Status s = pda_->Put(on_pda);
+  EXPECT_EQ(s.code(), StatusCode::kConflict);
+  EXPECT_EQ(obj->label, "laptop-edit");  // master untouched by losing write
+
+  // Sequential (causal) writes keep working.
+  ASSERT_TRUE(pda_->Refresh(on_pda).ok());
+  on_pda->SetLabel("pda-after-refresh");
+  EXPECT_TRUE(pda_->Put(on_pda).ok());
+  EXPECT_EQ(obj->label, "pda-after-refresh");
+
+  // And the laptop in turn must refresh before writing again.
+  on_laptop->SetLabel("laptop-stale-again");
+  EXPECT_EQ(laptop_->Put(on_laptop).code(), StatusCode::kConflict);
+}
+
+TEST_F(ConsistencyTest, WriteInvalidateMarksOtherReplicasStale) {
+  master_->SetConsistencyPolicy(std::make_unique<WriteInvalidate>());
+  auto obj = test::MakeChain(1, 8, "o");
+  ASSERT_TRUE(master_->Bind("obj", obj).ok());
+  auto on_laptop = ReplicateOn(*laptop_, "obj");
+  auto on_pda = ReplicateOn(*pda_, "obj");
+
+  EXPECT_FALSE(pda_->IsStale(on_pda));
+
+  on_laptop->SetLabel("laptop-wins");
+  ASSERT_TRUE(laptop_->Put(on_laptop).ok());
+
+  // The PDA's replica was invalidated by the master.
+  EXPECT_TRUE(pda_->IsStale(on_pda));
+  EXPECT_FALSE(laptop_->IsStale(on_laptop));
+
+  // Reads still work offline-style (possibly stale data)...
+  EXPECT_EQ(on_pda->Label(), "o0");
+  // ...but a put from the stale replica is refused.
+  on_pda->SetLabel("pda-stale-write");
+  EXPECT_EQ(pda_->Put(on_pda).code(), StatusCode::kConflict);
+
+  // Refresh clears staleness and brings the new state.
+  ASSERT_TRUE(pda_->Refresh(on_pda).ok());
+  EXPECT_FALSE(pda_->IsStale(on_pda));
+  EXPECT_EQ(on_pda->Label(), "laptop-wins");
+  on_pda->SetLabel("pda-after-refresh");
+  EXPECT_TRUE(pda_->Put(on_pda).ok());
+}
+
+TEST_F(ConsistencyTest, WriteInvalidateSkipsDisconnectedHolderGracefully) {
+  master_->SetConsistencyPolicy(std::make_unique<WriteInvalidate>());
+  auto obj = test::MakeChain(1, 8, "o");
+  ASSERT_TRUE(master_->Bind("obj", obj).ok());
+  auto on_laptop = ReplicateOn(*laptop_, "obj");
+  auto on_pda = ReplicateOn(*pda_, "obj");
+
+  network_->SetEndpointUp("pda", false);
+  on_laptop->SetLabel("while-pda-offline");
+  // The invalidation to the PDA fails silently; the put itself succeeds.
+  ASSERT_TRUE(laptop_->Put(on_laptop).ok());
+  EXPECT_EQ(obj->label, "while-pda-offline");
+
+  // The PDA missed the invalidation, but its eventual put is still caught by
+  // the version check.
+  network_->SetEndpointUp("pda", true);
+  EXPECT_FALSE(pda_->IsStale(on_pda));  // it never heard
+  on_pda->SetLabel("pda-much-later");
+  EXPECT_EQ(pda_->Put(on_pda).code(), StatusCode::kConflict);
+}
+
+// --- version-vector algebra ---------------------------------------------------
+
+TEST(VersionVectorAlgebra, Dominates) {
+  VersionVector a{{1, 2}, {2, 1}};
+  VersionVector b{{1, 1}};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+  EXPECT_TRUE(Dominates(a, a));
+  EXPECT_TRUE(Dominates(a, {}));   // everything dominates empty
+  EXPECT_TRUE(Dominates({}, {}));  // reflexively
+
+  VersionVector c{{1, 1}, {3, 5}};
+  EXPECT_FALSE(Dominates(a, c));  // concurrent
+  EXPECT_FALSE(Dominates(c, a));
+}
+
+TEST(VersionVectorAlgebra, CodecRoundTrip) {
+  VersionVector vv{{1, 10}, {7, 3}, {42, 1}};
+  Bytes encoded = consistency::EncodeVersionVector(vv);
+  EXPECT_EQ(consistency::DecodeVersionVector(AsView(encoded)), vv);
+  EXPECT_TRUE(consistency::DecodeVersionVector({}).empty());
+}
+
+}  // namespace
+}  // namespace obiwan

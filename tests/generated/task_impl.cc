@@ -1,0 +1,27 @@
+// Business logic for the obicomp-generated Task/TaskBoard classes — the part
+// the paper says is all the programmer writes (§3.1).
+#include "generated/task.obi.h"
+
+OBIWAN_REGISTER_CLASS(Task);
+OBIWAN_REGISTER_CLASS(TaskBoard);
+
+std::string Task::Title() const { return title; }
+
+void Task::Complete() { done = true; }
+
+std::int64_t Task::Escalate(std::int64_t amount) {
+  priority += amount;
+  return priority;
+}
+
+std::vector<std::string> Task::TagsMatching(std::string prefix) const {
+  std::vector<std::string> out;
+  for (const std::string& tag : tags) {
+    if (tag.rfind(prefix, 0) == 0) out.push_back(tag);
+  }
+  return out;
+}
+
+std::string TaskBoard::Owner() const { return owner; }
+
+void TaskBoard::Assign(std::string new_owner) { owner = std::move(new_owner); }

@@ -1,0 +1,136 @@
+// obicomp porting mode (§3.2): legacy C++ class -> shareable class.
+#include <gtest/gtest.h>
+
+#include "obicomp/idl.h"
+#include "obicomp/port.h"
+
+namespace obiwan::obicomp {
+namespace {
+
+constexpr std::string_view kLegacy = R"(
+// A pre-OBIWAN, non-distributed agenda (what the paper calls a legacy
+// application class).
+#include <string>
+
+class Entry;
+
+class Agenda {
+ public:
+  std::string owner;
+  int64_t entry_count = 0;
+  std::vector<std::string> categories;
+  Entry* first;          /* raw pointer: becomes a Ref */
+
+  std::string Owner() const;
+  void SetOwner(const std::string& new_owner);
+  int64_t Grow(int64_t by) { entry_count += by; return entry_count; }
+
+ private:
+  double last_sync;
+};
+
+class Entry {
+ public:
+  std::string text;
+  Entry* next;
+  void Clear() { text = ""; }
+};
+)";
+
+TEST(Port, LegacyClassIsRecognised) {
+  auto file = PortCpp(kLegacy);
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_EQ(file->classes.size(), 2u);  // the fwd declaration adds no class
+
+  const IdlClass& agenda = file->classes[0];
+  EXPECT_EQ(agenda.name, "Agenda");
+  ASSERT_EQ(agenda.fields.size(), 4u);
+  EXPECT_EQ(agenda.fields[0].type, "string");
+  EXPECT_EQ(agenda.fields[1].type, "i64");
+  EXPECT_EQ(agenda.fields[1].name, "entry_count");
+  EXPECT_EQ(agenda.fields[2].type, "list<string>");
+  EXPECT_EQ(agenda.fields[3].type, "f64");  // private member ported too
+
+  ASSERT_EQ(agenda.refs.size(), 1u);
+  EXPECT_EQ(agenda.refs[0].target, "Entry");
+  EXPECT_EQ(agenda.refs[0].name, "first");
+
+  ASSERT_EQ(agenda.methods.size(), 3u);
+  EXPECT_EQ(agenda.methods[0].name, "Owner");
+  EXPECT_TRUE(agenda.methods[0].is_const);
+  EXPECT_EQ(agenda.methods[1].name, "SetOwner");
+  ASSERT_EQ(agenda.methods[1].params.size(), 1u);
+  EXPECT_EQ(agenda.methods[1].params[0].type, "string");  // const& decayed
+  EXPECT_EQ(agenda.methods[2].name, "Grow");  // inline body skipped
+}
+
+TEST(Port, PortedClassEmitsShareableHeader) {
+  auto file = PortCpp(kLegacy);
+  ASSERT_TRUE(file.ok());
+  auto header = GenerateHeader(*file, "legacy_agenda.h");
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_NE(header->find("class Agenda : public obiwan::core::Shareable"),
+            std::string::npos);
+  EXPECT_NE(header->find("obiwan::core::Ref<Entry> first;"), std::string::npos);
+  EXPECT_NE(header->find(".Method(\"Grow\", &Agenda::Grow)"), std::string::npos);
+}
+
+TEST(Port, TypeMapping) {
+  EXPECT_EQ(*IdlTypeOf("int"), "i32");
+  EXPECT_EQ(*IdlTypeOf("std::int64_t"), "i64");
+  EXPECT_EQ(*IdlTypeOf("unsigned"), "u32");
+  EXPECT_EQ(*IdlTypeOf("double"), "f64");
+  EXPECT_EQ(*IdlTypeOf("std::string"), "string");
+  EXPECT_EQ(*IdlTypeOf("std::vector<int>"), "list<i32>");
+  EXPECT_EQ(*IdlTypeOf("std::vector<std::uint8_t>"), "bytes");
+  EXPECT_EQ(*IdlTypeOf("vector<std::vector<double>>"), "list<list<f64>>");
+  EXPECT_FALSE(IdlTypeOf("std::map<int,int>").ok());
+  EXPECT_FALSE(IdlTypeOf("Widget").ok());
+}
+
+TEST(Port, StructsAndAccessSpecifiers) {
+  auto file = PortCpp("struct Point { double x; double y; };");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->classes[0].fields.size(), 2u);
+}
+
+TEST(Port, SkipsCommentsAndPreprocessor) {
+  auto file = PortCpp(R"(
+#pragma once
+#include <string>
+/* block
+   comment */
+class C {
+ public:
+  int x;  // trailing comment
+};
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(file->classes[0].fields.size(), 1u);
+}
+
+TEST(Port, ErrorsAreClean) {
+  EXPECT_FALSE(PortCpp("").ok());
+  EXPECT_FALSE(PortCpp("class C { int }").ok());          // unterminated
+  EXPECT_FALSE(PortCpp("class C { std::map<int> m; };").ok());  // unsupported (punct)
+  EXPECT_FALSE(PortCpp("int free_function();").ok());
+  auto with_line = PortCpp("class C {\n\n  @bad\n};");
+  ASSERT_FALSE(with_line.ok());
+  EXPECT_NE(with_line.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(Port, MethodBodiesWithNestedBraces) {
+  auto file = PortCpp(R"(
+class C {
+ public:
+  int F() { if (true) { return 1; } return 2; }
+  int y;
+};
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(file->classes[0].methods.size(), 1u);
+  EXPECT_EQ(file->classes[0].fields.size(), 1u);  // parsing resumes after body
+}
+
+}  // namespace
+}  // namespace obiwan::obicomp

@@ -1,0 +1,160 @@
+// Refresh semantics under master-side change: field updates, topology
+// rewires, growth past the replica's frontier, and the interaction with
+// local (unsynchronised) edits.
+#include <gtest/gtest.h>
+
+#include "obiwan.h"
+#include "test_objects.h"
+
+namespace obiwan {
+namespace {
+
+using core::ReplicationMode;
+using test::Node;
+
+class RefreshTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    provider_ = std::make_unique<core::Site>(1, network_.CreateEndpoint("p"));
+    demander_ = std::make_unique<core::Site>(2, network_.CreateEndpoint("d"));
+    ASSERT_TRUE(provider_->Start().ok());
+    ASSERT_TRUE(demander_->Start().ok());
+    provider_->HostRegistry();
+    demander_->UseRegistry("p");
+  }
+
+  core::Ref<Node> Replicate(const std::string& name, ReplicationMode mode) {
+    auto remote = demander_->Lookup<Node>(name);
+    EXPECT_TRUE(remote.ok());
+    auto ref = remote->Replicate(mode);
+    EXPECT_TRUE(ref.ok());
+    return *ref;
+  }
+
+  net::LoopbackNetwork network_;
+  std::unique_ptr<core::Site> provider_;
+  std::unique_ptr<core::Site> demander_;
+};
+
+TEST_F(RefreshTest, OverwritesLocalEdits) {
+  auto obj = test::MakeChain(1, 16, "o");
+  ASSERT_TRUE(provider_->Bind("obj", obj).ok());
+  auto ref = Replicate("obj", ReplicationMode::Incremental(1));
+
+  // Local, never-put edit: refresh is an explicit "discard and resync".
+  ref->SetLabel("local-edit");
+  ASSERT_TRUE(demander_->Refresh(ref).ok());
+  EXPECT_EQ(ref->label, "o0");
+}
+
+TEST_F(RefreshTest, MasterRewiredToNewObject) {
+  auto head = test::MakeChain(2, 16, "n");
+  ASSERT_TRUE(provider_->Bind("list", head).ok());
+  auto ref = Replicate("list", ReplicationMode::Incremental(2));
+  EXPECT_EQ(ref->next->Label(), "n1");
+
+  // The master grows a brand-new node in front of the old tail.
+  auto inserted = std::make_shared<Node>();
+  inserted->label = "inserted";
+  inserted->next = std::static_pointer_cast<Node>(head->next.local());
+  head->next = inserted;
+
+  ASSERT_TRUE(demander_->Refresh(ref).ok());
+  // The rewired edge arrives as a proxy (the new object was never
+  // replicated); faulting brings it in, and the old tail is reused by
+  // identity behind it.
+  Node* old_tail = ref->next.get() ? nullptr : nullptr;
+  (void)old_tail;
+  EXPECT_EQ(ref->next->Label(), "inserted");
+  EXPECT_EQ(ref->next->next->Label(), "n1");
+  EXPECT_EQ(demander_->replica_count(), 3u);
+}
+
+TEST_F(RefreshTest, MasterDroppedAnEdge) {
+  auto head = test::MakeChain(3, 16, "n");
+  ASSERT_TRUE(provider_->Bind("list", head).ok());
+  auto ref = Replicate("list", ReplicationMode::Closure());
+  EXPECT_EQ(demander_->replica_count(), 3u);
+
+  head->next.Reset();  // master truncates the list
+  ASSERT_TRUE(demander_->Refresh(ref).ok());
+  EXPECT_TRUE(ref->next.IsEmpty());
+  // The orphaned replicas remain until evicted (identity is preserved, so a
+  // later re-attachment at the master finds them again).
+  EXPECT_EQ(demander_->replica_count(), 3u);
+}
+
+TEST_F(RefreshTest, IncrementalRefreshIsObjectGranular) {
+  auto head = test::MakeChain(3, 16, "n");
+  ASSERT_TRUE(provider_->Bind("list", head).ok());
+  // Incremental: each replica has its own channel, so refresh is per object
+  // (§2.2's "refresh replica B'").
+  auto ref = Replicate("list", ReplicationMode::Incremental(3));
+
+  ref->next->next->SetLabel("tail-edit");
+  head->label = "head-new";
+  ASSERT_TRUE(demander_->Refresh(ref).ok());
+  EXPECT_EQ(ref->label, "head-new");
+  EXPECT_EQ(ref->next->next->label, "tail-edit");  // untouched
+}
+
+TEST_F(RefreshTest, ClusterRefreshIsClusterGranular) {
+  auto head = test::MakeChain(3, 16, "n");
+  ASSERT_TRUE(provider_->Bind("list", head).ok());
+  // Cluster-flavoured modes share one channel: refreshing any member
+  // re-fetches the whole cluster — local edits to every member are reset.
+  auto ref = Replicate("list", ReplicationMode::Closure());
+
+  ref->next->next->SetLabel("tail-edit");
+  head->label = "head-new";
+  ASSERT_TRUE(demander_->Refresh(ref).ok());
+  EXPECT_EQ(ref->label, "head-new");
+  EXPECT_EQ(ref->next->next->label, "n2");  // cluster-wide resync
+}
+
+TEST_F(RefreshTest, RefreshAfterPutIsIdempotent) {
+  auto obj = test::MakeChain(1, 16, "o");
+  ASSERT_TRUE(provider_->Bind("obj", obj).ok());
+  auto ref = Replicate("obj", ReplicationMode::Incremental(1));
+
+  ref->SetValue(7);
+  ASSERT_TRUE(demander_->Put(ref).ok());
+  ASSERT_TRUE(demander_->Refresh(ref).ok());
+  EXPECT_EQ(ref->Value(), 7);
+  auto version = demander_->ReplicaVersion(ref);
+  ASSERT_TRUE(version.ok());
+  auto master_version = provider_->MasterVersion(ref.id());
+  ASSERT_TRUE(master_version.ok());
+  EXPECT_EQ(*version, *master_version);
+}
+
+TEST_F(RefreshTest, RepeatedRefreshCreatesNoDuplicateState) {
+  auto head = test::MakeChain(2, 16, "n");
+  ASSERT_TRUE(provider_->Bind("list", head).ok());
+  auto ref = Replicate("list", ReplicationMode::Closure());
+
+  const auto replicas = demander_->replica_count();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(demander_->Refresh(ref).ok());
+  }
+  EXPECT_EQ(demander_->replica_count(), replicas);
+  EXPECT_EQ(ref->next->Label(), "n1");
+}
+
+TEST_F(RefreshTest, RefreshWhileDisconnectedFailsCleanly) {
+  auto obj = test::MakeChain(1, 16, "o");
+  ASSERT_TRUE(provider_->Bind("obj", obj).ok());
+  auto ref = Replicate("obj", ReplicationMode::Incremental(1));
+
+  ref->SetLabel("offline-edit");
+  provider_->Stop();
+  EXPECT_FALSE(demander_->Refresh(ref).ok());
+  // The failed refresh left the local (edited) state untouched.
+  EXPECT_EQ(ref->label, "offline-edit");
+  ASSERT_TRUE(provider_->Start().ok());
+  ASSERT_TRUE(demander_->Refresh(ref).ok());
+  EXPECT_EQ(ref->label, "o0");
+}
+
+}  // namespace
+}  // namespace obiwan

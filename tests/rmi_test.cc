@@ -1,0 +1,228 @@
+// RMI substrate tests: name server, call dispatch, marshalling of diverse
+// signatures, error surfaces.
+#include <gtest/gtest.h>
+
+#include "obiwan.h"
+#include "test_objects.h"
+
+namespace obiwan {
+namespace {
+
+// A class exercising the breadth of marshallable signatures.
+class Calculator : public core::Shareable {
+ public:
+  OBIWAN_SHAREABLE(Calculator)
+
+  double total = 0;
+  std::vector<std::string> log;
+
+  double Add(double x) {
+    total += x;
+    log.push_back("add");
+    return total;
+  }
+  std::string Describe(std::string prefix, std::int32_t precision) const {
+    return prefix + ":" + std::to_string(precision) + ":" + std::to_string(total);
+  }
+  void Reset() {
+    total = 0;
+    log.clear();
+  }
+  std::vector<std::string> Log() const { return log; }
+  std::map<std::string, std::int64_t> Stats(bool include_total) const {
+    std::map<std::string, std::int64_t> m;
+    m["ops"] = static_cast<std::int64_t>(log.size());
+    if (include_total) m["total"] = static_cast<std::int64_t>(total);
+    return m;
+  }
+
+  static void ObiwanDefine(core::ClassDef<Calculator>& def) {
+    def.Field("total", &Calculator::total)
+        .Field("log", &Calculator::log)
+        .Method("Add", &Calculator::Add)
+        .Method("Describe", &Calculator::Describe)
+        .Method("Reset", &Calculator::Reset)
+        .Method("Log", &Calculator::Log)
+        .Method("Stats", &Calculator::Stats);
+  }
+};
+OBIWAN_REGISTER_CLASS(Calculator);
+
+class RmiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<core::Site>(2, network_.CreateEndpoint("server"));
+    client_ = std::make_unique<core::Site>(1, network_.CreateEndpoint("client"));
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_->Start().ok());
+    server_->HostRegistry();
+    client_->UseRegistry("server");
+  }
+
+  net::LoopbackNetwork network_;
+  std::unique_ptr<core::Site> server_;
+  std::unique_ptr<core::Site> client_;
+};
+
+TEST_F(RmiTest, RegistryBindLookup) {
+  auto calc = std::make_shared<Calculator>();
+  ASSERT_TRUE(server_->Bind("calc", calc).ok());
+
+  auto remote = client_->Lookup<Calculator>("calc");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_TRUE(remote->valid());
+  EXPECT_EQ(remote->provider(), "server");
+  EXPECT_EQ(remote->info().class_name, "Calculator");
+}
+
+TEST_F(RmiTest, DuplicateBindRejectedRebindAllowed) {
+  auto calc = std::make_shared<Calculator>();
+  ASSERT_TRUE(server_->Bind("calc", calc).ok());
+  // Binding the *same* record again is idempotent (retried binds after a
+  // lost reply must succeed)...
+  EXPECT_TRUE(server_->Bind("calc", calc).ok());
+  // ...but claiming the name for a different object is refused.
+  EXPECT_EQ(server_->Bind("calc", std::make_shared<Calculator>()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(server_->Rebind("calc", std::make_shared<Calculator>()).ok());
+}
+
+TEST_F(RmiTest, UnbindAndLookupMiss) {
+  auto calc = std::make_shared<Calculator>();
+  ASSERT_TRUE(server_->Bind("calc", calc).ok());
+  ASSERT_TRUE(server_->Unbind("calc").ok());
+  EXPECT_EQ(client_->Lookup<Calculator>("calc").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server_->Unbind("calc").code(), StatusCode::kNotFound);
+}
+
+TEST_F(RmiTest, RegistryList) {
+  ASSERT_TRUE(server_->Bind("b", std::make_shared<Calculator>()).ok());
+  ASSERT_TRUE(server_->Bind("a", std::make_shared<Calculator>()).ok());
+  rmi::RegistryClient registry(client_->transport(), "server");
+  auto names = registry.List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b"}));  // sorted by map
+}
+
+TEST_F(RmiTest, ClientsCanBindRemotely) {
+  // A non-registry site binds its own master into the shared name server.
+  auto calc = std::make_shared<Calculator>();
+  ASSERT_TRUE(client_->Bind("client-calc", calc).ok());
+
+  auto remote = server_->Lookup<Calculator>("client-calc");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(remote->provider(), "client");
+  auto r = remote->Invoke(&Calculator::Add, 2.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 2.5);
+}
+
+TEST_F(RmiTest, TypedInvocationSignatures) {
+  auto calc = std::make_shared<Calculator>();
+  ASSERT_TRUE(server_->Bind("calc", calc).ok());
+  auto remote = client_->Lookup<Calculator>("calc");
+  ASSERT_TRUE(remote.ok());
+
+  // double(double)
+  auto total = remote->Invoke(&Calculator::Add, 1.5);
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ(*total, 1.5);
+
+  // string(string, int32) const — mixed types, const method.
+  auto desc = remote->Invoke(&Calculator::Describe, std::string("acc"), 3);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->substr(0, 6), "acc:3:");
+
+  // vector<string>() const
+  auto log = remote->Invoke(&Calculator::Log);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(*log, std::vector<std::string>{"add"});
+
+  // map return
+  auto stats = remote->Invoke(&Calculator::Stats, true);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->at("ops"), 1);
+
+  // void()
+  Status s = remote->Invoke(&Calculator::Reset);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(calc->total, 0.0);
+}
+
+TEST_F(RmiTest, UnregisteredMethodFailsClientSide) {
+  auto calc = std::make_shared<Calculator>();
+  ASSERT_TRUE(server_->Bind("calc", calc).ok());
+  auto remote = client_->Lookup<Calculator>("calc");
+  ASSERT_TRUE(remote.ok());
+
+  // ObiwanDefine never registered operator-less helper; use a lambda-free
+  // check: Stats registered, but a method pointer that is not — simulate by
+  // looking up a name that does not exist via CallRaw.
+  auto raw = client_->CallRaw("server", remote->id(), "NoSuchMethod", {});
+  EXPECT_EQ(raw.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RmiTest, CallOnUnknownObject) {
+  auto raw = client_->CallRaw("server", ObjectId{2, 424242}, "Add", {});
+  EXPECT_EQ(raw.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RmiTest, MalformedArgumentsRejected) {
+  auto calc = std::make_shared<Calculator>();
+  ASSERT_TRUE(server_->Bind("calc", calc).ok());
+  auto remote = client_->Lookup<Calculator>("calc");
+  ASSERT_TRUE(remote.ok());
+  // Describe expects (string, int32); send garbage that cannot decode.
+  auto raw = client_->CallRaw("server", remote->id(), "Describe", Bytes{0xFF});
+  EXPECT_FALSE(raw.ok());
+}
+
+TEST_F(RmiTest, LookupWithoutRegistryConfigured) {
+  core::Site lonely(9, network_.CreateEndpoint("lonely"));
+  ASSERT_TRUE(lonely.Start().ok());
+  EXPECT_EQ(lonely.Lookup<Calculator>("x").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(lonely.Bind("x", std::make_shared<Calculator>()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RmiTest, Ping) {
+  EXPECT_TRUE(client_->Ping("server").ok());
+  EXPECT_FALSE(client_->Ping("nowhere").ok());
+}
+
+TEST_F(RmiTest, DispatcherRejectsUnknownKind) {
+  // Raw garbage straight to the server endpoint.
+  auto reply = client_->transport().Request("server", Bytes{0xEE, 1, 2});
+  EXPECT_EQ(reply.status().code(), StatusCode::kDataLoss);
+  auto empty = client_->transport().Request("server", Bytes{});
+  EXPECT_EQ(empty.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(RmiTest, ExportIsIdempotent) {
+  auto calc = std::make_shared<Calculator>();
+  ObjectId first = server_->Export(calc);
+  ObjectId second = server_->Export(calc);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(server_->master_count(), 1u);
+}
+
+TEST_F(RmiTest, ReleaseProxyIn) {
+  auto calc = std::make_shared<Calculator>();
+  ASSERT_TRUE(server_->Bind("calc", calc).ok());
+  auto remote = client_->Lookup<Calculator>("calc");
+  ASSERT_TRUE(remote.ok());
+  const auto& info = remote->info();
+  core::ProxyDescriptor desc{info.pin, info.address, info.id, info.class_name};
+  EXPECT_TRUE(client_->ReleaseProxy(desc).ok());
+  // Released: demanding through it now fails.
+  auto obj = client_->DemandThrough(desc, info.id, core::ReplicationMode::Incremental(),
+                                    false, /*shortcut_local=*/false);
+  EXPECT_EQ(obj.status().code(), StatusCode::kNotFound);
+  // Double release reports not-found.
+  EXPECT_EQ(client_->ReleaseProxy(desc).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace obiwan

@@ -1,0 +1,149 @@
+// Class registry / ClassDef tests — the obicomp substitute.
+#include <gtest/gtest.h>
+
+#include "obiwan.h"
+#include "test_objects.h"
+
+namespace obiwan::core {
+namespace {
+
+TEST(ClassInfo, DescribesRegisteredClass) {
+  const ClassInfo& info = ClassInfoFor<test::Node>();
+  EXPECT_EQ(info.name(), "Node");
+  EXPECT_EQ(info.fields().size(), 3u);
+  EXPECT_EQ(info.refs().size(), 1u);
+  EXPECT_EQ(info.methods().size(), 5u);
+  EXPECT_EQ(info.fields()[0].name, "label");
+  EXPECT_EQ(info.refs()[0].name, "next");
+}
+
+TEST(ClassInfo, FactoryCreatesDefaultInstance) {
+  auto obj = ClassInfoFor<test::Node>().NewInstance();
+  ASSERT_NE(obj, nullptr);
+  auto* node = dynamic_cast<test::Node*>(obj.get());
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->value, 0);
+  EXPECT_EQ(&obj->obiwan_class(), &ClassInfoFor<test::Node>());
+}
+
+TEST(ClassInfo, FieldsRoundTrip) {
+  test::Node src;
+  src.label = "alpha";
+  src.value = -17;
+  src.payload = {1, 2, 3};
+
+  wire::Writer w;
+  ClassInfoFor<test::Node>().EncodeFields(src, w);
+
+  test::Node dst;
+  wire::Reader r(AsView(w.data()));
+  ASSERT_TRUE(ClassInfoFor<test::Node>().DecodeFields(dst, r).ok());
+  EXPECT_EQ(dst.label, "alpha");
+  EXPECT_EQ(dst.value, -17);
+  EXPECT_EQ(dst.payload, (Bytes{1, 2, 3}));
+}
+
+TEST(ClassInfo, DecodeFieldsRejectsTruncation) {
+  test::Node src;
+  src.label = "alpha";
+  wire::Writer w;
+  ClassInfoFor<test::Node>().EncodeFields(src, w);
+
+  test::Node dst;
+  wire::Reader r(BytesView(w.data().data(), w.size() / 2));
+  EXPECT_FALSE(ClassInfoFor<test::Node>().DecodeFields(dst, r).ok());
+}
+
+TEST(ClassInfo, FindMethod) {
+  const ClassInfo& info = ClassInfoFor<test::Node>();
+  EXPECT_NE(info.FindMethod("Touch"), nullptr);
+  EXPECT_EQ(info.FindMethod("Vanish"), nullptr);
+}
+
+TEST(ClassInfo, MethodNameOfMemberPointer) {
+  const ClassInfo& info = ClassInfoFor<test::Node>();
+  auto name = info.MethodNameOf(std::any(&test::Node::Touch));
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "Touch");
+
+  auto const_name = info.MethodNameOf(std::any(&test::Node::Value));
+  ASSERT_TRUE(const_name.ok());
+  EXPECT_EQ(*const_name, "Value");
+
+  // Same signature, different method: must not be confused.
+  auto label = info.MethodNameOf(std::any(&test::Node::Label));
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, "Label");
+}
+
+TEST(ClassInfo, MethodDispatchInvokes) {
+  test::Node node;
+  node.value = 10;
+  const MethodInfo* touch = ClassInfoFor<test::Node>().FindMethod("Touch");
+  ASSERT_NE(touch, nullptr);
+
+  wire::Writer args;  // Touch takes no arguments
+  wire::Reader r(AsView(args.data()));
+  auto ret = touch->dispatch(node, r);
+  ASSERT_TRUE(ret.ok());
+  EXPECT_EQ(node.value, 11);
+
+  wire::Reader ret_reader(AsView(*ret));
+  EXPECT_EQ(wire::Decode<std::int64_t>(ret_reader), 11);
+}
+
+TEST(ClassInfo, MethodDispatchRejectsBadArgs) {
+  test::Node node;
+  const MethodInfo* set = ClassInfoFor<test::Node>().FindMethod("SetValue");
+  ASSERT_NE(set, nullptr);
+  Bytes garbage{0xFF};  // malformed varint for int64
+  wire::Reader r(AsView(garbage));
+  EXPECT_FALSE(set->dispatch(node, r).ok());
+}
+
+TEST(ClassRegistry, FindByName) {
+  auto info = ClassRegistry::Instance().Find("Node");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->name(), "Node");
+  EXPECT_EQ(ClassRegistry::Instance().Find("Nonexistent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Ref, StatesAndBindings) {
+  Ref<test::Node> ref;
+  EXPECT_TRUE(ref.IsEmpty());
+  EXPECT_FALSE(ref);
+  EXPECT_EQ(ref.get(), nullptr);
+
+  auto node = std::make_shared<test::Node>();
+  ref = node;
+  EXPECT_TRUE(ref.IsLocal());
+  EXPECT_TRUE(ref);
+  EXPECT_EQ(ref.get(), node.get());
+  EXPECT_FALSE(ref.id().valid());  // no site has assigned an id yet
+
+  ref.Reset();
+  EXPECT_TRUE(ref.IsEmpty());
+}
+
+TEST(Ref, DereferencingNullThrows) {
+  Ref<test::Node> ref;
+  EXPECT_THROW(ref->Touch(), ObjectFaultError);
+  EXPECT_EQ(ref.Demand().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Ref, LocalDemandIsNoOp) {
+  Ref<test::Node> ref(std::make_shared<test::Node>());
+  EXPECT_TRUE(ref.Demand().ok());
+  EXPECT_EQ(ref->Touch(), 1);
+}
+
+TEST(Ref, CopySharesTarget) {
+  Ref<test::Node> a(std::make_shared<test::Node>());
+  Ref<test::Node> b = a;
+  b->SetValue(5);
+  EXPECT_EQ(a->Value(), 5);
+}
+
+}  // namespace
+}  // namespace obiwan::core

@@ -1,0 +1,27 @@
+#include "test_objects.h"
+
+namespace obiwan::test {
+
+OBIWAN_REGISTER_CLASS(Node);
+OBIWAN_REGISTER_CLASS(Pair);
+
+std::shared_ptr<Node> MakeChain(int n, std::size_t payload_size,
+                                const std::string& prefix) {
+  std::shared_ptr<Node> head;
+  std::shared_ptr<Node> tail;
+  for (int i = 0; i < n; ++i) {
+    auto node = std::make_shared<Node>();
+    node->label = prefix + std::to_string(i);
+    node->value = i;
+    node->payload.assign(payload_size, static_cast<std::uint8_t>(i));
+    if (tail != nullptr) {
+      tail->next = node;
+    } else {
+      head = node;
+    }
+    tail = std::move(node);
+  }
+  return head;
+}
+
+}  // namespace obiwan::test

@@ -1,0 +1,68 @@
+// Shareable classes used across the test suite and benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obiwan.h"
+
+namespace obiwan::test {
+
+// Chain node — the paper's A -> B -> C graph (Figure 1) and the list
+// workload of §4.2/§4.3.
+class Node : public core::Shareable {
+ public:
+  OBIWAN_SHAREABLE(Node)
+
+  std::string label;
+  Bytes payload;  // sized to model the paper's 64 B / 1 KB / 16 KB objects
+  std::int64_t value = 0;
+  core::Ref<Node> next;
+
+  std::int64_t Value() const { return value; }
+  void SetValue(std::int64_t v) { value = v; }
+  std::string Label() const { return label; }
+  void SetLabel(std::string l) { label = std::move(l); }
+  // The paper's probe method: "performs an access to a variable of the
+  // object, so it is not an empty method" (§4.1 footnote).
+  std::int64_t Touch() { return ++value; }
+
+  static void ObiwanDefine(core::ClassDef<Node>& def) {
+    def.Field("label", &Node::label)
+        .Field("payload", &Node::payload)
+        .Field("value", &Node::value)
+        .Ref("next", &Node::next)
+        .Method("Value", &Node::Value)
+        .Method("SetValue", &Node::SetValue)
+        .Method("Label", &Node::Label)
+        .Method("SetLabel", &Node::SetLabel)
+        .Method("Touch", &Node::Touch);
+  }
+};
+
+// Binary node for tree/diamond-shaped graphs (shared targets, fan-out).
+class Pair : public core::Shareable {
+ public:
+  OBIWAN_SHAREABLE(Pair)
+
+  std::string name;
+  core::Ref<Pair> left;
+  core::Ref<Pair> right;
+
+  std::string Name() const { return name; }
+
+  static void ObiwanDefine(core::ClassDef<Pair>& def) {
+    def.Field("name", &Pair::name)
+        .Ref("left", &Pair::left)
+        .Ref("right", &Pair::right)
+        .Method("Name", &Pair::Name);
+  }
+};
+
+// Build a singly linked chain of `n` nodes with `payload_size`-byte payloads;
+// labels are "<prefix>0" ... "<prefix>n-1"; values are 0..n-1.
+std::shared_ptr<Node> MakeChain(int n, std::size_t payload_size,
+                                const std::string& prefix = "n");
+
+}  // namespace obiwan::test

@@ -1,0 +1,106 @@
+// Tracer tests: ring semantics and the merged cross-site protocol timeline.
+#include <gtest/gtest.h>
+
+#include "common/trace.h"
+#include "obiwan.h"
+#include "test_objects.h"
+
+namespace obiwan {
+namespace {
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer tracer(8);
+  tracer.Record(1, 1, "a", "first");
+  tracer.Record(2, 2, "b", "second");
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].detail, "first");
+  EXPECT_EQ(events[1].site, 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, RingEvictsOldest) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Record(i, 1, "e", std::to_string(i));
+  }
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].detail, "6");
+  EXPECT_EQ(events[3].detail, "9");
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer tracer(4);
+  tracer.Record(1, 1, "e", "x");
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(Tracer, DumpRendersLines) {
+  Tracer tracer(4);
+  tracer.Record(2 * kMilli, 3, "fault", "obj(1:2)");
+  std::string dump = tracer.Dump();
+  EXPECT_NE(dump.find("site 3"), std::string::npos);
+  EXPECT_NE(dump.find("fault: obj(1:2)"), std::string::npos);
+}
+
+TEST(Tracer, MergedProtocolTimeline) {
+  // One tracer across two sites yields the whole conversation.
+  VirtualClock clock;
+  net::SimNetwork network(clock, net::kPaperLan);
+  core::Site provider(1, network.CreateEndpoint("p"), clock);
+  core::Site demander(2, network.CreateEndpoint("d"), clock);
+  ASSERT_TRUE(provider.Start().ok());
+  ASSERT_TRUE(demander.Start().ok());
+  provider.HostRegistry();
+  demander.UseRegistry("p");
+
+  Tracer tracer(64);
+  provider.SetTracer(&tracer);
+  demander.SetTracer(&tracer);
+
+  auto head = test::MakeChain(3, 16, "n");
+  ASSERT_TRUE(provider.Bind("list", head).ok());
+  auto remote = demander.Lookup<test::Node>("list");
+  ASSERT_TRUE(remote.ok());
+  (void)remote->Invoke(&test::Node::Value);
+  auto ref = remote->Replicate(core::ReplicationMode::Incremental(1));
+  ASSERT_TRUE(ref.ok());
+  (void)(*ref)->next->Label();  // fault
+  (*ref)->SetLabel("edit");
+  ASSERT_TRUE(demander.Put(*ref).ok());
+
+  auto events = tracer.Snapshot();
+  ASSERT_FALSE(events.empty());
+
+  auto count = [&](std::string_view category, SiteId site) {
+    int n = 0;
+    for (const auto& e : events) {
+      if (e.category == category && e.site == site) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("call", 1), 1);   // the RMI, served at the provider
+  EXPECT_EQ(count("get", 1), 2);    // initial replicate + fault
+  EXPECT_EQ(count("fault", 2), 1);  // recorded at the demander
+  EXPECT_EQ(count("put", 1), 1);
+
+  // Timestamps are monotone (shared virtual clock).
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+  }
+
+  // Detached sites stop recording.
+  provider.SetTracer(nullptr);
+  demander.SetTracer(nullptr);
+  auto before = tracer.total_recorded();
+  (void)remote->Invoke(&test::Node::Value);
+  EXPECT_EQ(tracer.total_recorded(), before);
+}
+
+}  // namespace
+}  // namespace obiwan

@@ -1,0 +1,194 @@
+// Relaxed optimistic transaction tests.
+#include <gtest/gtest.h>
+
+#include "obiwan.h"
+#include "test_objects.h"
+
+namespace obiwan {
+namespace {
+
+using core::ReplicationMode;
+using test::Node;
+using tx::Transaction;
+
+class TxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    provider_ = std::make_unique<core::Site>(1, network_.CreateEndpoint("p"));
+    alice_ = std::make_unique<core::Site>(2, network_.CreateEndpoint("alice"));
+    bob_ = std::make_unique<core::Site>(3, network_.CreateEndpoint("bob"));
+    ASSERT_TRUE(provider_->Start().ok());
+    ASSERT_TRUE(alice_->Start().ok());
+    ASSERT_TRUE(bob_->Start().ok());
+    provider_->HostRegistry();
+    alice_->UseRegistry("p");
+    bob_->UseRegistry("p");
+  }
+
+  core::Ref<Node> ReplicateOn(core::Site& site, const std::string& name,
+                              ReplicationMode mode = ReplicationMode::Incremental(1)) {
+    auto remote = site.Lookup<Node>(name);
+    EXPECT_TRUE(remote.ok()) << remote.status();
+    auto ref = remote->Replicate(mode);
+    EXPECT_TRUE(ref.ok()) << ref.status();
+    return *ref;
+  }
+
+  net::LoopbackNetwork network_;
+  std::unique_ptr<core::Site> provider_;
+  std::unique_ptr<core::Site> alice_;
+  std::unique_ptr<core::Site> bob_;
+};
+
+TEST_F(TxTest, CommitAppliesWrites) {
+  auto a = test::MakeChain(1, 8, "a");
+  auto b = test::MakeChain(1, 8, "b");
+  ASSERT_TRUE(provider_->Bind("a", a).ok());
+  ASSERT_TRUE(provider_->Bind("b", b).ok());
+
+  auto ref_a = ReplicateOn(*alice_, "a");
+  auto ref_b = ReplicateOn(*alice_, "b");
+
+  Transaction txn(*alice_);
+  ref_a->SetValue(100);
+  ref_b->SetValue(200);
+  ASSERT_TRUE(txn.Write(ref_a).ok());
+  ASSERT_TRUE(txn.Write(ref_b).ok());
+  EXPECT_EQ(txn.write_set_size(), 2u);
+
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(a->value, 100);
+  EXPECT_EQ(b->value, 200);
+  EXPECT_EQ(txn.write_set_size(), 0u);  // reusable after commit
+}
+
+TEST_F(TxTest, WriteWriteConflictAborts) {
+  auto a = test::MakeChain(1, 8, "a");
+  auto b = test::MakeChain(1, 8, "b");
+  ASSERT_TRUE(provider_->Bind("a", a).ok());
+  ASSERT_TRUE(provider_->Bind("b", b).ok());
+
+  auto alice_a = ReplicateOn(*alice_, "a");
+  auto alice_b = ReplicateOn(*alice_, "b");
+  auto bob_a = ReplicateOn(*bob_, "a");
+
+  // Bob slips in a plain put to `a` first.
+  bob_a->SetValue(77);
+  ASSERT_TRUE(bob_->Put(bob_a).ok());
+
+  Transaction txn(*alice_);
+  alice_a->SetValue(1);
+  alice_b->SetValue(2);
+  ASSERT_TRUE(txn.Write(alice_a).ok());
+  ASSERT_TRUE(txn.Write(alice_b).ok());
+
+  Status s = txn.Commit();
+  EXPECT_EQ(s.code(), StatusCode::kConflict);
+  // All-or-nothing at the provider: neither write landed.
+  EXPECT_EQ(a->value, 77);
+  EXPECT_EQ(b->value, 0);
+}
+
+TEST_F(TxTest, ReadValidationCatchesStaleReads) {
+  auto a = test::MakeChain(1, 8, "a");
+  auto b = test::MakeChain(1, 8, "b");
+  ASSERT_TRUE(provider_->Bind("a", a).ok());
+  ASSERT_TRUE(provider_->Bind("b", b).ok());
+
+  auto alice_a = ReplicateOn(*alice_, "a");
+  auto alice_b = ReplicateOn(*alice_, "b");
+  auto bob_a = ReplicateOn(*bob_, "a");
+
+  Transaction txn(*alice_);
+  // Alice computes b := f(a): reads a, writes b.
+  ASSERT_TRUE(txn.Read(alice_a).ok());
+  alice_b->SetValue(alice_a->Value() + 10);
+  ASSERT_TRUE(txn.Write(alice_b).ok());
+
+  // Bob invalidates Alice's read before she commits.
+  bob_a->SetValue(999);
+  ASSERT_TRUE(bob_->Put(bob_a).ok());
+
+  EXPECT_EQ(txn.Commit().code(), StatusCode::kConflict);
+  EXPECT_EQ(b->value, 0);  // the dependent write did not land
+}
+
+TEST_F(TxTest, RetryAfterRefreshSucceeds) {
+  auto a = test::MakeChain(1, 8, "a");
+  ASSERT_TRUE(provider_->Bind("a", a).ok());
+  auto alice_a = ReplicateOn(*alice_, "a");
+  auto bob_a = ReplicateOn(*bob_, "a");
+
+  bob_a->SetValue(5);
+  ASSERT_TRUE(bob_->Put(bob_a).ok());
+
+  Transaction txn(*alice_);
+  alice_a->SetValue(1);
+  ASSERT_TRUE(txn.Write(alice_a).ok());
+  ASSERT_EQ(txn.Commit().code(), StatusCode::kConflict);
+
+  // The optimistic loop: refresh, redo, retry.
+  ASSERT_TRUE(alice_->Refresh(alice_a).ok());
+  EXPECT_EQ(alice_a->Value(), 5);
+  alice_a->SetValue(alice_a->Value() + 1);
+  ASSERT_TRUE(txn.Write(alice_a).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(a->value, 6);
+}
+
+TEST_F(TxTest, AbortRestoresMasterState) {
+  auto a = test::MakeChain(1, 8, "a");
+  a->value = 42;
+  ASSERT_TRUE(provider_->Bind("a", a).ok());
+  auto alice_a = ReplicateOn(*alice_, "a");
+
+  Transaction txn(*alice_);
+  alice_a->SetValue(-1);
+  ASSERT_TRUE(txn.Write(alice_a).ok());
+  ASSERT_TRUE(txn.Abort().ok());
+
+  EXPECT_EQ(alice_a->Value(), 42);  // local edit rolled back from master
+  EXPECT_EQ(a->value, 42);
+  EXPECT_EQ(txn.write_set_size(), 0u);
+}
+
+TEST_F(TxTest, MultiProviderCommitIsPerProviderAtomic) {
+  // Second provider site mastering its own object.
+  core::Site provider2(4, network_.CreateEndpoint("p2"));
+  ASSERT_TRUE(provider2.Start().ok());
+  provider2.UseRegistry("p");
+
+  auto a = test::MakeChain(1, 8, "a");
+  auto c = test::MakeChain(1, 8, "c");
+  ASSERT_TRUE(provider_->Bind("a", a).ok());
+  ASSERT_TRUE(provider2.Bind("c", c).ok());
+
+  auto alice_a = ReplicateOn(*alice_, "a");
+  auto alice_c = ReplicateOn(*alice_, "c");
+
+  Transaction txn(*alice_);
+  alice_a->SetValue(10);
+  alice_c->SetValue(20);
+  ASSERT_TRUE(txn.Write(alice_a).ok());
+  ASSERT_TRUE(txn.Write(alice_c).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(a->value, 10);
+  EXPECT_EQ(c->value, 20);
+}
+
+TEST_F(TxTest, TrackingRequiresReplica) {
+  Transaction txn(*alice_);
+  core::Ref<Node> empty;
+  EXPECT_EQ(txn.Write(empty).code(), StatusCode::kFailedPrecondition);
+
+  core::Ref<Node> unreplicated(std::make_shared<Node>());
+  EXPECT_EQ(txn.Write(unreplicated).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TxTest, EmptyCommitIsOk) {
+  Transaction txn(*alice_);
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+}  // namespace
+}  // namespace obiwan

@@ -1,0 +1,89 @@
+// obicomp — OBIWAN's class compiler (paper §3.1, Figure 3).
+//
+// The Java prototype ran obicomp over application classes, using reflection
+// and source-code insertion to generate the remote interface, the proxy
+// classes and the replication plumbing. The C++ reproduction inverts the
+// direction (no reflection to read classes back): obicomp consumes a small
+// declarative description and emits the complete shareable class — fields,
+// reference members, method declarations, and the ObiwanDefine registration
+// block — leaving only the method bodies to the programmer, exactly the
+// "programmer only has to worry with the so-called business-logic" contract.
+//
+// Input format (one or more classes per file, '#' comments):
+//
+//   enum Urgency { low, normal, high }
+//
+//   class Entry {
+//     field string when;
+//     field bool done = true;
+//     field Urgency urgency = high;
+//     ref Entry next;
+//     method string Describe() const;
+//     method void Reschedule(string new_when);
+//   }
+//
+// Types: bool, i8..i64, u8..u64, f32, f64, string, bytes, list<T>, and any
+// enum declared in the same file (enums get a generated wire codec that
+// rejects out-of-range values). Field defaults are numeric literals or
+// identifiers (enum values, true/false).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace obiwan::obicomp {
+
+struct IdlField {
+  std::string type;  // IDL type name (built-in or a declared enum)
+  std::string name;
+  std::string default_value;  // optional: numeric literal or identifier
+};
+
+struct IdlEnum {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+struct IdlRef {
+  std::string target;  // class name the reference points at
+  std::string name;
+};
+
+struct IdlParam {
+  std::string type;
+  std::string name;
+};
+
+struct IdlMethod {
+  std::string return_type;  // IDL type or "void"
+  std::string name;
+  std::vector<IdlParam> params;
+  bool is_const = false;
+};
+
+struct IdlClass {
+  std::string name;
+  std::vector<IdlField> fields;
+  std::vector<IdlRef> refs;
+  std::vector<IdlMethod> methods;
+};
+
+struct IdlFile {
+  std::vector<IdlEnum> enums;
+  std::vector<IdlClass> classes;
+};
+
+// Parse an .obi source. Errors carry line numbers.
+Result<IdlFile> ParseIdl(std::string_view source);
+
+// Map an IDL type to its C++ spelling; error for unknown types.
+Result<std::string> CppTypeOf(std::string_view idl_type);
+
+// Emit the complete generated header for one file.
+Result<std::string> GenerateHeader(const IdlFile& file,
+                                   const std::string& source_name);
+
+}  // namespace obiwan::obicomp

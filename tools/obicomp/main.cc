@@ -1,0 +1,76 @@
+// obicomp command line:
+//   obicomp <input.obi> [-o <output.h>]          declarative mode (§3.1)
+//   obicomp --port <legacy.h> [-o <output.h>]    porting mode (§3.2)
+//
+// Reads an OBIWAN class description (or, with --port, a restricted legacy
+// C++ class definition) and writes the generated shareable-class header to
+// the output file (or stdout).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obicomp/idl.h"
+#include "obicomp/port.h"
+
+namespace {
+constexpr char kUsage[] =
+    "usage: obicomp [--port] <input> [-o <output.h>]\n";
+}
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string output_path;
+  bool port_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "--port") {
+      port_mode = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      input_path = arg;
+    } else {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+  }
+  if (input_path.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::fprintf(stderr, "obicomp: cannot read %s\n", input_path.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  auto parsed = port_mode ? obiwan::obicomp::PortCpp(source.str())
+                          : obiwan::obicomp::ParseIdl(source.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "obicomp: %s: %s\n", input_path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto header = obiwan::obicomp::GenerateHeader(*parsed, input_path);
+  if (!header.ok()) {
+    std::fprintf(stderr, "obicomp: %s: %s\n", input_path.c_str(),
+                 header.status().ToString().c_str());
+    return 1;
+  }
+
+  if (output_path.empty()) {
+    std::fputs(header->c_str(), stdout);
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "obicomp: cannot write %s\n", output_path.c_str());
+      return 1;
+    }
+    out << *header;
+  }
+  return 0;
+}

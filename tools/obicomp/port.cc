@@ -1,0 +1,385 @@
+#include "obicomp/port.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+namespace obiwan::obicomp {
+namespace {
+
+struct CppToken {
+  enum class Kind { kIdent, kPunct, kLiteral, kEnd };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+// Tokenizer for the restricted C++ subset: identifiers, `::`, single-char
+// punctuation; skips //, /* */ comments and preprocessor lines.
+class CppLexer {
+ public:
+  explicit CppLexer(std::string_view source) : source_(source) {}
+
+  Result<CppToken> Next() {
+    SkipNoise();
+    if (pos_ >= source_.size()) return CppToken{CppToken::Kind::kEnd, "", line_};
+    char c = source_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+              source_[pos_] == '_')) {
+        ++pos_;
+      }
+      return CppToken{CppToken::Kind::kIdent,
+                      std::string(source_.substr(start, pos_ - start)), line_};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+              source_[pos_] == '.' || source_[pos_] == '\'')) {
+        ++pos_;
+      }
+      return CppToken{CppToken::Kind::kLiteral,
+                      std::string(source_.substr(start, pos_ - start)), line_};
+    }
+    if (c == '"' || c == '\'') {
+      // String/char literal (appears in initializers and skipped bodies).
+      char quote = c;
+      std::size_t start = pos_++;
+      while (pos_ < source_.size() && source_[pos_] != quote) {
+        if (source_[pos_] == '\\') ++pos_;
+        if (source_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ >= source_.size()) {
+        return InvalidArgumentError("line " + std::to_string(line_) +
+                                    ": unterminated literal");
+      }
+      ++pos_;  // closing quote
+      return CppToken{CppToken::Kind::kLiteral,
+                      std::string(source_.substr(start, pos_ - start)), line_};
+    }
+    if (c == ':' && pos_ + 1 < source_.size() && source_[pos_ + 1] == ':') {
+      pos_ += 2;
+      return CppToken{CppToken::Kind::kPunct, "::", line_};
+    }
+    // Declarations only need a few of these; the rest appear inside skipped
+    // method bodies and initializers.
+    static constexpr std::string_view kPunct = "{}();,<>*&:=~+-/.!?[]|%^";
+    if (kPunct.find(c) != std::string_view::npos) {
+      ++pos_;
+      return CppToken{CppToken::Kind::kPunct, std::string(1, c), line_};
+    }
+    return InvalidArgumentError("line " + std::to_string(line_) +
+                                ": unsupported character '" + std::string(1, c) +
+                                "' in ported source");
+  }
+
+ private:
+  void SkipNoise() {
+    while (pos_ < source_.size()) {
+      char c = source_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < source_.size() && source_[pos_ + 1] == '/') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < source_.size() && source_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < source_.size() &&
+               !(source_[pos_] == '*' && source_[pos_ + 1] == '/')) {
+          if (source_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, source_.size());
+      } else if (c == '#') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+Status ErrAt(int line, const std::string& message) {
+  return InvalidArgumentError("line " + std::to_string(line) + ": " + message);
+}
+
+class CppPorter {
+ public:
+  explicit CppPorter(std::string_view source) : lexer_(source) {}
+
+  Result<IdlFile> Port() {
+    OBIWAN_RETURN_IF_ERROR(Advance());
+    IdlFile file;
+    while (current_.kind != CppToken::Kind::kEnd) {
+      if (current_.kind == CppToken::Kind::kIdent &&
+          (current_.text == "class" || current_.text == "struct")) {
+        OBIWAN_RETURN_IF_ERROR(Advance());
+        OBIWAN_ASSIGN_OR_RETURN(IdlClass cls, PortClass());
+        // Forward declarations (`class X;`) carry no members; the emitter
+        // forward-declares every class anyway, so drop the shell.
+        if (!cls.name.empty() && !forward_only_) {
+          file.classes.push_back(std::move(cls));
+        }
+      } else {
+        return ErrAt(current_.line,
+                     "expected 'class' or 'struct', got '" + current_.text + "'");
+      }
+    }
+    if (file.classes.empty()) return InvalidArgumentError("no classes found");
+    return file;
+  }
+
+ private:
+  Result<IdlClass> PortClass() {
+    IdlClass cls;
+    forward_only_ = false;
+    OBIWAN_ASSIGN_OR_RETURN(cls.name, TakeIdent("class name"));
+    // Forward declaration: `class X;`
+    if (IsPunct(";")) {
+      OBIWAN_RETURN_IF_ERROR(Advance());
+      forward_only_ = true;
+      return cls;
+    }
+    OBIWAN_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!IsPunct("}")) {
+      if (current_.kind == CppToken::Kind::kEnd) {
+        return ErrAt(current_.line, "unterminated class body");
+      }
+      // Access specifiers vanish — the wire needs every member anyway.
+      if (current_.kind == CppToken::Kind::kIdent &&
+          (current_.text == "public" || current_.text == "private" ||
+           current_.text == "protected")) {
+        OBIWAN_RETURN_IF_ERROR(Advance());
+        OBIWAN_RETURN_IF_ERROR(ExpectPunct(":"));
+        continue;
+      }
+      OBIWAN_RETURN_IF_ERROR(PortMember(cls));
+    }
+    OBIWAN_RETURN_IF_ERROR(Advance());  // '}'
+    if (IsPunct(";")) OBIWAN_RETURN_IF_ERROR(Advance());
+    return cls;
+  }
+
+  // One member: collect the declaration tokens up to ';', '(' or '{' and
+  // classify.
+  Status PortMember(IdlClass& cls) {
+    const int line = current_.line;
+    std::vector<std::string> decl;  // type tokens + name
+    while (!IsPunct(";") && !IsPunct("(") && !IsPunct("=")) {
+      if (current_.kind == CppToken::Kind::kEnd || IsPunct("}")) {
+        return ErrAt(line, "unterminated member declaration");
+      }
+      decl.push_back(current_.text);
+      OBIWAN_RETURN_IF_ERROR(Advance());
+    }
+    if (decl.empty()) return ErrAt(line, "empty member declaration");
+
+    if (IsPunct("(")) {
+      // Method. Name is the last token; everything before is the return type.
+      IdlMethod method;
+      method.name = decl.back();
+      decl.pop_back();
+      if (decl.empty()) {
+        return ErrAt(line, "constructors/destructors are not ported; give " +
+                               cls.name + " only business-logic methods");
+      }
+      std::string ret = Join(decl);
+      if (ret == "void") {
+        method.return_type = "void";
+      } else {
+        OBIWAN_ASSIGN_OR_RETURN(method.return_type, IdlTypeOf(ret));
+      }
+      OBIWAN_RETURN_IF_ERROR(Advance());  // '('
+      OBIWAN_RETURN_IF_ERROR(PortParams(method));
+      // ')' consumed by PortParams.
+      if (current_.kind == CppToken::Kind::kIdent && current_.text == "const") {
+        method.is_const = true;
+        OBIWAN_RETURN_IF_ERROR(Advance());
+      }
+      if (IsPunct("{")) {
+        OBIWAN_RETURN_IF_ERROR(SkipBracedBody());
+      } else {
+        OBIWAN_RETURN_IF_ERROR(ExpectPunct(";"));
+      }
+      cls.methods.push_back(std::move(method));
+      return Status::Ok();
+    }
+
+    if (IsPunct("=")) {
+      // Default member initializer: `int x = 3;` — skip to ';'.
+      while (!IsPunct(";")) {
+        if (current_.kind == CppToken::Kind::kEnd) {
+          return ErrAt(line, "unterminated initializer");
+        }
+        OBIWAN_RETURN_IF_ERROR(Advance());
+      }
+    }
+    OBIWAN_RETURN_IF_ERROR(Advance());  // ';'
+
+    // Field. Name is the last token.
+    std::string name = decl.back();
+    decl.pop_back();
+    if (decl.empty()) return ErrAt(line, "field without a type");
+
+    if (decl.back() == "*") {
+      // `Other* name;` — the §3.2 rewrite: a raw reference to another
+      // replicable class becomes a Ref.
+      decl.pop_back();
+      cls.refs.push_back(IdlRef{Join(decl), std::move(name)});
+      return Status::Ok();
+    }
+    IdlField field;
+    field.name = std::move(name);
+    OBIWAN_ASSIGN_OR_RETURN(field.type, IdlTypeOf(Join(decl)));
+    cls.fields.push_back(std::move(field));
+    return Status::Ok();
+  }
+
+  Status PortParams(IdlMethod& method) {
+    while (!IsPunct(")")) {
+      if (current_.kind == CppToken::Kind::kEnd) {
+        return ErrAt(current_.line, "unterminated parameter list");
+      }
+      std::vector<std::string> decl;
+      while (!IsPunct(",") && !IsPunct(")")) {
+        if (current_.kind == CppToken::Kind::kEnd) {
+          return ErrAt(current_.line, "unterminated parameter list");
+        }
+        // `const T&` parameters decay to by-value in the ported signature.
+        if (current_.text != "const" && current_.text != "&") {
+          decl.push_back(current_.text);
+        }
+        OBIWAN_RETURN_IF_ERROR(Advance());
+      }
+      if (IsPunct(",")) OBIWAN_RETURN_IF_ERROR(Advance());
+      if (decl.empty()) return ErrAt(current_.line, "empty parameter");
+      IdlParam param;
+      param.name = decl.back();
+      decl.pop_back();
+      if (decl.empty()) return ErrAt(current_.line, "parameter without a type");
+      OBIWAN_ASSIGN_OR_RETURN(param.type, IdlTypeOf(Join(decl)));
+      method.params.push_back(std::move(param));
+    }
+    return Advance();  // ')'
+  }
+
+  Status SkipBracedBody() {
+    int depth = 0;
+    do {
+      if (current_.kind == CppToken::Kind::kEnd) {
+        return ErrAt(current_.line, "unterminated method body");
+      }
+      if (IsPunct("{")) ++depth;
+      if (IsPunct("}")) --depth;
+      OBIWAN_RETURN_IF_ERROR(Advance());
+    } while (depth > 0);
+    return Status::Ok();
+  }
+
+  static std::string Join(const std::vector<std::string>& tokens) {
+    std::string out;
+    for (const std::string& t : tokens) out += t;
+    return out;
+  }
+
+  bool IsPunct(std::string_view p) const {
+    return current_.kind == CppToken::Kind::kPunct && current_.text == p;
+  }
+
+  Status Advance() {
+    OBIWAN_ASSIGN_OR_RETURN(current_, lexer_.Next());
+    return Status::Ok();
+  }
+
+  Status ExpectPunct(const std::string& punct) {
+    if (!IsPunct(punct)) {
+      return ErrAt(current_.line,
+                   "expected '" + punct + "', got '" + current_.text + "'");
+    }
+    return Advance();
+  }
+
+  Result<std::string> TakeIdent(const std::string& what) {
+    if (current_.kind != CppToken::Kind::kIdent) {
+      return ErrAt(current_.line, "expected " + what);
+    }
+    std::string text = current_.text;
+    OBIWAN_RETURN_IF_ERROR(Advance());
+    return text;
+  }
+
+  CppLexer lexer_;
+  CppToken current_{CppToken::Kind::kEnd, "", 0};
+  bool forward_only_ = false;
+};
+
+}  // namespace
+
+Result<std::string> IdlTypeOf(std::string_view cpp_type) {
+  static const std::map<std::string, std::string, std::less<>> kMap = {
+      {"bool", "bool"},
+      {"char", "i8"},
+      {"int8_t", "i8"},
+      {"std::int8_t", "i8"},
+      {"short", "i16"},
+      {"int16_t", "i16"},
+      {"std::int16_t", "i16"},
+      {"int", "i32"},
+      {"int32_t", "i32"},
+      {"std::int32_t", "i32"},
+      {"long", "i64"},
+      {"longlong", "i64"},
+      {"int64_t", "i64"},
+      {"std::int64_t", "i64"},
+      {"unsigned", "u32"},
+      {"uint8_t", "u8"},
+      {"std::uint8_t", "u8"},
+      {"uint16_t", "u16"},
+      {"std::uint16_t", "u16"},
+      {"uint32_t", "u32"},
+      {"std::uint32_t", "u32"},
+      {"uint64_t", "u64"},
+      {"std::uint64_t", "u64"},
+      {"float", "f32"},
+      {"double", "f64"},
+      {"string", "string"},
+      {"std::string", "string"},
+  };
+  if (auto it = kMap.find(cpp_type); it != kMap.end()) return it->second;
+  // std::vector<T> -> list<T>
+  constexpr std::string_view kVector = "std::vector<";
+  constexpr std::string_view kVectorShort = "vector<";
+  std::string_view inner;
+  if (cpp_type.starts_with(kVector) && cpp_type.ends_with(">")) {
+    inner = cpp_type.substr(kVector.size(),
+                            cpp_type.size() - kVector.size() - 1);
+  } else if (cpp_type.starts_with(kVectorShort) && cpp_type.ends_with(">")) {
+    inner = cpp_type.substr(kVectorShort.size(),
+                            cpp_type.size() - kVectorShort.size() - 1);
+  }
+  if (!inner.empty()) {
+    if (inner == "uint8_t" || inner == "std::uint8_t") {
+      return std::string("bytes");
+    }
+    OBIWAN_ASSIGN_OR_RETURN(std::string idl_inner, IdlTypeOf(inner));
+    return "list<" + idl_inner + ">";
+  }
+  return InvalidArgumentError("cannot port C++ type '" + std::string(cpp_type) +
+                              "'");
+}
+
+Result<IdlFile> PortCpp(std::string_view cpp_source) {
+  return CppPorter(cpp_source).Port();
+}
+
+}  // namespace obiwan::obicomp

@@ -1,0 +1,41 @@
+// obicomp porting mode (paper §3.2).
+//
+// "For non-distributed applications the porting should be performed in the
+// following manner: from every existing class A, an interface representing
+// its public methods can be automatically derived [...] its references to
+// instances of other classes that may be incrementally replicated must be
+// changed to reference the corresponding interfaces" — i.e. the tool, not the
+// programmer, turns a plain class into a shareable one.
+//
+// PortClass consumes a restricted subset of C++ (the shapes a 2002-era
+// business-logic class actually uses) and produces the same IdlFile the
+// declarative front end produces, so the one emitter serves both paths:
+//
+//   class Agenda {             class Agenda : public obiwan::core::Shareable
+//    public:                   + OBIWAN_SHAREABLE + ObiwanDefine block, with
+//     std::string owner;   =>  every raw `Other*` member rewritten to
+//     Entry* first;             obiwan::core::Ref<Entry>.
+//     int64_t Count() const;
+//   };
+//
+// Recognised members: value fields of scalar/std types, `T*` reference
+// fields, method declarations (inline bodies are skipped, only signatures
+// matter). Private members are ported like public ones (the wire needs
+// them); unsupported constructs produce a line-numbered error rather than
+// silently wrong output.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "obicomp/idl.h"
+
+namespace obiwan::obicomp {
+
+// Parse restricted C++ class definitions into the IDL model.
+Result<IdlFile> PortCpp(std::string_view cpp_source);
+
+// Map a C++ type spelling to its IDL type; error for unsupported types.
+Result<std::string> IdlTypeOf(std::string_view cpp_type);
+
+}  // namespace obiwan::obicomp
