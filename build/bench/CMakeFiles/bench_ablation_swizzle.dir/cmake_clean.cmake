@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_swizzle.dir/__/tests/test_objects.cc.o"
+  "CMakeFiles/bench_ablation_swizzle.dir/__/tests/test_objects.cc.o.d"
+  "CMakeFiles/bench_ablation_swizzle.dir/bench_ablation_swizzle.cc.o"
+  "CMakeFiles/bench_ablation_swizzle.dir/bench_ablation_swizzle.cc.o.d"
+  "bench_ablation_swizzle"
+  "bench_ablation_swizzle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_swizzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rmi_vs_lmi.dir/__/tests/test_objects.cc.o"
+  "CMakeFiles/bench_fig4_rmi_vs_lmi.dir/__/tests/test_objects.cc.o.d"
+  "CMakeFiles/bench_fig4_rmi_vs_lmi.dir/bench_fig4_rmi_vs_lmi.cc.o"
+  "CMakeFiles/bench_fig4_rmi_vs_lmi.dir/bench_fig4_rmi_vs_lmi.cc.o.d"
+  "bench_fig4_rmi_vs_lmi"
+  "bench_fig4_rmi_vs_lmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rmi_vs_lmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_incremental.dir/__/tests/test_objects.cc.o"
+  "CMakeFiles/bench_fig5_incremental.dir/__/tests/test_objects.cc.o.d"
+  "CMakeFiles/bench_fig5_incremental.dir/bench_fig5_incremental.cc.o"
+  "CMakeFiles/bench_fig5_incremental.dir/bench_fig5_incremental.cc.o.d"
+  "bench_fig5_incremental"
+  "bench_fig5_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_clusters.dir/__/tests/test_objects.cc.o"
+  "CMakeFiles/bench_fig6_clusters.dir/__/tests/test_objects.cc.o.d"
+  "CMakeFiles/bench_fig6_clusters.dir/bench_fig6_clusters.cc.o"
+  "CMakeFiles/bench_fig6_clusters.dir/bench_fig6_clusters.cc.o.d"
+  "bench_fig6_clusters"
+  "bench_fig6_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

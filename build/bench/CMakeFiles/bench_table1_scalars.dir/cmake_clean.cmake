@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_scalars.dir/__/tests/test_objects.cc.o"
+  "CMakeFiles/bench_table1_scalars.dir/__/tests/test_objects.cc.o.d"
+  "CMakeFiles/bench_table1_scalars.dir/bench_table1_scalars.cc.o"
+  "CMakeFiles/bench_table1_scalars.dir/bench_table1_scalars.cc.o.d"
+  "bench_table1_scalars"
+  "bench_table1_scalars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_scalars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_game.dir/distributed_game.cc.o"
+  "CMakeFiles/distributed_game.dir/distributed_game.cc.o.d"
+  "distributed_game"
+  "distributed_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_agenda.dir/mobile_agenda.cc.o"
+  "CMakeFiles/mobile_agenda.dir/mobile_agenda.cc.o.d"
+  "mobile_agenda"
+  "mobile_agenda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_agenda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

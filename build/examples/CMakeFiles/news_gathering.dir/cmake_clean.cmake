@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_gathering.dir/news_gathering.cc.o"
+  "CMakeFiles/news_gathering.dir/news_gathering.cc.o.d"
+  "news_gathering"
+  "news_gathering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_gathering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obiwan_shell.dir/obiwan_shell.cc.o"
+  "CMakeFiles/obiwan_shell.dir/obiwan_shell.cc.o.d"
+  "obiwan_shell"
+  "obiwan_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obiwan_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porting_demo.dir/porting_demo.cc.o"
+  "CMakeFiles/porting_demo.dir/porting_demo.cc.o.d"
+  "generated/calendar.ported.h"
+  "porting_demo"
+  "porting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

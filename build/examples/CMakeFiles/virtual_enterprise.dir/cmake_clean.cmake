@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_enterprise.dir/virtual_enterprise.cc.o"
+  "CMakeFiles/virtual_enterprise.dir/virtual_enterprise.cc.o.d"
+  "virtual_enterprise"
+  "virtual_enterprise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_enterprise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

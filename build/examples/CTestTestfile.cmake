@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mobile_agenda "/root/repo/build/examples/mobile_agenda")
+set_tests_properties(example_mobile_agenda PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_virtual_enterprise "/root/repo/build/examples/virtual_enterprise")
+set_tests_properties(example_virtual_enterprise PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed_game "/root/repo/build/examples/distributed_game")
+set_tests_properties(example_distributed_game PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_news_gathering "/root/repo/build/examples/news_gathering")
+set_tests_properties(example_news_gathering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_marketplace "/root/repo/build/examples/marketplace")
+set_tests_properties(example_marketplace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_porting_demo "/root/repo/build/examples/porting_demo")
+set_tests_properties(example_porting_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_obiwan_shell "sh" "-c" "printf 'host-registry\\nbind todo ship it 3\\nlookup todo\\ninvoke todo\\nreplicate todo 2\\nshow todo\\nset todo done\\nput todo\\nstats\\nquit\\n' | /root/repo/build/examples/obiwan_shell")
+set_tests_properties(example_obiwan_shell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obiwan_common.dir/log.cc.o"
+  "CMakeFiles/obiwan_common.dir/log.cc.o.d"
+  "CMakeFiles/obiwan_common.dir/status.cc.o"
+  "CMakeFiles/obiwan_common.dir/status.cc.o.d"
+  "CMakeFiles/obiwan_common.dir/trace.cc.o"
+  "CMakeFiles/obiwan_common.dir/trace.cc.o.d"
+  "libobiwan_common.a"
+  "libobiwan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obiwan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obiwan_consistency.dir/lww.cc.o"
+  "CMakeFiles/obiwan_consistency.dir/lww.cc.o.d"
+  "CMakeFiles/obiwan_consistency.dir/version_vector.cc.o"
+  "CMakeFiles/obiwan_consistency.dir/version_vector.cc.o.d"
+  "libobiwan_consistency.a"
+  "libobiwan_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obiwan_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

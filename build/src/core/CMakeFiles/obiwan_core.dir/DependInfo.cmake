@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ref.cc" "src/core/CMakeFiles/obiwan_core.dir/ref.cc.o" "gcc" "src/core/CMakeFiles/obiwan_core.dir/ref.cc.o.d"
+  "/root/repo/src/core/site.cc" "src/core/CMakeFiles/obiwan_core.dir/site.cc.o" "gcc" "src/core/CMakeFiles/obiwan_core.dir/site.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/obiwan_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/obiwan_core.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/obiwan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/obiwan_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/obiwan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmi/CMakeFiles/obiwan_rmi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obiwan_core.dir/ref.cc.o"
+  "CMakeFiles/obiwan_core.dir/ref.cc.o.d"
+  "CMakeFiles/obiwan_core.dir/site.cc.o"
+  "CMakeFiles/obiwan_core.dir/site.cc.o.d"
+  "CMakeFiles/obiwan_core.dir/snapshot.cc.o"
+  "CMakeFiles/obiwan_core.dir/snapshot.cc.o.d"
+  "libobiwan_core.a"
+  "libobiwan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obiwan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obiwan_net.dir/loopback.cc.o"
+  "CMakeFiles/obiwan_net.dir/loopback.cc.o.d"
+  "CMakeFiles/obiwan_net.dir/sim.cc.o"
+  "CMakeFiles/obiwan_net.dir/sim.cc.o.d"
+  "CMakeFiles/obiwan_net.dir/tcp.cc.o"
+  "CMakeFiles/obiwan_net.dir/tcp.cc.o.d"
+  "libobiwan_net.a"
+  "libobiwan_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obiwan_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmi/registry.cc" "src/rmi/CMakeFiles/obiwan_rmi.dir/registry.cc.o" "gcc" "src/rmi/CMakeFiles/obiwan_rmi.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/obiwan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/obiwan_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/obiwan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obiwan_rmi.dir/registry.cc.o"
+  "CMakeFiles/obiwan_rmi.dir/registry.cc.o.d"
+  "libobiwan_rmi.a"
+  "libobiwan_rmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obiwan_rmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obiwan_tx.dir/transaction.cc.o"
+  "CMakeFiles/obiwan_tx.dir/transaction.cc.o.d"
+  "libobiwan_tx.a"
+  "libobiwan_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obiwan_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obiwan_wire.dir/compress.cc.o"
+  "CMakeFiles/obiwan_wire.dir/compress.cc.o.d"
+  "libobiwan_wire.a"
+  "libobiwan_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obiwan_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

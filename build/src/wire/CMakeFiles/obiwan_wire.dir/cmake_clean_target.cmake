@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libobiwan_wire.a"
+)

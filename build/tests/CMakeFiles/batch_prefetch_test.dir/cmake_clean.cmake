@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_prefetch_test.dir/batch_prefetch_test.cc.o"
+  "CMakeFiles/batch_prefetch_test.dir/batch_prefetch_test.cc.o.d"
+  "CMakeFiles/batch_prefetch_test.dir/test_objects.cc.o"
+  "CMakeFiles/batch_prefetch_test.dir/test_objects.cc.o.d"
+  "batch_prefetch_test"
+  "batch_prefetch_test.pdb"
+  "batch_prefetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

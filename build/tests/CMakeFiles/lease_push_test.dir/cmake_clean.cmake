@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_push_test.dir/lease_push_test.cc.o"
+  "CMakeFiles/lease_push_test.dir/lease_push_test.cc.o.d"
+  "CMakeFiles/lease_push_test.dir/test_objects.cc.o"
+  "CMakeFiles/lease_push_test.dir/test_objects.cc.o.d"
+  "lease_push_test"
+  "lease_push_test.pdb"
+  "lease_push_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_push_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

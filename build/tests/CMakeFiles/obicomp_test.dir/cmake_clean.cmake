@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obicomp_test.dir/generated/task_impl.cc.o"
+  "CMakeFiles/obicomp_test.dir/generated/task_impl.cc.o.d"
+  "CMakeFiles/obicomp_test.dir/obicomp_test.cc.o"
+  "CMakeFiles/obicomp_test.dir/obicomp_test.cc.o.d"
+  "obicomp_test"
+  "obicomp_test.pdb"
+  "obicomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obicomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_test.dir/port_test.cc.o"
+  "CMakeFiles/port_test.dir/port_test.cc.o.d"
+  "port_test"
+  "port_test.pdb"
+  "port_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

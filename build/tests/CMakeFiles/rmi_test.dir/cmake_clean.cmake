@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmi_test.dir/rmi_test.cc.o"
+  "CMakeFiles/rmi_test.dir/rmi_test.cc.o.d"
+  "CMakeFiles/rmi_test.dir/test_objects.cc.o"
+  "CMakeFiles/rmi_test.dir/test_objects.cc.o.d"
+  "rmi_test"
+  "rmi_test.pdb"
+  "rmi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

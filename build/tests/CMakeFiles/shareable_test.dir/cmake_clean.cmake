@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shareable_test.dir/shareable_test.cc.o"
+  "CMakeFiles/shareable_test.dir/shareable_test.cc.o.d"
+  "CMakeFiles/shareable_test.dir/test_objects.cc.o"
+  "CMakeFiles/shareable_test.dir/test_objects.cc.o.d"
+  "shareable_test"
+  "shareable_test.pdb"
+  "shareable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shareable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soak_vv_test.dir/soak_vv_test.cc.o"
+  "CMakeFiles/soak_vv_test.dir/soak_vv_test.cc.o.d"
+  "CMakeFiles/soak_vv_test.dir/test_objects.cc.o"
+  "CMakeFiles/soak_vv_test.dir/test_objects.cc.o.d"
+  "soak_vv_test"
+  "soak_vv_test.pdb"
+  "soak_vv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soak_vv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truncation_matrix_test.dir/test_objects.cc.o"
+  "CMakeFiles/truncation_matrix_test.dir/test_objects.cc.o.d"
+  "CMakeFiles/truncation_matrix_test.dir/truncation_matrix_test.cc.o"
+  "CMakeFiles/truncation_matrix_test.dir/truncation_matrix_test.cc.o.d"
+  "truncation_matrix_test"
+  "truncation_matrix_test.pdb"
+  "truncation_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truncation_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obicomp.dir/main.cc.o"
+  "CMakeFiles/obicomp.dir/main.cc.o.d"
+  "obicomp"
+  "obicomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obicomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obicomp_lib.dir/idl.cc.o"
+  "CMakeFiles/obicomp_lib.dir/idl.cc.o.d"
+  "CMakeFiles/obicomp_lib.dir/port.cc.o"
+  "CMakeFiles/obicomp_lib.dir/port.cc.o.d"
+  "libobicomp_lib.a"
+  "libobicomp_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obicomp_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libobicomp_lib.a"
+)
