@@ -56,6 +56,8 @@ void PaperSeries() {
   }
   PrintTable("Figure 4 (E2): RMI vs LMI, total time (ms)",
              "# invocations", kInvocations, series);
+  PrintRpcLatency();
+  WriteBenchJson("fig4_rmi_vs_lmi", "invocations", kInvocations, series);
 }
 
 // CPU-side micro-benchmark: the real cost of one LMI cycle's fixed parts

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "obiwan.h"
 #include "test_objects.h"
 
@@ -87,6 +88,99 @@ inline void PrintTable(const std::string& title, const std::string& x_label,
     }
     std::printf("\n");
   }
+}
+
+// Client-side RPC ops instrumented by core::Site (histogram label "op").
+inline const std::vector<std::string>& RpcOps() {
+  static const std::vector<std::string> ops = {
+      "call", "get", "put", "commit", "ping", "release", "renew", "notify"};
+  return ops;
+}
+
+// Per-op latency percentiles, aggregated across every site the benchmark
+// created (subset label match over the per-instance series).
+inline void PrintRpcLatency() {
+  auto& reg = MetricsRegistry::Default();
+  std::printf(
+      "\n=== Client RPC latency on the site clock "
+      "(obiwan_rmi_client_latency_ns) ===\n");
+  std::printf("%10s%12s%14s%14s%14s%14s\n", "op", "count", "p50 (ns)",
+              "p95 (ns)", "p99 (ns)", "max (ns)");
+  for (const std::string& op : RpcOps()) {
+    HistogramSummary s =
+        reg.SummarizeHistograms("obiwan_rmi_client_latency_ns", {{"op", op}});
+    if (s.count == 0) continue;
+    std::printf("%10s%12llu%14.0f%14.0f%14.0f%14lld\n", op.c_str(),
+                static_cast<unsigned long long>(s.count), s.p50, s.p95, s.p99,
+                static_cast<long long>(s.max));
+  }
+}
+
+inline std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline std::string JsonHistogramSummary(const HistogramSummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum\":%lld,\"max\":%lld,\"p50\":%.6g,"
+                "\"p95\":%.6g,\"p99\":%.6g}",
+                static_cast<unsigned long long>(s.count),
+                static_cast<long long>(s.sum), static_cast<long long>(s.max),
+                s.p50, s.p95, s.p99);
+  return buf;
+}
+
+// Emit BENCH_<name>.json into the working directory: the paper-style series
+// table, per-op latency summaries, and the full metrics registry dump. The
+// schema is stable so CI can parse the file:
+//   {"bench":..., "x_label":..., "xs":[...],
+//    "series":[{"name":...,"values":[...]}],
+//    "rpc_latency_ns":{"call":{"count":...,"p50":...},...},
+//    "metrics":{"counters":[...],"gauges":[...],"histograms":[...]}}
+inline void WriteBenchJson(const std::string& name, const std::string& x_label,
+                           const std::vector<long>& xs,
+                           const std::vector<Series>& series) {
+  auto& reg = MetricsRegistry::Default();
+  std::string out = "{\"bench\":\"" + name + "\",\"x_label\":\"" + x_label +
+                    "\",\"xs\":[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  out += "],\"series\":[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + series[i].name + "\",\"values\":[";
+    for (std::size_t j = 0; j < series[i].values.size(); ++j) {
+      if (j != 0) out += ',';
+      out += JsonNumber(series[i].values[j]);
+    }
+    out += "]}";
+  }
+  out += "],\"rpc_latency_ns\":{";
+  bool first = true;
+  for (const std::string& op : RpcOps()) {
+    HistogramSummary s =
+        reg.SummarizeHistograms("obiwan_rmi_client_latency_ns", {{"op", op}});
+    if (s.count == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + op + "\":" + JsonHistogramSummary(s);
+  }
+  out += "},\"metrics\":" + reg.DumpJson() + "}\n";
+
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu bytes)\n", path.c_str(), out.size());
 }
 
 }  // namespace obiwan::bench

@@ -17,13 +17,18 @@
 // Commands: host-registry | bind <name> <text> [n] | lookup <name> |
 //           invoke <name> | replicate <name> [batch] | cluster <name> <n> |
 //           show <name> | set <name> <text> | append <name> <text> |
-//           put <name> | putcluster <name> | refresh <name> | stats | help |
-//           quit
+//           put <name> | putcluster <name> | refresh <name> | stats |
+//           metrics [prom] | trace | help | quit
+//
+// `--stats` dumps the process-wide metrics registry (plain text) on exit, so
+// scripted runs (`echo ... | obiwan_shell --stats`) get a machine-grepable
+// summary without typing `metrics`.
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "net/tcp.h"
 #include "obiwan.h"
 
@@ -59,8 +64,12 @@ class Note : public core::Shareable {
 OBIWAN_REGISTER_CLASS(Note);
 
 struct Shell {
-  explicit Shell(std::unique_ptr<core::Site> s) : site(std::move(s)) {}
+  explicit Shell(std::unique_ptr<core::Site> s) : site(std::move(s)) {
+    site->SetTracer(&tracer);
+  }
+  ~Shell() { site->SetTracer(nullptr); }
 
+  Tracer tracer;
   std::unique_ptr<core::Site> site;
   std::map<std::string, core::RemoteRef<Note>> remotes;
   std::map<std::string, core::Ref<Note>> locals;
@@ -108,7 +117,8 @@ struct Shell {
           "host-registry | bind <name> <text> [n] | lookup <name> | "
           "invoke <name> |\nreplicate <name> [batch] | cluster <name> <n> | "
           "show <name> | set <name> <text> |\nappend <name> <text> | "
-          "put <name> | putcluster <name> | refresh <name> | stats | quit\n");
+          "put <name> | putcluster <name> | refresh <name> | stats |\n"
+          "metrics [prom] | trace | quit\n");
       return true;
     }
     if (cmd == "host-registry") {
@@ -117,7 +127,7 @@ struct Shell {
       return true;
     }
     if (cmd == "stats") {
-      const core::SiteStats& s = site->stats();
+      const core::SiteStats s = site->stats();
       std::printf("masters %zu, replicas %zu, proxy-ins %zu\n",
                   site->master_count(), site->replica_count(),
                   site->proxy_in_count());
@@ -129,6 +139,26 @@ struct Shell {
                   static_cast<unsigned long long>(s.puts_served),
                   static_cast<unsigned long long>(s.calls_sent),
                   static_cast<unsigned long long>(s.calls_served));
+      std::printf("replication bytes in %llu, out %llu\n",
+                  static_cast<unsigned long long>(s.replication_bytes_in),
+                  static_cast<unsigned long long>(s.replication_bytes_out));
+      return true;
+    }
+    if (cmd == "metrics") {
+      std::string format;
+      in >> format;
+      auto& reg = obiwan::MetricsRegistry::Default();
+      std::fputs(
+          (format == "prom" ? reg.DumpPrometheus() : reg.DumpText()).c_str(),
+          stdout);
+      return true;
+    }
+    if (cmd == "trace") {
+      std::fputs(tracer.Dump().c_str(), stdout);
+      if (tracer.dropped() > 0) {
+        std::printf("  (%llu older events dropped)\n",
+                    static_cast<unsigned long long>(tracer.dropped()));
+      }
       return true;
     }
 
@@ -257,6 +287,7 @@ int main(int argc, char** argv) {
   SiteId site_id = 1;
   std::uint16_t port = 0;
   std::string registry;
+  bool dump_stats = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--site" && i + 1 < argc) {
@@ -265,10 +296,12 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(std::stoul(argv[++i]));
     } else if (arg == "--registry" && i + 1 < argc) {
       registry = argv[++i];
+    } else if (arg == "--stats") {
+      dump_stats = true;
     } else {
       std::fprintf(stderr,
                    "usage: obiwan_shell [--site N] [--port P] [--registry "
-                   "host:port]\n");
+                   "host:port] [--stats]\n");
       return 2;
     }
   }
@@ -285,5 +318,9 @@ int main(int argc, char** argv) {
 
   Shell shell(std::move(site));
   shell.Run();
+  if (dump_stats) {
+    std::printf("\n--- metrics ---\n");
+    std::fputs(obiwan::MetricsRegistry::Default().DumpText().c_str(), stdout);
+  }
   return 0;
 }

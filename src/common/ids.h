@@ -55,6 +55,28 @@ inline std::ostream& operator<<(std::ostream& os, const ProxyId& id) {
   return os << "pin(" << id.site << ":" << id.local << ")";
 }
 
+// Correlation id of one distributed flow (an RMI, a fault cascade, a
+// reintegration). Allocated at the call origin, carried in the request
+// envelope across every hop, and recorded with each site's trace events so a
+// merged timeline can be filtered back down to a single end-to-end flow.
+struct TraceId {
+  SiteId site = kInvalidSite;  // site that originated the flow
+  std::uint64_t seq = 0;       // per-process counter, starts at 1
+
+  bool valid() const { return site != kInvalidSite && seq != 0; }
+
+  friend bool operator==(const TraceId&, const TraceId&) = default;
+  friend auto operator<=>(const TraceId&, const TraceId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TraceId& id) {
+  return os << "trace(" << id.site << ":" << id.seq << ")";
+}
+
+inline std::string ToString(const TraceId& id) {
+  return "trace(" + std::to_string(id.site) + ":" + std::to_string(id.seq) + ")";
+}
+
 struct ObjectIdHash {
   std::size_t operator()(const ObjectId& id) const {
     return std::hash<std::uint64_t>{}((std::uint64_t{id.site} << 40) ^ id.local);

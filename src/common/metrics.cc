@@ -1,0 +1,500 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+
+#include "common/log.h"
+
+namespace obiwan {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_.push_back(1);
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(std::int64_t v) {
+  if (v < 0) v = 0;
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t prev = max_.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+namespace {
+
+// Shared percentile math for a live histogram and for merged bucket arrays
+// (SummarizeHistograms). `counts` has bounds.size() + 1 entries.
+double PercentileFromBuckets(const std::vector<std::int64_t>& bounds,
+                             const std::vector<std::uint64_t>& counts,
+                             std::uint64_t total, std::int64_t max, double p) {
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(total);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      if (i == bounds.size()) {
+        // Overflow bucket has no upper bound; the exact max is tracked.
+        return static_cast<double>(max);
+      }
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double fraction =
+          std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+      const double value = lower + fraction * (upper - lower);
+      // Never report beyond the largest real observation.
+      return std::min(value, static_cast<double>(max));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace
+
+double Histogram::Percentile(double p) const {
+  return PercentileFromBuckets(bounds_, BucketCounts(), Count(), Max(), p);
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> ExponentialBuckets(std::int64_t start, double factor,
+                                             int count) {
+  std::vector<std::int64_t> bounds;
+  bounds.reserve(static_cast<std::size_t>(std::max(count, 1)));
+  double v = static_cast<double>(std::max<std::int64_t>(start, 1));
+  std::int64_t last = 0;
+  for (int i = 0; i < count; ++i) {
+    auto bound = static_cast<std::int64_t>(std::llround(v));
+    if (bound <= last) bound = last + 1;  // keep strictly ascending
+    bounds.push_back(bound);
+    last = bound;
+    v *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<std::int64_t>& DefaultLatencyBuckets() {
+  // 1 µs, 2 µs, ... ×2 up to ~8.6 s; RPC latencies on the paper's simulated
+  // LAN (2.8 ms round trip) land mid-range.
+  static const std::vector<std::int64_t> kBuckets =
+      ExponentialBuckets(1'000, 2.0, 24);
+  return kBuckets;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string CanonicalLabelString(MetricLabels& labels) {
+  std::sort(labels.begin(), labels.end());
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::uint64_t MetricsRegistry::NextInstance() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(std::string_view name,
+                                              const std::string& label_str) {
+  for (auto& entry : entries_) {
+    if (entry->name == name && entry->label_str == label_str) {
+      return entry.get();
+    }
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::Register(std::string_view name,
+                                                  MetricLabels labels,
+                                                  Type type,
+                                                  std::string_view help) {
+  auto entry = std::make_unique<Entry>();
+  entry->name.assign(name);
+  entry->label_str = CanonicalLabelString(labels);
+  entry->labels = std::move(labels);
+  entry->type = type;
+  entry->help.assign(help);
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, MetricLabels labels,
+                                     std::string_view help) {
+  std::string label_str = CanonicalLabelString(labels);
+  std::lock_guard lock(mutex_);
+  if (Entry* existing = Find(name, label_str)) {
+    if (existing->type == Type::kCounter) return *existing->counter;
+    OBIWAN_LOG(kError) << "metric '" << std::string(name)
+                       << "' re-registered with a different type";
+    static Counter* dummy = new Counter();
+    return *dummy;
+  }
+  Entry& entry = Register(name, std::move(labels), Type::kCounter, help);
+  entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels,
+                                 std::string_view help) {
+  std::string label_str = CanonicalLabelString(labels);
+  std::lock_guard lock(mutex_);
+  if (Entry* existing = Find(name, label_str)) {
+    if (existing->type == Type::kGauge) return *existing->gauge;
+    OBIWAN_LOG(kError) << "metric '" << std::string(name)
+                       << "' re-registered with a different type";
+    static Gauge* dummy = new Gauge();
+    return *dummy;
+  }
+  Entry& entry = Register(name, std::move(labels), Type::kGauge, help);
+  entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         MetricLabels labels,
+                                         const std::vector<std::int64_t>& bounds,
+                                         std::string_view help) {
+  std::string label_str = CanonicalLabelString(labels);
+  std::lock_guard lock(mutex_);
+  if (Entry* existing = Find(name, label_str)) {
+    if (existing->type == Type::kHistogram) return *existing->histogram;
+    OBIWAN_LOG(kError) << "metric '" << std::string(name)
+                       << "' re-registered with a different type";
+    static Histogram* dummy = new Histogram({1});
+    return *dummy;
+  }
+  Entry& entry = Register(name, std::move(labels), Type::kHistogram, help);
+  entry.histogram = std::make_unique<Histogram>(bounds);
+  return *entry.histogram;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : entries_) {
+    switch (entry->type) {
+      case Type::kCounter: entry->counter->Reset(); break;
+      case Type::kGauge: entry->gauge->Reset(); break;
+      case Type::kHistogram: entry->histogram->Reset(); break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& entry : entries_) sorted.push_back(entry.get());
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    return std::tie(a->name, a->label_str) < std::tie(b->name, b->label_str);
+  });
+
+  std::string out;
+  for (const Entry* e : sorted) {
+    switch (e->type) {
+      case Type::kCounter:
+        out += "counter " + e->name + e->label_str + " " +
+               std::to_string(e->counter->Value()) + "\n";
+        break;
+      case Type::kGauge:
+        out += "gauge " + e->name + e->label_str + " " +
+               std::to_string(e->gauge->Value()) + "\n";
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *e->histogram;
+        out += "histogram " + e->name + e->label_str +
+               " count=" + std::to_string(h.Count()) +
+               " sum=" + std::to_string(h.Sum()) +
+               " p50=" + FormatDouble(h.P50()) +
+               " p95=" + FormatDouble(h.P95()) +
+               " p99=" + FormatDouble(h.P99()) +
+               " max=" + std::to_string(h.Max()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// name{existing,le="bound"} — splices a le label into a (possibly empty)
+// canonical label string.
+std::string WithLe(const std::string& name, const std::string& label_str,
+                   const std::string& le) {
+  if (label_str.empty()) return name + "{le=\"" + le + "\"}";
+  std::string out = name + label_str;
+  out.insert(out.size() - 1, ",le=\"" + le + "\"");
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& entry : entries_) sorted.push_back(entry.get());
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    return std::tie(a->name, a->label_str) < std::tie(b->name, b->label_str);
+  });
+
+  std::string out;
+  std::string last_name;
+  for (const Entry* e : sorted) {
+    const bool first_of_name = e->name != last_name;
+    last_name = e->name;
+    switch (e->type) {
+      case Type::kCounter: {
+        if (first_of_name) {
+          if (!e->help.empty()) {
+            out += "# HELP " + e->name + " " + e->help + "\n";
+          }
+          out += "# TYPE " + e->name + " counter\n";
+        }
+        out += e->name + e->label_str + " " +
+               std::to_string(e->counter->Value()) + "\n";
+        break;
+      }
+      case Type::kGauge: {
+        if (first_of_name) {
+          if (!e->help.empty()) {
+            out += "# HELP " + e->name + " " + e->help + "\n";
+          }
+          out += "# TYPE " + e->name + " gauge\n";
+        }
+        out += e->name + e->label_str + " " +
+               std::to_string(e->gauge->Value()) + "\n";
+        break;
+      }
+      case Type::kHistogram: {
+        if (first_of_name) {
+          if (!e->help.empty()) {
+            out += "# HELP " + e->name + " " + e->help + "\n";
+          }
+          out += "# TYPE " + e->name + " histogram\n";
+        }
+        const Histogram& h = *e->histogram;
+        const auto counts = h.BucketCounts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += counts[i];
+          out += WithLe(e->name + "_bucket", e->label_str,
+                        std::to_string(h.bounds()[i])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += WithLe(e->name + "_bucket", e->label_str, "+Inf") + " " +
+               std::to_string(h.Count()) + "\n";
+        out += e->name + "_sum" + e->label_str + " " +
+               std::to_string(h.Sum()) + "\n";
+        out += e->name + "_count" + e->label_str + " " +
+               std::to_string(h.Count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonLabels(const MetricLabels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"' + JsonEscape(labels[i].first) + "\":\"" +
+           JsonEscape(labels[i].second) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard lock(mutex_);
+  std::string counters, gauges, histograms;
+  for (const auto& e : entries_) {
+    switch (e->type) {
+      case Type::kCounter: {
+        if (!counters.empty()) counters += ',';
+        counters += "{\"name\":\"" + JsonEscape(e->name) +
+                    "\",\"labels\":" + JsonLabels(e->labels) +
+                    ",\"value\":" + std::to_string(e->counter->Value()) + "}";
+        break;
+      }
+      case Type::kGauge: {
+        if (!gauges.empty()) gauges += ',';
+        gauges += "{\"name\":\"" + JsonEscape(e->name) +
+                  "\",\"labels\":" + JsonLabels(e->labels) +
+                  ",\"value\":" + std::to_string(e->gauge->Value()) + "}";
+        break;
+      }
+      case Type::kHistogram: {
+        const Histogram& h = *e->histogram;
+        if (!histograms.empty()) histograms += ',';
+        histograms += "{\"name\":\"" + JsonEscape(e->name) +
+                      "\",\"labels\":" + JsonLabels(e->labels) +
+                      ",\"count\":" + std::to_string(h.Count()) +
+                      ",\"sum\":" + std::to_string(h.Sum()) +
+                      ",\"max\":" + std::to_string(h.Max()) +
+                      ",\"p50\":" + FormatDouble(h.P50()) +
+                      ",\"p95\":" + FormatDouble(h.P95()) +
+                      ",\"p99\":" + FormatDouble(h.P99()) + ",\"buckets\":[";
+        const auto counts = h.BucketCounts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (i != 0) histograms += ',';
+          const std::string le = i < h.bounds().size()
+                                     ? std::to_string(h.bounds()[i])
+                                     : "\"+Inf\"";
+          histograms += "{\"le\":" + le +
+                        ",\"count\":" + std::to_string(counts[i]) + "}";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":[" + counters + "],\"gauges\":[" + gauges +
+         "],\"histograms\":[" + histograms + "]}";
+}
+
+namespace {
+
+bool LabelsContain(const MetricLabels& labels, const MetricLabels& having) {
+  for (const auto& want : having) {
+    bool found = false;
+    for (const auto& have : labels) {
+      if (have == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+HistogramSummary MetricsRegistry::SummarizeHistograms(
+    std::string_view name, const MetricLabels& having) const {
+  std::lock_guard lock(mutex_);
+  HistogramSummary summary;
+  const std::vector<std::int64_t>* bounds = nullptr;
+  std::vector<std::uint64_t> merged;
+  for (const auto& e : entries_) {
+    if (e->type != Type::kHistogram || e->name != name) continue;
+    if (!LabelsContain(e->labels, having)) continue;
+    const Histogram& h = *e->histogram;
+    if (bounds == nullptr) {
+      bounds = &h.bounds();
+      merged.assign(bounds->size() + 1, 0);
+    } else if (h.bounds() != *bounds) {
+      continue;  // incompatible series; skip rather than mis-merge
+    }
+    const auto counts = h.BucketCounts();
+    for (std::size_t i = 0; i < counts.size(); ++i) merged[i] += counts[i];
+    summary.count += h.Count();
+    summary.sum += h.Sum();
+    summary.max = std::max(summary.max, h.Max());
+  }
+  if (bounds != nullptr) {
+    summary.p50 =
+        PercentileFromBuckets(*bounds, merged, summary.count, summary.max, 0.50);
+    summary.p95 =
+        PercentileFromBuckets(*bounds, merged, summary.count, summary.max, 0.95);
+    summary.p99 =
+        PercentileFromBuckets(*bounds, merged, summary.count, summary.max, 0.99);
+  }
+  return summary;
+}
+
+std::uint64_t MetricsRegistry::SumCounters(std::string_view name,
+                                           const MetricLabels& having) const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) {
+    if (e->type != Type::kCounter || e->name != name) continue;
+    if (!LabelsContain(e->labels, having)) continue;
+    total += e->counter->Value();
+  }
+  return total;
+}
+
+}  // namespace obiwan

@@ -1,0 +1,193 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// The paper's evaluation is entirely about measured behaviour (RMI vs. LMI
+// latency, incremental vs. transitive-closure replication cost), so the
+// reproduction treats per-operation instrumentation as core middleware rather
+// than an afterthought. The design splits cost between two phases:
+//
+//   - Registration (GetCounter/GetGauge/GetHistogram) takes a mutex, interns
+//     the (name, labels) pair and returns a stable handle. It happens once,
+//     at subsystem construction time.
+//   - Updates (Inc/Set/Observe) go through the pre-resolved handle and are
+//     single relaxed atomic operations — cheap enough for the RMI hot path.
+//
+// Exporters (plain text, Prometheus text format, JSON for the bench harness)
+// walk the registry under the mutex; they never block updates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace obiwan {
+
+// Label set attached to a metric instance, e.g. {{"site", "1"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonic counter.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Instantaneous value (table sizes, queue depths).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations v with
+// bounds[i-1] < v <= bounds[i]; one implicit overflow bucket counts
+// v > bounds.back(). Negative observations clamp to the first bucket.
+//
+// Percentile(p) walks the cumulative distribution to the bucket containing
+// rank p*count and interpolates linearly inside it (the first bucket
+// interpolates from 0). Ranks landing in the overflow bucket return the
+// exact tracked maximum, so p100 == Max() always holds.
+class Histogram {
+ public:
+  // `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void Observe(std::int64_t v);
+
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Largest observation so far (0 when empty).
+  std::int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  // p in [0, 1]. Returns 0 when empty.
+  double Percentile(double p) const;
+  double P50() const { return Percentile(0.50); }
+  double P95() const { return Percentile(0.95); }
+  double P99() const { return Percentile(0.99); }
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  // Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<std::uint64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+// `count` bucket bounds starting at `start`, each `factor` times the last.
+std::vector<std::int64_t> ExponentialBuckets(std::int64_t start, double factor,
+                                             int count);
+
+// Default buckets for RPC latencies in nanoseconds: 1 µs .. ~8.6 s, ×2 steps.
+const std::vector<std::int64_t>& DefaultLatencyBuckets();
+
+// Merged view over several histogram series of one metric (e.g. the RPC
+// latency of every site in the process). Produced by
+// MetricsRegistry::SummarizeHistograms.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Process-wide registry every subsystem registers into by default.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Intern (name, labels) and return the stable handle; repeated calls with
+  // the same identity return the same instance. A name registered under one
+  // metric type cannot be re-registered under another — the mismatching call
+  // gets a process-wide dummy metric (updates go nowhere) and an error log,
+  // never a crash.
+  Counter& GetCounter(std::string_view name, MetricLabels labels = {},
+                      std::string_view help = "");
+  Gauge& GetGauge(std::string_view name, MetricLabels labels = {},
+                  std::string_view help = "");
+  Histogram& GetHistogram(std::string_view name, MetricLabels labels = {},
+                          const std::vector<std::int64_t>& bounds =
+                              DefaultLatencyBuckets(),
+                          std::string_view help = "");
+
+  // Zero every metric. Handles stay valid; registrations are kept.
+  void Reset();
+
+  std::size_t size() const;
+
+  // One line per metric instance: "counter name{labels} value" /
+  // "histogram name{labels} count=N p50=... p95=... p99=... max=...".
+  std::string DumpText() const;
+
+  // Prometheus text exposition format (counters get a _total suffix if they
+  // lack one; histograms expand to _bucket/_sum/_count series).
+  std::string DumpPrometheus() const;
+
+  // Machine-readable dump used by the bench harness:
+  // {"counters":[...],"gauges":[...],"histograms":[...]}.
+  std::string DumpJson() const;
+
+  // Merge every histogram named `name` whose labels contain all of `having`
+  // (subset match, so a bench can aggregate over per-site instances by op
+  // label alone). Series with bucket bounds differing from the first match
+  // are skipped. Returns a zero summary when nothing matches.
+  HistogramSummary SummarizeHistograms(std::string_view name,
+                                       const MetricLabels& having = {}) const;
+
+  // Sum of every counter named `name` whose labels contain all of `having`.
+  std::uint64_t SumCounters(std::string_view name,
+                            const MetricLabels& having = {}) const;
+
+  // Monotonic process-wide sequence, used to give per-instance metrics (two
+  // sites with the same SiteId in one process) distinct label sets.
+  static std::uint64_t NextInstance();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    std::string label_str;  // canonical '{k="v",...}' form, "" when unlabeled
+    MetricLabels labels;
+    Type type;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(std::string_view name, const std::string& label_str);
+  Entry& Register(std::string_view name, MetricLabels labels, Type type,
+                  std::string_view help);
+
+  mutable std::mutex mutex_;
+  // Sorted by (name, label_str) at dump time; storage order is registration
+  // order so handles are stable.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace obiwan

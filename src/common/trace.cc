@@ -1,23 +1,56 @@
 #include "common/trace.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace obiwan {
 
+// ---------------------------------------------------------------------------
+// TraceContext
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local TraceId g_current_trace;
+}  // namespace
+
+TraceId TraceContext::Current() { return g_current_trace; }
+
+TraceId TraceContext::NewId(SiteId origin) {
+  static std::atomic<std::uint64_t> next{1};
+  return TraceId{origin, next.fetch_add(1, std::memory_order_relaxed)};
+}
+
+TraceId TraceContext::Exchange(TraceId id) {
+  TraceId previous = g_current_trace;
+  g_current_trace = id;
+  return previous;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
 std::string TraceEvent::ToString() const {
-  return "[" + std::to_string(static_cast<double>(at) / kMilli) + "ms site " +
-         std::to_string(site) + "] " + category +
-         (detail.empty() ? "" : ": " + detail);
+  std::string out = "[" + std::to_string(static_cast<double>(at) / kMilli) +
+                    "ms site " + std::to_string(site) + "] " + category +
+                    (detail.empty() ? "" : ": " + detail);
+  if (trace.valid()) {
+    out += " #" + std::to_string(trace.site) + ":" + std::to_string(trace.seq);
+  }
+  return out;
 }
 
 void Tracer::Record(Nanos at, SiteId site, std::string_view category,
-                    std::string detail) {
+                    std::string_view detail, TraceId trace) {
   std::lock_guard lock(mutex_);
   TraceEvent& slot = ring_[total_ % capacity_];
   slot.at = at;
   slot.site = site;
+  slot.trace = trace;
+  // assign() reuses each slot's existing string capacity, so a warm ring
+  // records without allocating.
   slot.category.assign(category);
-  slot.detail = std::move(detail);
+  slot.detail.assign(detail);
   ++total_;
 }
 
@@ -30,6 +63,14 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
   for (std::uint64_t i = 0; i < count; ++i) {
     out.push_back(ring_[(start + i) % capacity_]);
   }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::SnapshotTrace(TraceId trace) const {
+  std::vector<TraceEvent> out = Snapshot();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const TraceEvent& e) { return e.trace != trace; }),
+            out.end());
   return out;
 }
 

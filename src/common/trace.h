@@ -1,4 +1,5 @@
-// Event tracing: a fixed-capacity ring buffer of protocol events.
+// Event tracing: a fixed-capacity ring buffer of protocol events, plus the
+// cross-site correlation context.
 //
 // Distributed flows (a fault cascading through a replica chain, an
 // invalidation fan-out) are hard to reconstruct from logs of interleaved
@@ -6,8 +7,16 @@
 // protocol events (faults, gets, puts, calls, invalidations) with the site id
 // and a timestamp from its own clock, and Snapshot() returns the merged,
 // chronological view. The ring never allocates after construction beyond the
-// event strings themselves, and a site without a tracer pays one pointer
-// compare per event.
+// event strings themselves (slot strings are reused in place), and a site
+// without a tracer pays one pointer compare per event.
+//
+// Cross-site correlation: every event additionally carries the TraceId of the
+// distributed flow it belongs to. The id is allocated at the call origin
+// (TraceContext::NewId), travels in the RMI request envelope
+// (rmi/protocol.h), and is re-installed by the receiving dispatcher for the
+// duration of the handler — so a get served three sites down a replica chain
+// still records under the id of the fault that started it.
+// SnapshotTrace(id) filters the merged timeline back down to one flow.
 #pragma once
 
 #include <cstddef>
@@ -24,10 +33,44 @@ namespace obiwan {
 struct TraceEvent {
   Nanos at = 0;
   SiteId site = kInvalidSite;
+  TraceId trace;         // invalid when the event belongs to no remote flow
   std::string category;  // "fault", "get", "put", "call", "invalidate", ...
   std::string detail;
 
   std::string ToString() const;
+};
+
+// Per-thread correlation context. The dispatcher installs the envelope's id
+// around each inbound handler; client-side operations install a fresh id when
+// none is active. Scopes nest (synchronous loopback delivery re-enters sites
+// on the same thread) and restore the previous id on destruction.
+class TraceContext {
+ public:
+  // The id active on this thread; invalid when outside any flow.
+  static TraceId Current();
+
+  // Allocate a fresh id originating at `origin` (does not install it).
+  static TraceId NewId(SiteId origin);
+
+  // The active id, or a fresh one originating at `origin`.
+  static TraceId CurrentOrNew(SiteId origin) {
+    TraceId id = Current();
+    return id.valid() ? id : NewId(origin);
+  }
+
+  class Scope {
+   public:
+    explicit Scope(TraceId id) : previous_(Exchange(id)) {}
+    ~Scope() { Exchange(previous_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TraceId previous_;
+  };
+
+ private:
+  static TraceId Exchange(TraceId id);
 };
 
 class Tracer {
@@ -38,11 +81,15 @@ class Tracer {
   }
 
   void Record(Nanos at, SiteId site, std::string_view category,
-              std::string detail);
+              std::string_view detail, TraceId trace = {});
 
   // Events in arrival order (oldest first). The `dropped` counter tells how
   // many older events the ring already evicted.
   std::vector<TraceEvent> Snapshot() const;
+
+  // Only the events of one distributed flow, in arrival order — the
+  // reconstruction of a single end-to-end RMI/fault/reintegration cascade.
+  std::vector<TraceEvent> SnapshotTrace(TraceId trace) const;
 
   std::uint64_t dropped() const {
     std::lock_guard lock(mutex_);

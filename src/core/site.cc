@@ -12,6 +12,113 @@ const std::vector<net::Address> kNoHolders;
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// SiteTelemetry
+// ---------------------------------------------------------------------------
+
+SiteTelemetry::SiteTelemetry(SiteId site, MetricsRegistry& metrics) {
+  const MetricLabels labels{
+      {"site", std::to_string(site)},
+      {"inst", std::to_string(MetricsRegistry::NextInstance())}};
+  auto counter = [&](std::string_view name, std::string_view help) {
+    return &metrics.GetCounter(name, labels, help);
+  };
+  object_faults = counter("obiwan_site_object_faults_total",
+                          "Proxy-out demands that went remote");
+  gets_sent = counter("obiwan_site_gets_sent_total", "Get requests issued");
+  gets_served = counter("obiwan_site_gets_served_total", "Get requests served");
+  puts_sent = counter("obiwan_site_puts_sent_total", "Put/commit batches sent");
+  puts_served = counter("obiwan_site_puts_served_total", "Put/commit batches served");
+  calls_sent = counter("obiwan_site_calls_sent_total", "Remote invocations issued");
+  calls_served = counter("obiwan_site_calls_served_total", "Remote invocations served");
+  proxy_ins_created =
+      counter("obiwan_site_proxy_ins_created_total", "Provider-side proxy-ins created");
+  proxy_outs_created =
+      counter("obiwan_site_proxy_outs_created_total", "Demander-side proxy-outs created");
+  replicas_created =
+      counter("obiwan_site_replicas_created_total", "Replicas materialized");
+  objects_served =
+      counter("obiwan_site_objects_served_total", "Objects serialized into get replies");
+  invalidations_sent =
+      counter("obiwan_site_invalidations_sent_total", "Invalidations/pushes delivered");
+  invalidations_received = counter("obiwan_site_invalidations_received_total",
+                                   "Invalidations/pushes received");
+  replication_bytes_in = counter("obiwan_site_replication_bytes_in_total",
+                                 "Replica state bytes received (get replies, puts served)");
+  replication_bytes_out = counter("obiwan_site_replication_bytes_out_total",
+                                  "Replica state bytes shipped (get replies served, puts sent)");
+
+  masters = &metrics.GetGauge("obiwan_site_masters", labels, "Masters owned");
+  replicas = &metrics.GetGauge("obiwan_site_replicas", labels, "Replicas held");
+  proxy_ins = &metrics.GetGauge("obiwan_site_proxy_ins", labels,
+                                "Live provider-side proxy-ins");
+
+  auto op = [&](std::string_view name) {
+    MetricLabels op_labels = labels;
+    op_labels.emplace_back("op", std::string(name));
+    return Op{&metrics.GetHistogram("obiwan_rmi_client_latency_ns", op_labels,
+                                    DefaultLatencyBuckets(),
+                                    "Round-trip time of outbound requests (site clock)"),
+              &metrics.GetCounter("obiwan_rmi_client_errors_total", op_labels,
+                                  "Outbound requests that failed")};
+  };
+  op_call = op("call");
+  op_get = op("get");
+  op_put = op("put");
+  op_commit = op("commit");
+  op_ping = op("ping");
+  op_release = op("release");
+  op_renew = op("renew");
+  op_notify = op("notify");
+}
+
+SiteStats SiteTelemetry::Raw() const {
+  SiteStats s;
+  s.object_faults = object_faults->Value();
+  s.gets_sent = gets_sent->Value();
+  s.gets_served = gets_served->Value();
+  s.puts_sent = puts_sent->Value();
+  s.puts_served = puts_served->Value();
+  s.calls_sent = calls_sent->Value();
+  s.calls_served = calls_served->Value();
+  s.proxy_ins_created = proxy_ins_created->Value();
+  s.proxy_outs_created = proxy_outs_created->Value();
+  s.replicas_created = replicas_created->Value();
+  s.objects_served = objects_served->Value();
+  s.invalidations_sent = invalidations_sent->Value();
+  s.invalidations_received = invalidations_received->Value();
+  s.replication_bytes_in = replication_bytes_in->Value();
+  s.replication_bytes_out = replication_bytes_out->Value();
+  return s;
+}
+
+SiteStats SiteTelemetry::View() const {
+  auto since = [](std::uint64_t now, std::uint64_t base) {
+    return now > base ? now - base : 0;
+  };
+  const SiteStats raw = Raw();
+  SiteStats s;
+  s.object_faults = since(raw.object_faults, baseline.object_faults);
+  s.gets_sent = since(raw.gets_sent, baseline.gets_sent);
+  s.gets_served = since(raw.gets_served, baseline.gets_served);
+  s.puts_sent = since(raw.puts_sent, baseline.puts_sent);
+  s.puts_served = since(raw.puts_served, baseline.puts_served);
+  s.calls_sent = since(raw.calls_sent, baseline.calls_sent);
+  s.calls_served = since(raw.calls_served, baseline.calls_served);
+  s.proxy_ins_created = since(raw.proxy_ins_created, baseline.proxy_ins_created);
+  s.proxy_outs_created = since(raw.proxy_outs_created, baseline.proxy_outs_created);
+  s.replicas_created = since(raw.replicas_created, baseline.replicas_created);
+  s.objects_served = since(raw.objects_served, baseline.objects_served);
+  s.invalidations_sent = since(raw.invalidations_sent, baseline.invalidations_sent);
+  s.invalidations_received =
+      since(raw.invalidations_received, baseline.invalidations_received);
+  s.replication_bytes_in =
+      since(raw.replication_bytes_in, baseline.replication_bytes_in);
+  s.replication_bytes_out =
+      since(raw.replication_bytes_out, baseline.replication_bytes_out);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
 // ProxyOut
 // ---------------------------------------------------------------------------
 
@@ -28,7 +135,9 @@ Site::Site(SiteId id, std::unique_ptr<net::Transport> transport, Clock& clock)
     : id_(id),
       transport_(std::move(transport)),
       clock_(clock),
-      policy_(std::make_unique<NoConsistency>()) {
+      policy_(std::make_unique<NoConsistency>()),
+      telemetry_(id, MetricsRegistry::Default()) {
+  dispatcher_.SetClock(&clock_);
   dispatcher_.RegisterService(rmi::MessageKind::kCall, this);
   dispatcher_.RegisterService(rmi::MessageKind::kPing, this);
   dispatcher_.RegisterService(rmi::MessageKind::kGet, this);
@@ -56,6 +165,11 @@ Site::~Site() {
   };
   for (auto& [oid, entry] : masters_) unlink(*entry.obj);
   for (auto& [oid, entry] : replicas_) unlink(*entry.obj);
+  // The registry outlives the site; zero the live-table gauges so this
+  // instance's series does not freeze at its last value.
+  telemetry_.masters->Set(0);
+  telemetry_.replicas->Set(0);
+  telemetry_.proxy_ins->Set(0);
 }
 
 Status Site::Start() {
@@ -69,6 +183,21 @@ void Site::Stop() {
   if (!started_) return;
   transport_->StopServing();
   started_ = false;
+}
+
+Result<Bytes> Site::TimedRequest(const SiteTelemetry::Op& op,
+                                 const net::Address& to, BytesView frame) {
+  const Nanos start = clock_.Now();
+  Result<Bytes> reply = transport_->Request(to, frame);
+  op.latency->Observe(clock_.Now() - start);
+  if (!reply.ok()) op.errors->Inc();
+  return reply;
+}
+
+void Site::SyncGauges() {
+  telemetry_.masters->Set(static_cast<std::int64_t>(masters_.size()));
+  telemetry_.replicas->Set(static_cast<std::int64_t>(replicas_.size()));
+  telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
 }
 
 // ---------------------------------------------------------------------------
@@ -143,6 +272,7 @@ ObjectId Site::EnsureId(const std::shared_ptr<Shareable>& obj) {
   ObjectId oid{id_, next_object_++};
   masters_.emplace(oid, MasterEntry{obj, /*version=*/1, {}, {}});
   ptr_ids_.emplace(obj.get(), oid);
+  telemetry_.masters->Set(static_cast<std::int64_t>(masters_.size()));
   return oid;
 }
 
@@ -173,7 +303,8 @@ ProxyId Site::NewProxyIn(ObjectId target) {
       proxy_ins_.emplace(pin, ProxyInEntry{target, {}, /*cluster=*/false, 0});
   (void)inserted;
   TouchPin(it->second);
-  ++stats_.proxy_ins_created;
+  telemetry_.proxy_ins_created->Inc();
+  telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
   clock_.Sleep(proxy_export_cost_);
   return pin;
 }
@@ -184,7 +315,8 @@ ProxyId Site::NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members) {
       pin, ProxyInEntry{root, std::move(members), /*cluster=*/true, 0});
   (void)inserted;
   TouchPin(it->second);
-  ++stats_.proxy_ins_created;
+  telemetry_.proxy_ins_created->Inc();
+  telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
   clock_.Sleep(proxy_export_cost_);
   return pin;
 }
@@ -202,6 +334,7 @@ std::size_t Site::CollectExpiredProxyIns() {
       ++it;
     }
   }
+  telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
   return collected;
 }
 
@@ -260,7 +393,7 @@ void Site::SetConsistencyPolicy(std::unique_ptr<ConsistencyPolicy> policy) {
 
 Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req) {
   std::lock_guard lock(mutex_);
-  ++stats_.gets_served;
+  telemetry_.gets_served->Inc();
   Trace("get", "from " + from + ", root " + ToString(req.root) +
                     (req.refresh ? " (refresh)" : ""));
 
@@ -391,7 +524,7 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
       }
     }
 
-    ++stats_.objects_served;
+    telemetry_.objects_served->Inc();
     reply.objects.push_back(std::move(rec));
   }
 
@@ -409,7 +542,7 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
   std::vector<std::pair<net::Address, Bytes>> notifications;
 
   std::unique_lock lock(mutex_);
-  ++stats_.puts_served;
+  telemetry_.puts_served->Inc();
   Trace("put", "from " + from + ", " + std::to_string(req.items.size()) +
                     " item(s)" + (req.transactional ? " (tx)" : ""));
 
@@ -488,7 +621,7 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
           } else {
             rb.BindProxy(std::make_shared<ProxyOut>(this, entry.proxy,
                                                     ReplicationMode::Incremental()));
-            ++stats_.proxy_outs_created;
+            telemetry_.proxy_outs_created->Inc();
           }
           break;
         }
@@ -524,15 +657,15 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
     notifications.emplace_back(
         addr, rmi::WrapRequest(
                   push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
-                  body));
+                  body, TraceContext::Current()));
   }
 
   lock.unlock();
   for (const auto& [addr, frame] : notifications) {
-    Result<Bytes> r = transport_->Request(addr, AsView(frame));
+    Result<Bytes> r = TimedRequest(telemetry_.op_notify, addr, AsView(frame));
     if (r.ok()) {
-      std::lock_guard relock(mutex_);
-      ++stats_.invalidations_sent;
+      telemetry_.invalidations_sent->Inc();
+      if (push) telemetry_.replication_bytes_out->Inc(frame.size());
     } else {
       OBIWAN_LOG(kDebug) << "notification to " << addr << " failed: " << r.status();
     }
@@ -585,7 +718,7 @@ Status Site::ServePush(const ObjectRecord& record) {
         auto obj, Materialize(via, reply, ReplicationMode::Incremental(),
                               /*refresh=*/true, record.id));
     (void)obj;
-    ++stats_.invalidations_received;  // counted as an update notification
+    telemetry_.invalidations_received->Inc();  // counted as an update notification
     Trace("push", ToString(record.id) + " updated in place");
     callback = on_replica_update_;
   }
@@ -602,12 +735,14 @@ Status Site::ServeRenew(ProxyId pin) {
 }
 
 Status Site::RenewProxy(const ProxyDescriptor& descriptor) {
+  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
   wire::Writer body;
   wire::Encode(body, descriptor.pin);
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply,
-      transport_->Request(descriptor.provider,
-                          AsView(rmi::WrapRequest(rmi::MessageKind::kRenew, body))));
+      TimedRequest(telemetry_.op_renew, descriptor.provider,
+                   AsView(rmi::WrapRequest(rmi::MessageKind::kRenew, body,
+                                           TraceContext::Current()))));
   (void)reply;
   return Status::Ok();
 }
@@ -620,7 +755,7 @@ Status Site::ServeInvalidate(const InvalidateRequest& req) {
     for (ObjectId oid : req.ids) {
       if (auto it = replicas_.find(oid); it != replicas_.end()) {
         it->second.stale = true;
-        ++stats_.invalidations_received;
+        telemetry_.invalidations_received->Inc();
         Trace("invalidate", ToString(oid) + " marked stale");
         invalidated.push_back(oid);
       }
@@ -636,6 +771,7 @@ Status Site::ServeInvalidate(const InvalidateRequest& req) {
 Status Site::ServeRelease(ProxyId pin) {
   std::lock_guard lock(mutex_);
   if (proxy_ins_.erase(pin) == 0) return NotFoundError("unknown proxy-in");
+  telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
   return Status::Ok();
 }
 
@@ -645,7 +781,7 @@ Status Site::ServeRelease(ProxyId pin) {
 
 Result<Bytes> Site::ServeCall(const rmi::CallRequest& call) {
   std::lock_guard lock(mutex_);
-  ++stats_.calls_served;
+  telemetry_.calls_served->Inc();
   Trace("call", call.method + " on " + ToString(call.target));
   std::shared_ptr<Shareable> obj = FindLocalUnlocked(call.target);
   if (obj == nullptr) {
@@ -667,16 +803,19 @@ Result<Bytes> Site::ServeCall(const rmi::CallRequest& call) {
 Result<std::shared_ptr<Shareable>> Site::DemandThrough(
     const ProxyDescriptor& descriptor, ObjectId root, ReplicationMode mode,
     bool refresh, bool shortcut_local) {
+  // The whole fault-and-replicate flow — this get, the provider's handler,
+  // and any nested fault it triggers — shares one correlation id.
+  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
   {
     std::lock_guard lock(mutex_);
     if (!refresh && shortcut_local) {
       // Identity preservation: a replica (or our own master) short-circuits
       // the fault without touching the network.
       if (auto local = FindLocalUnlocked(root)) return local;
-      ++stats_.object_faults;
+      telemetry_.object_faults->Inc();
       Trace("fault", ToString(root) + " via " + descriptor.provider);
     }
-    ++stats_.gets_sent;
+    telemetry_.gets_sent->Inc();
   }
 
   // The request travels with the site lock *released*: a synchronous
@@ -687,8 +826,10 @@ Result<std::shared_ptr<Shareable>> Site::DemandThrough(
   wire::Encode(body, req);
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply_bytes,
-      transport_->Request(descriptor.provider,
-                          AsView(rmi::WrapRequest(rmi::MessageKind::kGet, body))));
+      TimedRequest(telemetry_.op_get, descriptor.provider,
+                   AsView(rmi::WrapRequest(rmi::MessageKind::kGet, body,
+                                           TraceContext::Current()))));
+  telemetry_.replication_bytes_in->Inc(reply_bytes.size());
   wire::Reader r(AsView(reply_bytes));
   GetReply reply = wire::Decode<GetReply>(r);
   OBIWAN_RETURN_IF_ERROR(r.status());
@@ -771,8 +912,9 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
         AsView(rec.policy_data));
     present.emplace(rec.id, std::move(obj));
     fresh[i] = true;
-    ++stats_.replicas_created;
+    telemetry_.replicas_created->Inc();
   }
+  telemetry_.replicas->Set(static_cast<std::int64_t>(replicas_.size()));
 
   if (reply.cluster) {
     cluster_members_[reply.cluster->provider.pin] = reply.cluster->members;
@@ -811,7 +953,7 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
             rb.BindLocal(entry.proxy.target, std::move(local));
           } else {
             rb.BindProxy(std::make_shared<ProxyOut>(this, entry.proxy, mode));
-            ++stats_.proxy_outs_created;
+            telemetry_.proxy_outs_created->Inc();
           }
           break;
         }
@@ -888,16 +1030,18 @@ Status Site::PutItems(const ProxyDescriptor& provider,
     req.items.push_back(std::move(item));
   }
 
+  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
   wire::Writer body;
   wire::Encode(body, req);
-  ++stats_.puts_sent;
+  telemetry_.puts_sent->Inc();
+  Bytes frame = rmi::WrapRequest(
+      transactional ? rmi::MessageKind::kCommit : rmi::MessageKind::kPut, body,
+      TraceContext::Current());
+  telemetry_.replication_bytes_out->Inc(frame.size());
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply_bytes,
-      transport_->Request(
-          provider.provider,
-          AsView(rmi::WrapRequest(
-              transactional ? rmi::MessageKind::kCommit : rmi::MessageKind::kPut,
-              body))));
+      TimedRequest(transactional ? telemetry_.op_commit : telemetry_.op_put,
+                   provider.provider, AsView(frame)));
   wire::Reader r(AsView(reply_bytes));
   PutReply reply = wire::Decode<PutReply>(r);
   OBIWAN_RETURN_IF_ERROR(r.status());
@@ -1076,6 +1220,7 @@ std::size_t Site::EvictIdleReplicas() {
       }
     }
   }
+  telemetry_.replicas->Set(static_cast<std::int64_t>(replicas_.size()));
   return evicted;
 }
 
@@ -1109,13 +1254,16 @@ Result<ProxyDescriptor> Site::ReplicaProvider(ObjectId id) const {
 Result<PutReply> Site::SendCommit(const net::Address& provider, ProxyId pin,
                                   std::vector<PutItem> items) {
   PutRequest req{pin, std::move(items), /*transactional=*/true};
+  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
   wire::Writer body;
   wire::Encode(body, req);
-  ++stats_.puts_sent;
+  telemetry_.puts_sent->Inc();
+  Bytes frame =
+      rmi::WrapRequest(rmi::MessageKind::kCommit, body, TraceContext::Current());
+  telemetry_.replication_bytes_out->Inc(frame.size());
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply_bytes,
-      transport_->Request(provider,
-                          AsView(rmi::WrapRequest(rmi::MessageKind::kCommit, body))));
+      TimedRequest(telemetry_.op_commit, provider, AsView(frame)));
   wire::Reader r(AsView(reply_bytes));
   PutReply reply = wire::Decode<PutReply>(r);
   OBIWAN_RETURN_IF_ERROR(r.status());
@@ -1123,12 +1271,14 @@ Result<PutReply> Site::SendCommit(const net::Address& provider, ProxyId pin,
 }
 
 Status Site::ReleaseProxy(const ProxyDescriptor& descriptor) {
+  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
   wire::Writer body;
   wire::Encode(body, descriptor.pin);
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply,
-      transport_->Request(descriptor.provider,
-                          AsView(rmi::WrapRequest(rmi::MessageKind::kRelease, body))));
+      TimedRequest(telemetry_.op_release, descriptor.provider,
+                   AsView(rmi::WrapRequest(rmi::MessageKind::kRelease, body,
+                                           TraceContext::Current()))));
   (void)reply;
   return Status::Ok();
 }
@@ -1139,16 +1289,22 @@ Status Site::ReleaseProxy(const ProxyDescriptor& descriptor) {
 
 Result<Bytes> Site::CallRaw(const net::Address& to, ObjectId target,
                             const std::string& method, Bytes args) {
-  ++stats_.calls_sent;
+  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
+  telemetry_.calls_sent->Inc();
+  Trace("rmi", method + " on " + ToString(target) + " at " + to);
   rmi::CallRequest call{target, method, std::move(args)};
-  return transport_->Request(to, AsView(rmi::EncodeCall(call)));
+  return TimedRequest(telemetry_.op_call, to,
+                      AsView(rmi::EncodeCall(call, TraceContext::Current())));
 }
 
 Status Site::Ping(const net::Address& to) {
+  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
   wire::Writer body;
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply,
-      transport_->Request(to, AsView(rmi::WrapRequest(rmi::MessageKind::kPing, body))));
+      TimedRequest(telemetry_.op_ping, to,
+                   AsView(rmi::WrapRequest(rmi::MessageKind::kPing, body,
+                                           TraceContext::Current()))));
   (void)reply;
   return Status::Ok();
 }
@@ -1172,10 +1328,13 @@ Result<Bytes> Site::Handle(rmi::MessageKind kind, const net::Address& from,
       OBIWAN_ASSIGN_OR_RETURN(GetReply reply, ServeGet(from, req));
       wire::Writer w;
       wire::Encode(w, reply);
-      return std::move(w).Take();
+      Bytes encoded = std::move(w).Take();
+      telemetry_.replication_bytes_out->Inc(encoded.size());
+      return encoded;
     }
     case rmi::MessageKind::kPut:
     case rmi::MessageKind::kCommit: {
+      telemetry_.replication_bytes_in->Inc(body.remaining());
       PutRequest req = wire::Decode<PutRequest>(body);
       OBIWAN_RETURN_IF_ERROR(body.status());
       if (kind == rmi::MessageKind::kCommit) req.transactional = true;
@@ -1203,6 +1362,7 @@ Result<Bytes> Site::Handle(rmi::MessageKind kind, const net::Address& from,
       return Bytes{};
     }
     case rmi::MessageKind::kPush: {
+      telemetry_.replication_bytes_in->Inc(body.remaining());
       auto record = wire::Decode<ObjectRecord>(body);
       OBIWAN_RETURN_IF_ERROR(body.status());
       OBIWAN_RETURN_IF_ERROR(ServePush(record));

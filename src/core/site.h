@@ -34,6 +34,7 @@
 
 #include "common/clock.h"
 #include "common/ids.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "core/consistency.h"
@@ -66,6 +67,61 @@ struct SiteStats {
   std::uint64_t objects_served = 0;
   std::uint64_t invalidations_sent = 0;
   std::uint64_t invalidations_received = 0;
+  std::uint64_t replication_bytes_in = 0;   // replica state received
+  std::uint64_t replication_bytes_out = 0;  // replica state shipped
+};
+
+// Pre-resolved metric handles for one site. All protocol counters live in the
+// metrics registry (labels: site id + a per-instance sequence number, so two
+// sites with the same id in one process never share a series); SiteStats is a
+// view computed from these counters against a movable baseline, which is what
+// keeps ResetStats() cheap while the registry stays monotonic.
+struct SiteTelemetry {
+  SiteTelemetry(SiteId site, MetricsRegistry& metrics);
+
+  // One handle per SiteStats field, same names.
+  Counter* object_faults;
+  Counter* gets_sent;
+  Counter* gets_served;
+  Counter* puts_sent;
+  Counter* puts_served;
+  Counter* calls_sent;
+  Counter* calls_served;
+  Counter* proxy_ins_created;
+  Counter* proxy_outs_created;
+  Counter* replicas_created;
+  Counter* objects_served;
+  Counter* invalidations_sent;
+  Counter* invalidations_received;
+  Counter* replication_bytes_in;
+  Counter* replication_bytes_out;
+
+  // Live table sizes.
+  Gauge* masters;
+  Gauge* replicas;
+  Gauge* proxy_ins;
+
+  // Client-side RPC telemetry, one bundle per operation the site issues.
+  struct Op {
+    Histogram* latency = nullptr;  // round-trip time on the site's clock
+    Counter* errors = nullptr;
+  };
+  Op op_call;
+  Op op_get;
+  Op op_put;
+  Op op_commit;
+  Op op_ping;
+  Op op_release;
+  Op op_renew;
+  Op op_notify;  // invalidations / pushes fanned out after a put
+
+  // Current counter values as the legacy struct (no baseline applied).
+  SiteStats Raw() const;
+  // Raw() minus the stored baseline, saturating.
+  SiteStats View() const;
+  void Rebaseline() { baseline = Raw(); }
+
+  SiteStats baseline;
 };
 
 class Site final : public rmi::Service {
@@ -225,8 +281,8 @@ class Site final : public rmi::Service {
 
   // --- introspection -------------------------------------------------------------
 
-  const SiteStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  SiteStats stats() const { return telemetry_.View(); }
+  void ResetStats() { telemetry_.Rebaseline(); }
 
   // Attach an event tracer (shared across sites to get a merged timeline).
   // Pass nullptr to detach; the tracer must outlive the site while attached.
@@ -303,11 +359,22 @@ class Site final : public rmi::Service {
   // Refresh a pin's lease on any use.
   void TouchPin(ProxyInEntry& entry);
 
-  void Trace(std::string_view category, std::string detail) {
+  void Trace(std::string_view category, std::string_view detail) {
     if (tracer_ != nullptr) {
-      tracer_->Record(clock_.Now(), id_, category, std::move(detail));
+      tracer_->Record(clock_.Now(), id_, category, detail,
+                      TraceContext::Current());
     }
   }
+
+  // Single choke point for outbound RPCs: times the round trip into `op`'s
+  // latency histogram on the site clock and counts failures. `frame` must
+  // already carry the current trace id (WrapRequest).
+  Result<Bytes> TimedRequest(const SiteTelemetry::Op& op, const net::Address& to,
+                             BytesView frame);
+
+  // Refresh the masters/replicas/proxy-ins gauges from the table sizes.
+  // Call with the site lock held after any table mutation.
+  void SyncGauges();
 
   // Snapshot restore body; the public wrapper clears all tables on failure.
   Status LoadSnapshotLocked(BytesView snapshot);
@@ -366,7 +433,7 @@ class Site final : public rmi::Service {
   Nanos proxy_export_cost_ = 0;
   Nanos proxy_lease_ = 0;
 
-  SiteStats stats_;
+  SiteTelemetry telemetry_;
   Tracer* tracer_ = nullptr;
   ReplicaUpdateCallback on_replica_update_;
 };

@@ -131,6 +131,7 @@ Status Site::LoadSnapshot(BytesView snapshot) {
     next_object_ = 1;
     next_pin_ = 1;
   }
+  SyncGauges();
   return status;
 }
 

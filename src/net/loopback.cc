@@ -36,16 +36,15 @@ Result<Bytes> LoopbackNetwork::Deliver(const Address& from, const Address& to,
     if (it != endpoints_.end()) dest = it->second;
   }
   if (dest == nullptr || dest->handler_ == nullptr) {
-    ++stats_.failures;
+    telemetry_.OnFailure();
     return NotFoundError("no endpoint serving at " + to);
   }
-  ++stats_.requests;
-  stats_.request_bytes += request.size();
+  telemetry_.OnRequest(request.size());
   Result<Bytes> reply = dest->handler_->HandleRequest(from, request);
   if (reply.ok()) {
-    stats_.reply_bytes += reply->size();
+    telemetry_.OnReply(reply->size());
   } else {
-    ++stats_.failures;
+    telemetry_.OnFailure();
   }
   return reply;
 }

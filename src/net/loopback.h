@@ -20,8 +20,8 @@ class LoopbackNetwork {
   // when destroyed.
   std::unique_ptr<LoopbackTransport> CreateEndpoint(const Address& address);
 
-  const TrafficStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  TrafficStats stats() const { return telemetry_.stats(); }
+  void ResetStats() { telemetry_.Reset(); }
 
  private:
   friend class LoopbackTransport;
@@ -32,7 +32,7 @@ class LoopbackNetwork {
 
   std::mutex mutex_;  // guards the endpoint table only; delivery is unlocked
   std::unordered_map<Address, LoopbackTransport*> endpoints_;
-  TrafficStats stats_;
+  TrafficTelemetry telemetry_{"loopback"};
 };
 
 class LoopbackTransport final : public Transport {

@@ -65,39 +65,38 @@ bool SimNetwork::ChargeMessage(const LinkParams& link, std::size_t bytes) {
 Result<Bytes> SimNetwork::Deliver(const Address& from, const Address& to,
                                   BytesView request) {
   if (!LinkUp(from, to)) {
-    ++stats_.failures;
+    telemetry_.OnFailure();
     return DisconnectedError("link down: " + from + " -> " + to);
   }
   SimTransport* dest = nullptr;
   if (auto it = endpoints_.find(to); it != endpoints_.end()) dest = it->second;
   if (dest == nullptr || dest->handler_ == nullptr) {
-    ++stats_.failures;
+    telemetry_.OnFailure();
     return NotFoundError("no endpoint serving at " + to);
   }
 
   const LinkParams& link = LinkFor(from, to);
-  ++stats_.requests;
-  stats_.request_bytes += request.size();
+  telemetry_.OnRequest(request.size());
   if (!ChargeMessage(link, request.size())) {
-    ++stats_.failures;
+    telemetry_.OnFailure();
     return TimeoutError("request dropped: " + from + " -> " + to);
   }
 
   Result<Bytes> reply = dest->handler_->HandleRequest(from, request);
   if (!reply.ok()) {
-    ++stats_.failures;
+    telemetry_.OnFailure();
     return reply;
   }
 
-  stats_.reply_bytes += reply->size();
+  telemetry_.OnReply(reply->size());
   // A disconnection during the reply flight is indistinguishable from a
   // request-side failure to the caller; model it the same way.
   if (!LinkUp(from, to)) {
-    ++stats_.failures;
+    telemetry_.OnFailure();
     return DisconnectedError("link down during reply: " + to + " -> " + from);
   }
   if (!ChargeMessage(link, reply->size())) {
-    ++stats_.failures;
+    telemetry_.OnFailure();
     return TimeoutError("reply dropped: " + to + " -> " + from);
   }
   return reply;

@@ -84,8 +84,8 @@ class SimNetwork {
   // Override parameters for the (unordered) pair {a, b}.
   void SetLinkParams(const Address& a, const Address& b, LinkParams params);
 
-  const TrafficStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  TrafficStats stats() const { return telemetry_.stats(); }
+  void ResetStats() { telemetry_.Reset(); }
   Clock& clock() { return clock_; }
 
  private:
@@ -120,7 +120,7 @@ class SimNetwork {
   std::unordered_map<Address, bool> endpoint_down_;
   std::unordered_map<std::pair<Address, Address>, bool, PairHash> link_down_;
   std::unordered_map<std::pair<Address, Address>, LinkParams, PairHash> link_params_;
-  TrafficStats stats_;
+  TrafficTelemetry telemetry_{"sim"};
 };
 
 class SimTransport final : public Transport {

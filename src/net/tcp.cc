@@ -197,6 +197,17 @@ void TcpTransport::HandleConnection(int fd) {
 }
 
 Result<Bytes> TcpTransport::Request(const Address& to, BytesView request) {
+  Result<Bytes> reply = RequestImpl(to, request);
+  if (reply.ok()) {
+    telemetry_.OnRequest(request.size());
+    telemetry_.OnReply(reply->size());
+  } else {
+    telemetry_.OnFailure();
+  }
+  return reply;
+}
+
+Result<Bytes> TcpTransport::RequestImpl(const Address& to, BytesView request) {
   OBIWAN_ASSIGN_OR_RETURN(auto host_port, ParseAddress(to));
 
   FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));

@@ -34,9 +34,16 @@ class TcpTransport final : public Transport {
   void StopServing() override;
   Address LocalAddress() const override;
 
+  // Outbound traffic issued through this transport (payload bytes, excluding
+  // the 4-byte frame headers, to stay comparable with the in-process
+  // networks).
+  TrafficStats stats() const { return telemetry_.stats(); }
+  void ResetStats() { telemetry_.Reset(); }
+
  private:
   TcpTransport(int listen_fd, std::uint16_t port);
 
+  Result<Bytes> RequestImpl(const Address& to, BytesView request);
   void AcceptLoop();
   void HandleConnection(int fd);
 
@@ -47,6 +54,7 @@ class TcpTransport final : public Transport {
   std::thread accept_thread_;
   std::mutex conn_threads_mutex_;
   std::vector<std::thread> conn_threads_;
+  TrafficTelemetry telemetry_{"tcp"};
 };
 
 }  // namespace obiwan::net

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace obiwan::net {
@@ -40,6 +41,64 @@ struct TrafficStats {
   std::uint64_t request_bytes = 0;
   std::uint64_t reply_bytes = 0;
   std::uint64_t failures = 0;
+};
+
+// Registry-backed traffic accounting shared by the three transports. Each
+// network/transport instance owns one; the counters live in the metrics
+// registry (labels: transport kind + a per-instance sequence number, so two
+// networks in one process never share a series), and the legacy
+// TrafficStats accessor is a view computed from the same counters — there is
+// no parallel bookkeeping to drift.
+class TrafficTelemetry {
+ public:
+  explicit TrafficTelemetry(std::string_view transport_kind,
+                            MetricsRegistry& metrics = MetricsRegistry::Default()) {
+    MetricLabels labels{
+        {"transport", std::string(transport_kind)},
+        {"inst", std::to_string(MetricsRegistry::NextInstance())}};
+    requests_ = &metrics.GetCounter("obiwan_transport_requests_total", labels,
+                                    "Requests delivered by this transport");
+    request_bytes_ = &metrics.GetCounter("obiwan_transport_request_bytes_total",
+                                         labels, "Request payload bytes");
+    reply_bytes_ = &metrics.GetCounter("obiwan_transport_reply_bytes_total",
+                                       labels, "Reply payload bytes");
+    failures_ = &metrics.GetCounter("obiwan_transport_failures_total", labels,
+                                    "Requests that failed to deliver or serve");
+  }
+
+  void OnRequest(std::size_t bytes) {
+    requests_->Inc();
+    request_bytes_->Inc(bytes);
+  }
+  void OnReply(std::size_t bytes) { reply_bytes_->Inc(bytes); }
+  void OnFailure() { failures_->Inc(); }
+
+  // Traffic since construction (or the last Reset), as the legacy struct.
+  // Saturating, so a registry-wide Reset() between baselines reads as zero
+  // rather than wrapping.
+  TrafficStats stats() const {
+    auto since = [](const Counter* c, std::uint64_t base) {
+      const std::uint64_t v = c->Value();
+      return v > base ? v - base : 0;
+    };
+    return TrafficStats{since(requests_, baseline_.requests),
+                        since(request_bytes_, baseline_.request_bytes),
+                        since(reply_bytes_, baseline_.reply_bytes),
+                        since(failures_, baseline_.failures)};
+  }
+
+  // Rebaseline the view; the registry counters stay monotonic.
+  void Reset() {
+    baseline_ = TrafficStats{requests_->Value(), request_bytes_->Value(),
+                             reply_bytes_->Value(), failures_->Value()};
+  }
+
+ private:
+  Counter* requests_;
+  Counter* request_bytes_;
+  Counter* reply_bytes_;
+  Counter* failures_;
+  TrafficStats baseline_;
 };
 
 // One site's view of a network: it can serve requests at its own address and

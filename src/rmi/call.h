@@ -23,12 +23,16 @@ struct CallRequest {
   Bytes args;  // encoded argument tuple
 };
 
-inline Bytes EncodeCall(const CallRequest& call) {
-  wire::Writer body;
+inline void EncodeCallBody(wire::Writer& body, const CallRequest& call) {
   wire::Encode(body, call.target);
   body.String(call.method);
   body.Blob(AsView(call.args));
-  return WrapRequest(MessageKind::kCall, body);
+}
+
+inline Bytes EncodeCall(const CallRequest& call, TraceId trace = {}) {
+  wire::Writer body;
+  EncodeCallBody(body, call);
+  return WrapRequest(MessageKind::kCall, body, trace);
 }
 
 inline Result<CallRequest> DecodeCall(wire::Reader& body) {

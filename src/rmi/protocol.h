@@ -6,11 +6,17 @@
 //   - replication (kGet, kPut, kRefresh-is-a-Get-flag, kRelease, kInvalidate,
 //     kCommit)                             — the OBIWAN contribution (§2.1–2.2)
 //   - naming (kBind, kLookup, kUnbind, kList) — the name server (§2, Fig. 1)
+// Telemetry rides in the envelope: the high bit of the kind byte marks an
+// optional trace header (varint site + varint seq of the originating flow's
+// TraceId) between the kind byte and the body. Requests without the flag are
+// unchanged, so untraced peers interoperate.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/bytes.h"
+#include "common/ids.h"
 #include "common/status.h"
 #include "wire/reader.h"
 #include "wire/writer.h"
@@ -36,25 +42,69 @@ enum class MessageKind : std::uint8_t {
 
 inline constexpr std::uint8_t kMaxMessageKind = 14;
 
-inline Bytes WrapRequest(MessageKind kind, const wire::Writer& body) {
-  wire::Writer w(body.size() + 1);
-  w.U8(static_cast<std::uint8_t>(kind));
+// High bit of the kind byte: a trace header follows the kind.
+inline constexpr std::uint8_t kTraceFlag = 0x80;
+
+// Diagnostic name of a message kind ("call", "get", ...), for metric labels.
+inline std::string_view KindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kCall: return "call";
+    case MessageKind::kPing: return "ping";
+    case MessageKind::kGet: return "get";
+    case MessageKind::kPut: return "put";
+    case MessageKind::kRelease: return "release";
+    case MessageKind::kInvalidate: return "invalidate";
+    case MessageKind::kCommit: return "commit";
+    case MessageKind::kBind: return "bind";
+    case MessageKind::kLookup: return "lookup";
+    case MessageKind::kUnbind: return "unbind";
+    case MessageKind::kList: return "list";
+    case MessageKind::kRenew: return "renew";
+    case MessageKind::kPush: return "push";
+    case MessageKind::kCallBatch: return "call_batch";
+  }
+  return "unknown";
+}
+
+inline Bytes WrapRequest(MessageKind kind, const wire::Writer& body,
+                         TraceId trace = {}) {
+  wire::Writer w(body.size() + 12);
+  if (trace.valid()) {
+    w.U8(static_cast<std::uint8_t>(kind) | kTraceFlag);
+    w.Varint(trace.site);
+    w.Varint(trace.seq);
+  } else {
+    w.U8(static_cast<std::uint8_t>(kind));
+  }
   w.Raw(AsView(body.data()));
   return std::move(w).Take();
 }
 
 struct ParsedRequest {
   MessageKind kind;
+  TraceId trace;  // invalid when the request carried no trace header
   BytesView body;
 };
 
 inline Result<ParsedRequest> ParseRequest(BytesView request) {
   if (request.empty()) return DataLossError("empty request");
-  std::uint8_t kind = request[0];
+  const std::uint8_t first = request[0];
+  const std::uint8_t kind = first & static_cast<std::uint8_t>(~kTraceFlag);
   if (kind == 0 || kind > kMaxMessageKind) {
-    return DataLossError("unknown message kind " + std::to_string(kind));
+    return DataLossError("unknown message kind " + std::to_string(first));
   }
-  return ParsedRequest{static_cast<MessageKind>(kind), request.subspan(1)};
+  ParsedRequest parsed;
+  parsed.kind = static_cast<MessageKind>(kind);
+  BytesView rest = request.subspan(1);
+  if ((first & kTraceFlag) != 0) {
+    wire::Reader header(rest);
+    parsed.trace.site = static_cast<SiteId>(header.Varint());
+    parsed.trace.seq = header.Varint();
+    OBIWAN_RETURN_IF_ERROR(header.status());
+    rest = rest.subspan(rest.size() - header.remaining());
+  }
+  parsed.body = rest;
+  return parsed;
 }
 
 }  // namespace obiwan::rmi

@@ -132,6 +132,20 @@ struct Codec<ProxyId> {
   }
 };
 
+template <>
+struct Codec<TraceId> {
+  static void Encode(Writer& w, const TraceId& v) {
+    w.Varint(v.site);
+    w.Varint(v.seq);
+  }
+  static TraceId Decode(Reader& r) {
+    TraceId id;
+    id.site = static_cast<SiteId>(r.Varint());
+    id.seq = r.Varint();
+    return id;
+  }
+};
+
 // --- containers ----------------------------------------------------------------
 
 // Bytes (= std::vector<std::uint8_t>) gets the compact Blob form.

@@ -1,6 +1,10 @@
 // Tracer tests: ring semantics and the merged cross-site protocol timeline.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/trace.h"
 #include "obiwan.h"
 #include "test_objects.h"
@@ -30,6 +34,87 @@ TEST(Tracer, RingEvictsOldest) {
   EXPECT_EQ(events[3].detail, "9");
   EXPECT_EQ(tracer.dropped(), 6u);
   EXPECT_EQ(tracer.total_recorded(), 10u);
+}
+
+TEST(Tracer, CapacityZeroIsUsable) {
+  // Regression: capacity 0 must not divide by zero in the ring index; it
+  // coerces to a one-slot ring that keeps the newest event.
+  Tracer tracer(0);
+  tracer.Record(1, 1, "e", "first");
+  tracer.Record(2, 1, "e", "second");
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].detail, "second");
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_EQ(tracer.total_recorded(), 2u);
+}
+
+TEST(Tracer, RecordTakesNonNulTerminatedViews) {
+  Tracer tracer(4);
+  const std::string backing = "category-detail";
+  tracer.Record(1, 1, std::string_view(backing).substr(0, 8),
+                std::string_view(backing).substr(9));
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].category, "category");
+  EXPECT_EQ(events[0].detail, "detail");
+}
+
+TEST(Tracer, ConcurrentRecordKeepsEveryEventCounted) {
+  // Regression: Record from many threads must neither tear the ring indices
+  // nor lose events from the total counter.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  Tracer tracer(64);
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.Record(i, static_cast<SiteId>(t + 1), "c", std::to_string(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(tracer.total_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.Snapshot().size(), 64u);
+  EXPECT_EQ(tracer.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread - 64);
+}
+
+TEST(TraceContext, ScopesNestAndRestore) {
+  ASSERT_FALSE(TraceContext::Current().valid());
+  TraceId outer = TraceContext::NewId(1);
+  TraceId inner = TraceContext::NewId(2);
+  EXPECT_NE(outer, inner);
+  {
+    TraceContext::Scope s1(outer);
+    EXPECT_EQ(TraceContext::Current(), outer);
+    {
+      TraceContext::Scope s2(inner);
+      EXPECT_EQ(TraceContext::Current(), inner);
+    }
+    EXPECT_EQ(TraceContext::Current(), outer);
+    EXPECT_EQ(TraceContext::CurrentOrNew(9), outer);
+  }
+  EXPECT_FALSE(TraceContext::Current().valid());
+  EXPECT_TRUE(TraceContext::CurrentOrNew(9).valid());
+  EXPECT_FALSE(TraceContext::Current().valid());  // CurrentOrNew won't install
+}
+
+TEST(Tracer, SnapshotTraceFiltersOneFlow) {
+  Tracer tracer(16);
+  TraceId flow_a{1, 100};
+  TraceId flow_b{2, 200};
+  tracer.Record(1, 1, "call", "a1", flow_a);
+  tracer.Record(2, 2, "get", "b1", flow_b);
+  tracer.Record(3, 2, "get", "a2", flow_a);
+  tracer.Record(4, 1, "put", "none");  // no flow
+  auto events = tracer.SnapshotTrace(flow_a);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].detail, "a1");
+  EXPECT_EQ(events[1].detail, "a2");
 }
 
 TEST(Tracer, ClearResets) {

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# CI entry point: build and test the tree twice —
+#   1. the plain Release-ish build (RelWithDebInfo, the default), and
+#   2. an AddressSanitizer build (OBIWAN_SANITIZE=address)
+# and run the full ctest suite under each. Any failure fails the script.
+#
+# Usage: tools/ci.sh [jobs]          (jobs defaults to nproc)
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+run_flavour() {
+  flavour="$1"
+  build_dir="$2"
+  shift 2
+  echo "=== [$flavour] configure ==="
+  cmake -B "$build_dir" -S . "$@"
+  echo "=== [$flavour] build ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [$flavour] test ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+run_flavour release build-ci
+run_flavour asan build-asan -DOBIWAN_SANITIZE=address
+
+# The fig4 bench must emit a schema-valid BENCH_*.json with latency
+# percentiles (skip the google-benchmark micro-benchmarks; the paper series
+# and the telemetry export are what CI checks).
+echo "=== [bench] fig4 JSON schema ==="
+(cd build-ci && ./bench/bench_fig4_rmi_vs_lmi --benchmark_filter=SchemaOnly)
+python3 - build-ci/BENCH_fig4_rmi_vs_lmi.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("bench", "x_label", "xs", "series", "rpc_latency_ns", "metrics"):
+    assert key in doc, f"missing key: {key}"
+assert doc["series"], "no series"
+for s in doc["series"]:
+    assert len(s["values"]) == len(doc["xs"]), f"ragged series {s['name']}"
+assert doc["rpc_latency_ns"], "no rpc latency summaries"
+for op, summary in doc["rpc_latency_ns"].items():
+    for key in ("count", "sum", "max", "p50", "p95", "p99"):
+        assert key in summary, f"{op} missing {key}"
+    assert summary["count"] > 0, f"{op} summary is empty"
+for section in ("counters", "gauges", "histograms"):
+    assert isinstance(doc["metrics"][section], list), f"bad {section}"
+print("BENCH_fig4_rmi_vs_lmi.json: schema OK "
+      f"({len(doc['series'])} series, {len(doc['rpc_latency_ns'])} ops)")
+EOF
+
+echo "=== CI green: release + asan + bench JSON ==="
