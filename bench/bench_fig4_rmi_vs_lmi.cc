@@ -60,6 +60,30 @@ void PaperSeries() {
   WriteBenchJson("fig4_rmi_vs_lmi", "invocations", kInvocations, series);
 }
 
+// One traced LMI cycle, exported as Chrome trace JSON: per-site processes,
+// the incremental faults' fault -> get chains at the demander, and the final
+// put back to the master — the figure's protocol activity made visible.
+// Separate from the measured series so tracing cost never touches them.
+void TracedExemplar() {
+  PaperEnv env;
+  env.EnableTracing();
+  auto master = test::MakeChain(4, 1024, "m");
+  (void)env.provider->Bind("obj", master);
+  auto remote = env.demander->Lookup<test::Node>("obj");
+  {
+    PhaseSpan phase(env, "replicate+walk");
+    auto replica = remote->Replicate(core::ReplicationMode::Incremental(1));
+    // Walk the chain so each link faults and fetches incrementally.
+    for (core::Ref<test::Node>* cursor = &*replica; !cursor->IsEmpty();
+         cursor = &cursor->get()->next) {
+      benchmark::DoNotOptimize((*cursor)->Touch());
+    }
+    PhaseSpan put_phase(env, "put-back");
+    (void)env.demander->Put(*replica);
+  }
+  env.WriteChromeTrace("fig4_rmi_vs_lmi");
+}
+
 // CPU-side micro-benchmark: the real cost of one LMI cycle's fixed parts
 // (replicate + put) over loopback, by object size.
 void BM_ReplicateAndPut(benchmark::State& state) {
@@ -87,6 +111,7 @@ BENCHMARK(BM_ReplicateAndPut)->Arg(16)->Arg(1024)->Arg(16 * 1024)->Arg(64 * 1024
 
 int main(int argc, char** argv) {
   obiwan::bench::PaperSeries();
+  obiwan::bench::TracedExemplar();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

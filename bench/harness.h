@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
+#include "common/trace_collector.h"
 #include "obiwan.h"
 #include "test_objects.h"
 
@@ -37,12 +39,52 @@ struct PaperEnv {
     provider->SetProxyExportCost(kProxyExportCost);
   }
 
+  // Route both sites and the network into one tracer so WriteChromeTrace can
+  // export the run as a single timeline. Off by default: the paper-series
+  // numbers are measured untraced.
+  void EnableTracing() {
+    provider->SetTracer(&tracer);
+    demander->SetTracer(&tracer);
+    network.SetTracer(&tracer);
+    phase_sinks.SetAttached(&tracer);
+  }
+
+  // Export everything recorded since EnableTracing() as Chrome trace JSON
+  // (load in Perfetto / chrome://tracing).
+  void WriteChromeTrace(const std::string& name) {
+    TraceCollector collector;
+    collector.Attach(&tracer);
+    const std::string path = "BENCH_" + name + ".trace.json";
+    Status s = collector.WriteChromeTrace(path);
+    if (s.ok()) {
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+    }
+  }
+
   static constexpr Nanos kProxyExportCost = 500 * kMicro;
 
   VirtualClock clock;
   net::SimNetwork network;
   std::unique_ptr<core::Site> provider;
   std::unique_ptr<core::Site> demander;
+  Tracer tracer{8192};
+  TraceSinks phase_sinks;  // records at SiteId 0 ("network/harness")
+};
+
+// Wraps one benchmark phase in a span at pid 0, so a traced run shows which
+// protocol activity belongs to which phase of the experiment.
+class PhaseSpan {
+ public:
+  PhaseSpan(PaperEnv& env, const std::string& name)
+      : flow_(TraceContext::CurrentOrNew(0)),
+        span_(&env.phase_sinks, env.clock, kInvalidSite, "phase", name,
+              TraceContext::Current()) {}
+
+ private:
+  TraceContext::Scope flow_;
+  SpanScope span_;
 };
 
 // Combined stopwatch: virtual network time + real CPU time.

@@ -23,11 +23,16 @@
 // `--stats` dumps the process-wide metrics registry (plain text) on exit, so
 // scripted runs (`echo ... | obiwan_shell --stats`) get a machine-grepable
 // summary without typing `metrics`.
+//
+// `--flight-dump <path>` arms the flight recorder: the first failed request
+// writes the always-on per-site span buffers to <path> as Chrome trace JSON,
+// and a clean exit writes them too — every session leaves a timeline.
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <sstream>
 
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "net/tcp.h"
 #include "obiwan.h"
@@ -287,6 +292,7 @@ int main(int argc, char** argv) {
   SiteId site_id = 1;
   std::uint16_t port = 0;
   std::string registry;
+  std::string flight_dump;
   bool dump_stats = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -298,10 +304,15 @@ int main(int argc, char** argv) {
       registry = argv[++i];
     } else if (arg == "--stats") {
       dump_stats = true;
+    } else if (arg == "--flight-dump" && i + 1 < argc) {
+      // Arm the post-mortem hook (first failed request dumps) and also write
+      // the flight buffers on clean exit, so every session leaves a timeline.
+      flight_dump = argv[++i];
+      obiwan::FlightRecorder::Global().ArmDumpOnFailure(flight_dump);
     } else {
       std::fprintf(stderr,
                    "usage: obiwan_shell [--site N] [--port P] [--registry "
-                   "host:port] [--stats]\n");
+                   "host:port] [--stats] [--flight-dump trace.json]\n");
       return 2;
     }
   }
@@ -321,6 +332,11 @@ int main(int argc, char** argv) {
   if (dump_stats) {
     std::printf("\n--- metrics ---\n");
     std::fputs(obiwan::MetricsRegistry::Default().DumpText().c_str(), stdout);
+  }
+  if (!flight_dump.empty()) {
+    Status s = obiwan::FlightRecorder::Global().WriteDump(flight_dump);
+    std::printf("%s\n", s.ok() ? ("flight dump written to " + flight_dump).c_str()
+                               : s.ToString().c_str());
   }
   return 0;
 }

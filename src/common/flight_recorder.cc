@@ -1,0 +1,86 @@
+#include "common/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.h"
+#include "common/trace_collector.h"
+
+namespace obiwan {
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked singleton
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder() {
+  if (const char* path = std::getenv("OBIWAN_FLIGHT_DUMP");
+      path != nullptr && path[0] != '\0') {
+    dump_path_ = path;
+  }
+}
+
+void FlightRecorder::Register(SiteId site, Tracer* tracer) {
+  if (tracer == nullptr) return;
+  std::lock_guard lock(mutex_);
+  tracers_.emplace_back(site, tracer);
+}
+
+void FlightRecorder::Unregister(Tracer* tracer) {
+  std::lock_guard lock(mutex_);
+  tracers_.erase(std::remove_if(tracers_.begin(), tracers_.end(),
+                                [&](const auto& e) { return e.second == tracer; }),
+                 tracers_.end());
+}
+
+std::string FlightRecorder::ChromeTraceJson() const {
+  TraceCollector collector;
+  std::lock_guard lock(mutex_);
+  for (const auto& [site, tracer] : tracers_) {
+    (void)site;
+    collector.Attach(tracer);
+  }
+  // Tracer snapshots take only the tracer's own stripe locks; holding the
+  // registry mutex across the render keeps Unregister from racing us.
+  return collector.ChromeTraceJson();
+}
+
+Status FlightRecorder::WriteDump(const std::string& path) const {
+  TraceCollector collector;
+  std::lock_guard lock(mutex_);
+  for (const auto& [site, tracer] : tracers_) {
+    (void)site;
+    collector.Attach(tracer);
+  }
+  return collector.WriteChromeTrace(path);
+}
+
+void FlightRecorder::ArmDumpOnFailure(std::string path) {
+  std::lock_guard lock(mutex_);
+  dump_path_ = std::move(path);
+}
+
+bool FlightRecorder::armed() const {
+  std::lock_guard lock(mutex_);
+  return !dump_path_.empty();
+}
+
+void FlightRecorder::NotifyFailure(std::string_view reason) {
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  std::string path;
+  {
+    std::lock_guard lock(mutex_);
+    if (dump_path_.empty()) return;
+    path.swap(dump_path_);  // disarm: one dump per arming
+  }
+  const Status status = WriteDump(path);
+  if (status.ok()) {
+    OBIWAN_LOG(kWarning) << "flight recorder: dumped last spans to " << path
+                         << " after failure: " << std::string(reason);
+  } else {
+    OBIWAN_LOG(kError) << "flight recorder: dump to " << path
+                       << " failed: " << status.ToString();
+  }
+}
+
+}  // namespace obiwan

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/metrics.h"
+
 namespace obiwan {
 namespace {
 
@@ -19,6 +21,22 @@ std::string_view LevelName(LogLevel level) {
   return "?";
 }
 
+// Lazily registered so quiet processes that never warn pay nothing. Must not
+// be resolved while the registry mutex is held — metrics.cc therefore logs
+// its own errors only after releasing its lock.
+Counter& LogCounter(LogLevel level) {
+  if (level == LogLevel::kWarning) {
+    static Counter* counter = &MetricsRegistry::Default().GetCounter(
+        "obiwan_log_messages_total", {{"level", "warning"}},
+        "Warning/error log statements executed, by level.");
+    return *counter;
+  }
+  static Counter* counter = &MetricsRegistry::Default().GetCounter(
+      "obiwan_log_messages_total", {{"level", "error"}},
+      "Warning/error log statements executed, by level.");
+  return *counter;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
@@ -26,21 +44,24 @@ void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxe
 
 namespace internal {
 
-LogLine::LogLine(LogLevel level, std::string_view file, int line)
-    : enabled_(level >= GetLogLevel() && GetLogLevel() != LogLevel::kOff) {
-  if (enabled_) {
-    // Strip the directory part for readability.
-    auto slash = file.rfind('/');
-    if (slash != std::string_view::npos) file = file.substr(slash + 1);
-    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+bool LogActive(LogLevel level) {
+  if (level >= LogLevel::kWarning && level != LogLevel::kOff) {
+    LogCounter(level).Inc();
   }
+  const LogLevel threshold = GetLogLevel();
+  return level >= threshold && threshold != LogLevel::kOff;
+}
+
+LogLine::LogLine(LogLevel level, std::string_view file, int line) {
+  // Strip the directory part for readability.
+  auto slash = file.rfind('/');
+  if (slash != std::string_view::npos) file = file.substr(slash + 1);
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
 }
 
 LogLine::~LogLine() {
-  if (enabled_) {
-    std::lock_guard<std::mutex> lock(g_output_mutex);
-    std::cerr << stream_.str() << "\n";
-  }
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::cerr << stream_.str() << "\n";
 }
 
 }  // namespace internal

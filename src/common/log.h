@@ -1,5 +1,13 @@
 // Minimal leveled logging. Off by default so tests and benches stay quiet;
 // applications enable it with obiwan::SetLogLevel.
+//
+// OBIWAN_LOG(level) << ... is lazy: when the level is disabled the statement
+// reduces to one atomic level load (plus one counter increment for
+// warning/error) — no ostringstream is constructed and the streamed
+// expressions are never evaluated. Every kWarning / kError statement that
+// executes — emitted to stderr or not — increments
+// obiwan_log_messages_total{level=...} in the metrics registry, so error
+// bursts show up in exported metrics even in quiet configurations.
 #pragma once
 
 #include <iostream>
@@ -16,6 +24,11 @@ void SetLogLevel(LogLevel level);
 
 namespace internal {
 
+// Counts warning/error statements into the metrics registry and reports
+// whether the level is currently emitted. Called once per OBIWAN_LOG
+// statement, before any stream machinery exists.
+bool LogActive(LogLevel level);
+
 class LogLine {
  public:
   LogLine(LogLevel level, std::string_view file, int line);
@@ -23,17 +36,27 @@ class LogLine {
 
   template <typename T>
   LogLine& operator<<(const T& v) {
-    if (enabled_) stream_ << v;
+    stream_ << v;
     return *this;
   }
 
  private:
-  bool enabled_;
   std::ostringstream stream_;
+};
+
+// Swallows the LogLine expression in the enabled arm of the macro's ternary
+// so both arms have type void. operator& binds looser than operator<<, so
+// the whole streamed chain is built first.
+struct LogVoidify {
+  void operator&(const LogLine&) const {}
 };
 
 }  // namespace internal
 }  // namespace obiwan
 
-#define OBIWAN_LOG(level) \
-  ::obiwan::internal::LogLine(::obiwan::LogLevel::level, __FILE__, __LINE__)
+#define OBIWAN_LOG(level)                                          \
+  !::obiwan::internal::LogActive(::obiwan::LogLevel::level)        \
+      ? (void)0                                                    \
+      : ::obiwan::internal::LogVoidify() &                         \
+            ::obiwan::internal::LogLine(::obiwan::LogLevel::level, \
+                                        __FILE__, __LINE__)

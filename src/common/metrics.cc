@@ -175,36 +175,47 @@ MetricsRegistry::Entry& MetricsRegistry::Register(std::string_view name,
   return *entries_.back();
 }
 
+// The type-mismatch error in the getters below is logged only after the
+// registry lock is released: OBIWAN_LOG(kWarning|kError) feeds the
+// obiwan_log_messages_total counters back through GetCounter, and logging
+// under mutex_ would re-enter it.
+
 Counter& MetricsRegistry::GetCounter(std::string_view name, MetricLabels labels,
                                      std::string_view help) {
   std::string label_str = CanonicalLabelString(labels);
-  std::lock_guard lock(mutex_);
-  if (Entry* existing = Find(name, label_str)) {
-    if (existing->type == Type::kCounter) return *existing->counter;
-    OBIWAN_LOG(kError) << "metric '" << std::string(name)
-                       << "' re-registered with a different type";
-    static Counter* dummy = new Counter();
-    return *dummy;
+  {
+    std::lock_guard lock(mutex_);
+    if (Entry* existing = Find(name, label_str)) {
+      if (existing->type == Type::kCounter) return *existing->counter;
+    } else {
+      Entry& entry = Register(name, std::move(labels), Type::kCounter, help);
+      entry.counter = std::make_unique<Counter>();
+      return *entry.counter;
+    }
   }
-  Entry& entry = Register(name, std::move(labels), Type::kCounter, help);
-  entry.counter = std::make_unique<Counter>();
-  return *entry.counter;
+  OBIWAN_LOG(kError) << "metric '" << std::string(name)
+                     << "' re-registered with a different type";
+  static Counter* dummy = new Counter();
+  return *dummy;
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels,
                                  std::string_view help) {
   std::string label_str = CanonicalLabelString(labels);
-  std::lock_guard lock(mutex_);
-  if (Entry* existing = Find(name, label_str)) {
-    if (existing->type == Type::kGauge) return *existing->gauge;
-    OBIWAN_LOG(kError) << "metric '" << std::string(name)
-                       << "' re-registered with a different type";
-    static Gauge* dummy = new Gauge();
-    return *dummy;
+  {
+    std::lock_guard lock(mutex_);
+    if (Entry* existing = Find(name, label_str)) {
+      if (existing->type == Type::kGauge) return *existing->gauge;
+    } else {
+      Entry& entry = Register(name, std::move(labels), Type::kGauge, help);
+      entry.gauge = std::make_unique<Gauge>();
+      return *entry.gauge;
+    }
   }
-  Entry& entry = Register(name, std::move(labels), Type::kGauge, help);
-  entry.gauge = std::make_unique<Gauge>();
-  return *entry.gauge;
+  OBIWAN_LOG(kError) << "metric '" << std::string(name)
+                     << "' re-registered with a different type";
+  static Gauge* dummy = new Gauge();
+  return *dummy;
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name,
@@ -212,17 +223,20 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
                                          const std::vector<std::int64_t>& bounds,
                                          std::string_view help) {
   std::string label_str = CanonicalLabelString(labels);
-  std::lock_guard lock(mutex_);
-  if (Entry* existing = Find(name, label_str)) {
-    if (existing->type == Type::kHistogram) return *existing->histogram;
-    OBIWAN_LOG(kError) << "metric '" << std::string(name)
-                       << "' re-registered with a different type";
-    static Histogram* dummy = new Histogram({1});
-    return *dummy;
+  {
+    std::lock_guard lock(mutex_);
+    if (Entry* existing = Find(name, label_str)) {
+      if (existing->type == Type::kHistogram) return *existing->histogram;
+    } else {
+      Entry& entry = Register(name, std::move(labels), Type::kHistogram, help);
+      entry.histogram = std::make_unique<Histogram>(bounds);
+      return *entry.histogram;
+    }
   }
-  Entry& entry = Register(name, std::move(labels), Type::kHistogram, help);
-  entry.histogram = std::make_unique<Histogram>(bounds);
-  return *entry.histogram;
+  OBIWAN_LOG(kError) << "metric '" << std::string(name)
+                     << "' re-registered with a different type";
+  static Histogram* dummy = new Histogram({1});
+  return *dummy;
 }
 
 void MetricsRegistry::Reset() {
@@ -289,6 +303,46 @@ std::string WithLe(const std::string& name, const std::string& label_str,
   return out;
 }
 
+// Prometheus text exposition escaping. Label values escape backslash, double
+// quote, and newline; HELP text escapes backslash and newline only (the
+// canonical label_str stays raw — it is the registry-internal identity key
+// and feeds DumpText).
+std::string PromEscape(const std::string& v, bool escape_quote) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"':
+        if (escape_quote) {
+          out += "\\\"";
+        } else {
+          out += c;
+        }
+        break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// The entry's labels re-rendered with escaped values (labels are already in
+// canonical sorted order from registration).
+std::string PromLabelString(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += PromEscape(labels[i].second, /*escape_quote=*/true);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::DumpPrometheus() const {
@@ -305,33 +359,37 @@ std::string MetricsRegistry::DumpPrometheus() const {
   for (const Entry* e : sorted) {
     const bool first_of_name = e->name != last_name;
     last_name = e->name;
+    const std::string labels = PromLabelString(e->labels);
     switch (e->type) {
       case Type::kCounter: {
         if (first_of_name) {
           if (!e->help.empty()) {
-            out += "# HELP " + e->name + " " + e->help + "\n";
+            out += "# HELP " + e->name + " " +
+                   PromEscape(e->help, /*escape_quote=*/false) + "\n";
           }
           out += "# TYPE " + e->name + " counter\n";
         }
-        out += e->name + e->label_str + " " +
+        out += e->name + labels + " " +
                std::to_string(e->counter->Value()) + "\n";
         break;
       }
       case Type::kGauge: {
         if (first_of_name) {
           if (!e->help.empty()) {
-            out += "# HELP " + e->name + " " + e->help + "\n";
+            out += "# HELP " + e->name + " " +
+                   PromEscape(e->help, /*escape_quote=*/false) + "\n";
           }
           out += "# TYPE " + e->name + " gauge\n";
         }
-        out += e->name + e->label_str + " " +
+        out += e->name + labels + " " +
                std::to_string(e->gauge->Value()) + "\n";
         break;
       }
       case Type::kHistogram: {
         if (first_of_name) {
           if (!e->help.empty()) {
-            out += "# HELP " + e->name + " " + e->help + "\n";
+            out += "# HELP " + e->name + " " +
+                   PromEscape(e->help, /*escape_quote=*/false) + "\n";
           }
           out += "# TYPE " + e->name + " histogram\n";
         }
@@ -340,15 +398,15 @@ std::string MetricsRegistry::DumpPrometheus() const {
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < h.bounds().size(); ++i) {
           cumulative += counts[i];
-          out += WithLe(e->name + "_bucket", e->label_str,
+          out += WithLe(e->name + "_bucket", labels,
                         std::to_string(h.bounds()[i])) +
                  " " + std::to_string(cumulative) + "\n";
         }
-        out += WithLe(e->name + "_bucket", e->label_str, "+Inf") + " " +
+        out += WithLe(e->name + "_bucket", labels, "+Inf") + " " +
                std::to_string(h.Count()) + "\n";
-        out += e->name + "_sum" + e->label_str + " " +
+        out += e->name + "_sum" + labels + " " +
                std::to_string(h.Sum()) + "\n";
-        out += e->name + "_count" + e->label_str + " " +
+        out += e->name + "_count" + labels + " " +
                std::to_string(h.Count()) + "\n";
         break;
       }

@@ -1,16 +1,16 @@
 #include "common/trace.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace obiwan {
 
 // ---------------------------------------------------------------------------
-// TraceContext
+// TraceContext / SpanContext
 // ---------------------------------------------------------------------------
 
 namespace {
 thread_local TraceId g_current_trace;
+thread_local std::uint64_t g_current_span = 0;
 }  // namespace
 
 TraceId TraceContext::Current() { return g_current_trace; }
@@ -23,6 +23,19 @@ TraceId TraceContext::NewId(SiteId origin) {
 TraceId TraceContext::Exchange(TraceId id) {
   TraceId previous = g_current_trace;
   g_current_trace = id;
+  return previous;
+}
+
+std::uint64_t SpanContext::Current() { return g_current_span; }
+
+std::uint64_t SpanContext::NextId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t SpanContext::Exchange(std::uint64_t id) {
+  std::uint64_t previous = g_current_span;
+  g_current_span = id;
   return previous;
 }
 
@@ -40,29 +53,72 @@ std::string TraceEvent::ToString() const {
   return out;
 }
 
+std::string Span::ToString() const {
+  std::string out = "[" + std::to_string(static_cast<double>(begin) / kMilli) +
+                    "ms +" +
+                    std::to_string(static_cast<double>(duration()) / kMilli) +
+                    "ms site " + std::to_string(site) + "] span " +
+                    std::to_string(id) + (parent != 0 ? "<-" + std::to_string(parent) : "") +
+                    " " + category + (name.empty() ? "" : ": " + name);
+  if (failed) out += " FAILED";
+  if (trace.valid()) {
+    out += " #" + std::to_string(trace.site) + ":" + std::to_string(trace.seq);
+  }
+  return out;
+}
+
+void Tracer::LockAll() const {
+  for (std::mutex& m : stripes_) m.lock();
+}
+
+void Tracer::UnlockAll() const {
+  for (auto it = stripes_.rbegin(); it != stripes_.rend(); ++it) it->unlock();
+}
+
 void Tracer::Record(Nanos at, SiteId site, std::string_view category,
                     std::string_view detail, TraceId trace) {
-  std::lock_guard lock(mutex_);
-  TraceEvent& slot = ring_[total_ % capacity_];
-  slot.at = at;
-  slot.site = site;
-  slot.trace = trace;
+  // Reserve the slot without any lock; only the write into it is serialized,
+  // and only against recorders that hash to the same stripe.
+  const std::uint64_t seq = total_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t slot = static_cast<std::size_t>(seq % capacity_);
+  std::lock_guard lock(StripeFor(slot));
+  TraceEvent& entry = ring_[slot];
+  entry.at = at;
+  entry.site = site;
+  entry.trace = trace;
   // assign() reuses each slot's existing string capacity, so a warm ring
   // records without allocating.
-  slot.category.assign(category);
-  slot.detail.assign(detail);
-  ++total_;
+  entry.category.assign(category);
+  entry.detail.assign(detail);
+}
+
+void Tracer::RecordSpan(const Span& span) {
+  const std::uint64_t seq = span_total_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t slot = static_cast<std::size_t>(seq % capacity_);
+  std::lock_guard lock(StripeFor(slot));
+  Span& entry = span_ring_[slot];
+  entry.id = span.id;
+  entry.parent = span.parent;
+  entry.trace = span.trace;
+  entry.site = span.site;
+  entry.begin = span.begin;
+  entry.end = span.end;
+  entry.category.assign(span.category);
+  entry.name.assign(span.name);
+  entry.failed = span.failed;
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
-  std::lock_guard lock(mutex_);
+  LockAll();
   std::vector<TraceEvent> out;
-  const std::uint64_t count = std::min<std::uint64_t>(total_, capacity_);
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  const std::uint64_t count = std::min<std::uint64_t>(total, capacity_);
   out.reserve(count);
-  const std::uint64_t start = total_ - count;
+  const std::uint64_t start = total - count;
   for (std::uint64_t i = 0; i < count; ++i) {
     out.push_back(ring_[(start + i) % capacity_]);
   }
+  UnlockAll();
   return out;
 }
 
@@ -74,9 +130,33 @@ std::vector<TraceEvent> Tracer::SnapshotTrace(TraceId trace) const {
   return out;
 }
 
+std::vector<Span> Tracer::SnapshotSpans() const {
+  LockAll();
+  std::vector<Span> out;
+  const std::uint64_t total = span_total_.load(std::memory_order_relaxed);
+  const std::uint64_t count = std::min<std::uint64_t>(total, capacity_);
+  out.reserve(count);
+  const std::uint64_t start = total - count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(span_ring_[(start + i) % capacity_]);
+  }
+  UnlockAll();
+  return out;
+}
+
+std::vector<Span> Tracer::SnapshotTraceSpans(TraceId trace) const {
+  std::vector<Span> out = SnapshotSpans();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const Span& s) { return s.trace != trace; }),
+            out.end());
+  return out;
+}
+
 void Tracer::Clear() {
-  std::lock_guard lock(mutex_);
-  total_ = 0;
+  LockAll();
+  total_.store(0, std::memory_order_relaxed);
+  span_total_.store(0, std::memory_order_relaxed);
+  UnlockAll();
 }
 
 std::string Tracer::Dump() const {
@@ -85,7 +165,37 @@ std::string Tracer::Dump() const {
     out += event.ToString();
     out += '\n';
   }
+  for (const Span& span : SnapshotSpans()) {
+    out += span.ToString();
+    out += '\n';
+  }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// SpanScope
+// ---------------------------------------------------------------------------
+
+SpanScope::SpanScope(const TraceSinks* sinks, Clock& clock, SiteId site,
+                     std::string_view category, std::string_view name,
+                     TraceId trace) {
+  if (sinks == nullptr || !sinks->active()) return;  // inactive: a no-op
+  sinks_ = sinks;
+  clock_ = &clock;
+  span_.id = SpanContext::NextId();
+  span_.parent = SpanContext::Exchange(span_.id);
+  span_.trace = trace;
+  span_.site = site;
+  span_.begin = clock.Now();
+  span_.category.assign(category);
+  span_.name.assign(name);
+}
+
+SpanScope::~SpanScope() {
+  if (sinks_ == nullptr) return;
+  SpanContext::Exchange(span_.parent);
+  span_.end = clock_->Now();
+  sinks_->RecordSpan(span_);
 }
 
 }  // namespace obiwan

@@ -1,12 +1,12 @@
-// Event tracing: a fixed-capacity ring buffer of protocol events, plus the
-// cross-site correlation context.
+// Event + span tracing: fixed-capacity rings of protocol events and causal
+// spans, plus the cross-site correlation context.
 //
 // Distributed flows (a fault cascading through a replica chain, an
 // invalidation fan-out) are hard to reconstruct from logs of interleaved
 // sites. A Tracer can be attached to any number of sites; each records its
 // protocol events (faults, gets, puts, calls, invalidations) with the site id
 // and a timestamp from its own clock, and Snapshot() returns the merged,
-// chronological view. The ring never allocates after construction beyond the
+// chronological view. The rings never allocate after construction beyond the
 // event strings themselves (slot strings are reused in place), and a site
 // without a tracer pays one pointer compare per event.
 //
@@ -17,8 +17,18 @@
 // duration of the handler — so a get served three sites down a replica chain
 // still records under the id of the fault that started it.
 // SnapshotTrace(id) filters the merged timeline back down to one flow.
+//
+// Spans add causality and duration on top of the flat events: a Span is a
+// begin/end interval with a process-unique id and the id of the span that was
+// open on the same thread when it began. The paper's cascade — RMI → fault →
+// get → put — therefore records as a parent/child tree, and because the
+// TraceId rides the envelope, a remote dispatch records as (part of) the flow
+// of the originating call. TraceCollector (trace_collector.h) merges spans
+// from many tracers into one timeline and exports Chrome trace-event JSON.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <string>
@@ -27,6 +37,7 @@
 
 #include "common/clock.h"
 #include "common/ids.h"
+#include "common/status.h"
 
 namespace obiwan {
 
@@ -37,6 +48,26 @@ struct TraceEvent {
   std::string category;  // "fault", "get", "put", "call", "invalidate", ...
   std::string detail;
 
+  std::string ToString() const;
+};
+
+// A completed causal span: one timed step of a distributed cascade. `parent`
+// is the span that was open on the same thread when this one began (0 = no
+// enclosing span); with synchronous in-process delivery that links a server
+// handler under its originating client call, and across real transports the
+// shared TraceId still groups both sides into one flow.
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  TraceId trace;  // the distributed flow, as carried by the envelope
+  SiteId site = kInvalidSite;
+  Nanos begin = 0;
+  Nanos end = 0;
+  std::string category;  // "rmi", "dispatch", "fault", "get", "put", ...
+  std::string name;
+  bool failed = false;
+
+  Nanos duration() const { return end > begin ? end - begin : 0; }
   std::string ToString() const;
 };
 
@@ -73,15 +104,32 @@ class TraceContext {
   static TraceId Exchange(TraceId id);
 };
 
+// Per-thread span parenting: the id of the innermost open span, maintained by
+// SpanScope. Separate from TraceContext because a flow spans many spans.
+class SpanContext {
+ public:
+  static std::uint64_t Current();  // 0 when no span is open on this thread
+  static std::uint64_t NextId();   // process-unique, never 0
+
+ private:
+  friend class SpanScope;
+  static std::uint64_t Exchange(std::uint64_t id);
+};
+
 class Tracer {
  public:
+  // `capacity` bounds both rings (events and spans) independently.
   explicit Tracer(std::size_t capacity = 1024)
       : capacity_(capacity == 0 ? 1 : capacity) {
     ring_.resize(capacity_);
+    span_ring_.resize(capacity_);
   }
 
   void Record(Nanos at, SiteId site, std::string_view category,
               std::string_view detail, TraceId trace = {});
+
+  // Record a *completed* span (SpanScope does this from its destructor).
+  void RecordSpan(const Span& span);
 
   // Events in arrival order (oldest first). The `dropped` counter tells how
   // many older events the ring already evicted.
@@ -91,26 +139,102 @@ class Tracer {
   // reconstruction of a single end-to-end RMI/fault/reintegration cascade.
   std::vector<TraceEvent> SnapshotTrace(TraceId trace) const;
 
-  std::uint64_t dropped() const {
-    std::lock_guard lock(mutex_);
-    return total_ > capacity_ ? total_ - capacity_ : 0;
-  }
+  // Completed spans in completion order (oldest first).
+  std::vector<Span> SnapshotSpans() const;
+  std::vector<Span> SnapshotTraceSpans(TraceId trace) const;
 
+  std::uint64_t dropped() const {
+    const std::uint64_t total = total_.load(std::memory_order_relaxed);
+    return total > capacity_ ? total - capacity_ : 0;
+  }
   std::uint64_t total_recorded() const {
-    std::lock_guard lock(mutex_);
-    return total_;
+    return total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spans_dropped() const {
+    const std::uint64_t total = span_total_.load(std::memory_order_relaxed);
+    return total > capacity_ ? total - capacity_ : 0;
+  }
+  std::uint64_t spans_recorded() const {
+    return span_total_.load(std::memory_order_relaxed);
   }
 
   void Clear();
 
-  // Render the snapshot as text, one event per line.
+  // Render the snapshot as text: events first, then completed spans.
   std::string Dump() const;
 
  private:
+  // Slot reservation is a relaxed atomic increment; only the write into the
+  // reserved slot is serialized, and only against writers hashing to the same
+  // lock stripe — concurrent recorders on different slots no longer contend
+  // on one global mutex. A snapshot taken while a writer sits between
+  // reservation and write may transiently see the slot's previous content;
+  // the flight-recorder use case (post-mortem dumps of quiesced rings) never
+  // observes this.
+  static constexpr std::size_t kStripes = 16;
+  std::mutex& StripeFor(std::size_t slot) const {
+    return stripes_[slot % kStripes];
+  }
+  void LockAll() const;
+  void UnlockAll() const;
+
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable std::array<std::mutex, kStripes> stripes_;
   std::vector<TraceEvent> ring_;
-  std::uint64_t total_ = 0;  // events ever recorded
+  std::vector<Span> span_ring_;
+  std::atomic<std::uint64_t> total_{0};       // events ever recorded
+  std::atomic<std::uint64_t> span_total_{0};  // spans ever recorded
+};
+
+// Fan-out handle: a site records through one of these so its always-on
+// flight-recorder ring and an optionally attached shared tracer both see
+// every event and span. Copyable view semantics; the tracers must outlive
+// any recording through the sinks.
+class TraceSinks {
+ public:
+  void SetFlight(Tracer* tracer) { flight_ = tracer; }
+  void SetAttached(Tracer* tracer) { attached_ = tracer; }
+  Tracer* attached() const { return attached_; }
+  bool active() const { return flight_ != nullptr || attached_ != nullptr; }
+
+  void Record(Nanos at, SiteId site, std::string_view category,
+              std::string_view detail, TraceId trace = {}) const {
+    if (flight_ != nullptr) flight_->Record(at, site, category, detail, trace);
+    if (attached_ != nullptr) {
+      attached_->Record(at, site, category, detail, trace);
+    }
+  }
+  void RecordSpan(const Span& span) const {
+    if (flight_ != nullptr) flight_->RecordSpan(span);
+    if (attached_ != nullptr) attached_->RecordSpan(span);
+  }
+
+ private:
+  Tracer* flight_ = nullptr;
+  Tracer* attached_ = nullptr;
+};
+
+// RAII span: begins on construction, completes (and records into `sinks`) on
+// destruction. Maintains the thread's parent chain via SpanContext. A null or
+// inactive sinks makes the scope a no-op — no id is allocated and the parent
+// chain is left untouched, so children attach to the enclosing span.
+class SpanScope {
+ public:
+  SpanScope(const TraceSinks* sinks, Clock& clock, SiteId site,
+            std::string_view category, std::string_view name,
+            TraceId trace);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void MarkFailed() { span_.failed = true; }
+  std::uint64_t id() const { return span_.id; }
+
+ private:
+  const TraceSinks* sinks_ = nullptr;  // null when inactive
+  Clock* clock_ = nullptr;
+  Span span_;
 };
 
 }  // namespace obiwan

@@ -52,9 +52,7 @@ class CallBatch {
     results_.clear();
     if (calls_.empty()) return Status::Ok();
     OBIWAN_ASSIGN_OR_RETURN(
-        Bytes reply,
-        site_.transport().Request(remote_.provider(),
-                                  AsView(rmi::EncodeCallBatch(calls_))));
+        Bytes reply, site_.CallBatchRaw(remote_.provider(), calls_));
     OBIWAN_ASSIGN_OR_RETURN(results_, rmi::DecodeBatchReply(AsView(reply)));
     if (results_.size() != calls_.size()) {
       results_.clear();

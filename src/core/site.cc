@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 
 namespace obiwan::core {
@@ -52,14 +53,15 @@ SiteTelemetry::SiteTelemetry(SiteId site, MetricsRegistry& metrics) {
   proxy_ins = &metrics.GetGauge("obiwan_site_proxy_ins", labels,
                                 "Live provider-side proxy-ins");
 
-  auto op = [&](std::string_view name) {
+  auto op = [&](const char* name) {
     MetricLabels op_labels = labels;
-    op_labels.emplace_back("op", std::string(name));
+    op_labels.emplace_back("op", name);
     return Op{&metrics.GetHistogram("obiwan_rmi_client_latency_ns", op_labels,
                                     DefaultLatencyBuckets(),
                                     "Round-trip time of outbound requests (site clock)"),
               &metrics.GetCounter("obiwan_rmi_client_errors_total", op_labels,
-                                  "Outbound requests that failed")};
+                                  "Outbound requests that failed"),
+              name};
   };
   op_call = op("call");
   op_get = op("get");
@@ -137,7 +139,10 @@ Site::Site(SiteId id, std::unique_ptr<net::Transport> transport, Clock& clock)
       clock_(clock),
       policy_(std::make_unique<NoConsistency>()),
       telemetry_(id, MetricsRegistry::Default()) {
+  sinks_.SetFlight(&flight_);
+  FlightRecorder::Global().Register(id_, &flight_);
   dispatcher_.SetClock(&clock_);
+  dispatcher_.SetTrace(&sinks_, id_);
   dispatcher_.RegisterService(rmi::MessageKind::kCall, this);
   dispatcher_.RegisterService(rmi::MessageKind::kPing, this);
   dispatcher_.RegisterService(rmi::MessageKind::kGet, this);
@@ -152,6 +157,7 @@ Site::Site(SiteId id, std::unique_ptr<net::Transport> transport, Clock& clock)
 
 Site::~Site() {
   Stop();
+  FlightRecorder::Global().Unregister(&flight_);
   // The object graph is reference-counted (shared_ptr), so cyclic graphs —
   // which OBIWAN fully supports — would never free themselves (the Java
   // prototype leaned on the JVM's tracing GC here). The site owns its
@@ -187,10 +193,20 @@ void Site::Stop() {
 
 Result<Bytes> Site::TimedRequest(const SiteTelemetry::Op& op,
                                  const net::Address& to, BytesView frame) {
+  SpanScope span(&sinks_, clock_, id_, "rpc", std::string(op.name) + " " + to,
+                 TraceContext::Current());
   const Nanos start = clock_.Now();
   Result<Bytes> reply = transport_->Request(to, frame);
   op.latency->Observe(clock_.Now() - start);
-  if (!reply.ok()) op.errors->Inc();
+  if (!reply.ok()) {
+    op.errors->Inc();
+    span.MarkFailed();
+    Trace("error", std::string(op.name) + " to " + to + ": " +
+                       reply.status().ToString());
+    // A Status error escaping the site is the flight recorder's cue: if a
+    // dump is armed, this writes the black boxes of every site.
+    FlightRecorder::Global().NotifyFailure(reply.status().message());
+  }
   return reply;
 }
 
@@ -392,6 +408,9 @@ void Site::SetConsistencyPolicy(std::unique_ptr<ConsistencyPolicy> policy) {
 // ---------------------------------------------------------------------------
 
 Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req) {
+  SpanScope span(&sinks_, clock_, id_, "serve.get",
+                 "root " + ToString(req.root) + " for " + from,
+                 TraceContext::Current());
   std::lock_guard lock(mutex_);
   telemetry_.gets_served->Inc();
   Trace("get", "from " + from + ", root " + ToString(req.root) +
@@ -536,6 +555,10 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
 // ---------------------------------------------------------------------------
 
 Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req) {
+  SpanScope span(&sinks_, clock_, id_, "serve.put",
+                 std::to_string(req.items.size()) + " item(s) from " + from +
+                     (req.transactional ? " (tx)" : ""),
+                 TraceContext::Current());
   // Notifications (invalidations / pushes) are built under the lock but sent
   // after releasing it — network I/O under the site lock deadlocks when the
   // recipient is served by another thread of this process.
@@ -703,6 +726,8 @@ Result<ObjectRecord> Site::BuildPushRecord(ObjectId id) {
 }
 
 Status Site::ServePush(const ObjectRecord& record) {
+  SpanScope span(&sinks_, clock_, id_, "serve.push", ToString(record.id),
+                 TraceContext::Current());
   ReplicaUpdateCallback callback;
   {
     std::lock_guard lock(mutex_);
@@ -748,6 +773,9 @@ Status Site::RenewProxy(const ProxyDescriptor& descriptor) {
 }
 
 Status Site::ServeInvalidate(const InvalidateRequest& req) {
+  SpanScope span(&sinks_, clock_, id_, "serve.invalidate",
+                 std::to_string(req.ids.size()) + " id(s)",
+                 TraceContext::Current());
   std::vector<ObjectId> invalidated;
   ReplicaUpdateCallback callback;
   {
@@ -780,10 +808,16 @@ Status Site::ServeRelease(ProxyId pin) {
 // ---------------------------------------------------------------------------
 
 Result<Bytes> Site::ServeCall(const rmi::CallRequest& call) {
-  std::lock_guard lock(mutex_);
-  telemetry_.calls_served->Inc();
-  Trace("call", call.method + " on " + ToString(call.target));
-  std::shared_ptr<Shareable> obj = FindLocalUnlocked(call.target);
+  SpanScope span(&sinks_, clock_, id_, "serve.call",
+                 call.method + " on " + ToString(call.target),
+                 TraceContext::Current());
+  std::shared_ptr<Shareable> obj;
+  {
+    std::lock_guard lock(mutex_);
+    telemetry_.calls_served->Inc();
+    Trace("call", call.method + " on " + ToString(call.target));
+    obj = FindLocalUnlocked(call.target);
+  }
   if (obj == nullptr) {
     return NotFoundError("call target not present: " + ToString(call.target));
   }
@@ -793,6 +827,10 @@ Result<Bytes> Site::ServeCall(const rmi::CallRequest& call) {
                          obj->obiwan_class().name());
   }
   wire::Reader args(AsView(call.args));
+  // Dispatched with the site lock *released*: the method body may dereference
+  // a proxy (a fault that re-enters this site with a nested get) or put its
+  // edits back — the same reentrancy a local LMI invocation has. The
+  // shared_ptr keeps the target alive even if it is released concurrently.
   return method->dispatch(*obj, args);
 }
 
@@ -805,7 +843,11 @@ Result<std::shared_ptr<Shareable>> Site::DemandThrough(
     bool refresh, bool shortcut_local) {
   // The whole fault-and-replicate flow — this get, the provider's handler,
   // and any nested fault it triggers — shares one correlation id.
-  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
+  TraceContext::Scope flow(TraceContext::CurrentOrNew(id_));
+  // Opened only when a proxy-out dereference actually goes remote; the get
+  // span below (and everything under it) then records as its child —
+  // fault → get → rpc → dispatch → serve.get in the exported timeline.
+  std::optional<SpanScope> fault_span;
   {
     std::lock_guard lock(mutex_);
     if (!refresh && shortcut_local) {
@@ -814,9 +856,16 @@ Result<std::shared_ptr<Shareable>> Site::DemandThrough(
       if (auto local = FindLocalUnlocked(root)) return local;
       telemetry_.object_faults->Inc();
       Trace("fault", ToString(root) + " via " + descriptor.provider);
+      fault_span.emplace(&sinks_, clock_, id_, "fault",
+                         ToString(root) + " via " + descriptor.provider,
+                         TraceContext::Current());
     }
     telemetry_.gets_sent->Inc();
   }
+  SpanScope get_span(&sinks_, clock_, id_, "get",
+                     ToString(root) + (refresh ? " (refresh)" : "") + " from " +
+                         descriptor.provider,
+                     TraceContext::Current());
 
   // The request travels with the site lock *released*: a synchronous
   // transport may serve the provider side on another thread of this very
@@ -841,6 +890,9 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
                                                      const GetReply& reply,
                                                      ReplicationMode mode,
                                                      bool refresh, ObjectId want) {
+  SpanScope span(&sinks_, clock_, id_, "materialize",
+                 std::to_string(reply.objects.size()) + " object(s)",
+                 TraceContext::Current());
   std::lock_guard lock(mutex_);
   if (reply.objects.empty()) return DataLossError("empty replication batch");
 
@@ -1021,6 +1073,14 @@ Result<PutItem> Site::BuildPutItem(ObjectId id, bool read_only) {
 Status Site::PutItems(const ProxyDescriptor& provider,
                       const std::vector<std::pair<ObjectId, bool>>& ids,
                       bool transactional) {
+  // Install the flow id before building items so the whole reintegration —
+  // serialization included — records as one span under one correlation id.
+  TraceContext::Scope flow(TraceContext::CurrentOrNew(id_));
+  SpanScope span(&sinks_, clock_, id_,
+                 transactional ? "commit" : "put",
+                 std::to_string(ids.size()) + " item(s) to " +
+                     provider.provider,
+                 TraceContext::Current());
   PutRequest req;
   req.pin = provider.pin;
   req.transactional = transactional;
@@ -1030,7 +1090,6 @@ Status Site::PutItems(const ProxyDescriptor& provider,
     req.items.push_back(std::move(item));
   }
 
-  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
   wire::Writer body;
   wire::Encode(body, req);
   telemetry_.puts_sent->Inc();
@@ -1180,6 +1239,11 @@ Status Site::Refresh(RefBase& ref) {
 
 Status Site::PrefetchAll(RefBase& ref) {
   if (ref.IsEmpty()) return Status::Ok();
+  // One flow id + one parent span for the whole walk, so the prefetcher's
+  // cascade of faults shows up as a single tree in the timeline.
+  TraceContext::Scope flow(TraceContext::CurrentOrNew(id_));
+  SpanScope span(&sinks_, clock_, id_, "prefetch", ToString(ref.id()),
+                 TraceContext::Current());
   OBIWAN_RETURN_IF_ERROR(ref.Demand());
 
   std::unordered_set<const Shareable*> visited;
@@ -1254,7 +1318,10 @@ Result<ProxyDescriptor> Site::ReplicaProvider(ObjectId id) const {
 Result<PutReply> Site::SendCommit(const net::Address& provider, ProxyId pin,
                                   std::vector<PutItem> items) {
   PutRequest req{pin, std::move(items), /*transactional=*/true};
-  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
+  TraceContext::Scope flow(TraceContext::CurrentOrNew(id_));
+  SpanScope span(&sinks_, clock_, id_, "commit",
+                 std::to_string(req.items.size()) + " item(s) to " + provider,
+                 TraceContext::Current());
   wire::Writer body;
   wire::Encode(body, req);
   telemetry_.puts_sent->Inc();
@@ -1289,12 +1356,27 @@ Status Site::ReleaseProxy(const ProxyDescriptor& descriptor) {
 
 Result<Bytes> Site::CallRaw(const net::Address& to, ObjectId target,
                             const std::string& method, Bytes args) {
-  TraceContext::Scope span(TraceContext::CurrentOrNew(id_));
+  TraceContext::Scope flow(TraceContext::CurrentOrNew(id_));
+  SpanScope span(&sinks_, clock_, id_, "rmi", method + " on " + ToString(target),
+                 TraceContext::Current());
   telemetry_.calls_sent->Inc();
   Trace("rmi", method + " on " + ToString(target) + " at " + to);
   rmi::CallRequest call{target, method, std::move(args)};
   return TimedRequest(telemetry_.op_call, to,
                       AsView(rmi::EncodeCall(call, TraceContext::Current())));
+}
+
+Result<Bytes> Site::CallBatchRaw(const net::Address& to,
+                                 const std::vector<rmi::CallRequest>& calls) {
+  TraceContext::Scope flow(TraceContext::CurrentOrNew(id_));
+  SpanScope span(&sinks_, clock_, id_, "batch",
+                 std::to_string(calls.size()) + " call(s) at " + to,
+                 TraceContext::Current());
+  telemetry_.calls_sent->Inc(calls.size());
+  Trace("rmi", "batch of " + std::to_string(calls.size()) + " at " + to);
+  return TimedRequest(
+      telemetry_.op_call, to,
+      AsView(rmi::EncodeCallBatch(calls, TraceContext::Current())));
 }
 
 Status Site::Ping(const net::Address& to) {

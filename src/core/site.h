@@ -105,6 +105,7 @@ struct SiteTelemetry {
   struct Op {
     Histogram* latency = nullptr;  // round-trip time on the site's clock
     Counter* errors = nullptr;
+    const char* name = "";  // op label, reused as the rpc span name
   };
   Op op_call;
   Op op_get;
@@ -126,6 +127,9 @@ struct SiteTelemetry {
 
 class Site final : public rmi::Service {
  public:
+  // Spans/events the per-site flight recorder keeps for post-mortem dumps.
+  static constexpr std::size_t kFlightRecorderCapacity = 512;
+
   // The site takes ownership of its transport. `clock` is used for
   // policy timestamps; benches pass the simulation's VirtualClock.
   Site(SiteId id, std::unique_ptr<net::Transport> transport,
@@ -264,6 +268,11 @@ class Site final : public rmi::Service {
   Result<Bytes> CallRaw(const net::Address& to, ObjectId target,
                         const std::string& method, Bytes args);
 
+  // Batched invocation: several calls in one round trip, traced and timed
+  // like CallRaw. Returns the raw batch reply frame (DecodeBatchReply).
+  Result<Bytes> CallBatchRaw(const net::Address& to,
+                             const std::vector<rmi::CallRequest>& calls);
+
   Status Ping(const net::Address& to);
 
   // --- consistency -------------------------------------------------------------
@@ -286,7 +295,14 @@ class Site final : public rmi::Service {
 
   // Attach an event tracer (shared across sites to get a merged timeline).
   // Pass nullptr to detach; the tracer must outlive the site while attached.
-  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  // Independent of the always-on flight recorder ring below.
+  void SetTracer(Tracer* tracer) { sinks_.SetAttached(tracer); }
+
+  // The site's always-on bounded span buffer (black box): holds the last N
+  // spans/events whether or not a tracer is attached, and is registered with
+  // FlightRecorder::Global() for post-mortem Chrome-trace dumps.
+  Tracer& flight_recorder() { return flight_; }
+  const TraceSinks& trace_sinks() const { return sinks_; }
 
   // Application hook for remotely triggered replica changes: fires after an
   // invalidation marks a replica stale (`stale`=true) and after a pushed
@@ -360,10 +376,10 @@ class Site final : public rmi::Service {
   void TouchPin(ProxyInEntry& entry);
 
   void Trace(std::string_view category, std::string_view detail) {
-    if (tracer_ != nullptr) {
-      tracer_->Record(clock_.Now(), id_, category, detail,
-                      TraceContext::Current());
-    }
+    // Fans out to the flight-recorder ring (always on) and the attached
+    // tracer (when set) — a detached site keeps its black box.
+    sinks_.Record(clock_.Now(), id_, category, detail,
+                  TraceContext::Current());
   }
 
   // Single choke point for outbound RPCs: times the round trip into `op`'s
@@ -434,7 +450,10 @@ class Site final : public rmi::Service {
   Nanos proxy_lease_ = 0;
 
   SiteTelemetry telemetry_;
-  Tracer* tracer_ = nullptr;
+  // Always-on flight-recorder ring (last N spans/events of this site) plus
+  // the optional attached tracer, fanned out through sinks_.
+  Tracer flight_{kFlightRecorderCapacity};
+  TraceSinks sinks_;
   ReplicaUpdateCallback on_replica_update_;
 };
 

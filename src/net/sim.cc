@@ -22,10 +22,18 @@ void SimNetwork::Unregister(const Address& address) { endpoints_.erase(address);
 
 void SimNetwork::SetEndpointUp(const Address& address, bool up) {
   endpoint_down_[address] = !up;
+  if (sinks_.active()) {
+    sinks_.Record(clock_.Now(), kInvalidSite, "net.link",
+                  "endpoint " + address + (up ? " up" : " down"));
+  }
 }
 
 void SimNetwork::SetLinkUp(const Address& a, const Address& b, bool up) {
   link_down_[PairKeyOf(a, b)] = !up;
+  if (sinks_.active()) {
+    sinks_.Record(clock_.Now(), kInvalidSite, "net.link",
+                  "link " + a + " <-> " + b + (up ? " up" : " down"));
+  }
 }
 
 void SimNetwork::SetLinkParams(const Address& a, const Address& b,
@@ -64,27 +72,51 @@ bool SimNetwork::ChargeMessage(const LinkParams& link, std::size_t bytes) {
 
 Result<Bytes> SimNetwork::Deliver(const Address& from, const Address& to,
                                   BytesView request) {
-  if (!LinkUp(from, to)) {
+  // The "net" span covers the whole round trip — request flight, handler,
+  // reply flight — on the virtual clock. It nests between the client's rpc
+  // span and the destination's dispatch span (delivery is a synchronous call
+  // on the caller's thread), so the exported timeline shows exactly how much
+  // of a round trip was wire time.
+  std::optional<SpanScope> span;
+  if (sinks_.active()) {
+    span.emplace(&sinks_, clock_, kInvalidSite, "net",
+                 from + " -> " + to + " " + std::to_string(request.size()) +
+                     "B",
+                 TraceContext::Current());
+  }
+  auto fail = [&](std::string_view detail) {
     telemetry_.OnFailure();
-    return DisconnectedError("link down: " + from + " -> " + to);
+    if (span.has_value()) span->MarkFailed();
+    if (sinks_.active()) {
+      sinks_.Record(clock_.Now(), kInvalidSite, "net.error", detail,
+                    TraceContext::Current());
+    }
+  };
+  if (!LinkUp(from, to)) {
+    std::string detail = "link down: " + from + " -> " + to;
+    fail(detail);
+    return DisconnectedError(std::move(detail));
   }
   SimTransport* dest = nullptr;
   if (auto it = endpoints_.find(to); it != endpoints_.end()) dest = it->second;
   if (dest == nullptr || dest->handler_ == nullptr) {
-    telemetry_.OnFailure();
-    return NotFoundError("no endpoint serving at " + to);
+    std::string detail = "no endpoint serving at " + to;
+    fail(detail);
+    return NotFoundError(std::move(detail));
   }
 
   const LinkParams& link = LinkFor(from, to);
   telemetry_.OnRequest(request.size());
   if (!ChargeMessage(link, request.size())) {
-    telemetry_.OnFailure();
-    return TimeoutError("request dropped: " + from + " -> " + to);
+    std::string detail = "request dropped: " + from + " -> " + to;
+    fail(detail);
+    return TimeoutError(std::move(detail));
   }
 
   Result<Bytes> reply = dest->handler_->HandleRequest(from, request);
   if (!reply.ok()) {
     telemetry_.OnFailure();
+    if (span.has_value()) span->MarkFailed();
     return reply;
   }
 
@@ -92,12 +124,14 @@ Result<Bytes> SimNetwork::Deliver(const Address& from, const Address& to,
   // A disconnection during the reply flight is indistinguishable from a
   // request-side failure to the caller; model it the same way.
   if (!LinkUp(from, to)) {
-    telemetry_.OnFailure();
-    return DisconnectedError("link down during reply: " + to + " -> " + from);
+    std::string detail = "link down during reply: " + to + " -> " + from;
+    fail(detail);
+    return DisconnectedError(std::move(detail));
   }
   if (!ChargeMessage(link, reply->size())) {
-    telemetry_.OnFailure();
-    return TimeoutError("reply dropped: " + to + " -> " + from);
+    std::string detail = "reply dropped: " + to + " -> " + from;
+    fail(detail);
+    return TimeoutError(std::move(detail));
   }
   return reply;
 }

@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/trace.h"
 #include "net/transport.h"
 
 namespace obiwan::net {
@@ -88,6 +89,13 @@ class SimNetwork {
   void ResetStats() { telemetry_.Reset(); }
   Clock& clock() { return clock_; }
 
+  // Attach a tracer: every delivery records a "net" span (request + handler
+  // + reply on the virtual clock) and link/endpoint transitions, drops, and
+  // disconnection windows record as instant events, so the timeline shows
+  // the wire time between a client span and its server dispatch span. The
+  // network records at SiteId 0 ("network/harness" in the Chrome export).
+  void SetTracer(Tracer* tracer) { sinks_.SetAttached(tracer); }
+
  private:
   friend class SimTransport;
 
@@ -121,6 +129,7 @@ class SimNetwork {
   std::unordered_map<std::pair<Address, Address>, bool, PairHash> link_down_;
   std::unordered_map<std::pair<Address, Address>, LinkParams, PairHash> link_params_;
   TrafficTelemetry telemetry_{"sim"};
+  TraceSinks sinks_;
 };
 
 class SimTransport final : public Transport {

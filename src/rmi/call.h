@@ -50,7 +50,8 @@ inline Result<CallRequest> DecodeCall(wire::Reader& body) {
 // 2.8 ms, so a batch of N amortizes the network to 1/N per call. Items fail
 // independently — one unknown method does not poison its neighbours.
 
-inline Bytes EncodeCallBatch(const std::vector<CallRequest>& calls) {
+inline Bytes EncodeCallBatch(const std::vector<CallRequest>& calls,
+                             TraceId trace = {}) {
   wire::Writer body;
   body.Varint(calls.size());
   for (const CallRequest& call : calls) {
@@ -58,7 +59,7 @@ inline Bytes EncodeCallBatch(const std::vector<CallRequest>& calls) {
     body.String(call.method);
     body.Blob(AsView(call.args));
   }
-  return WrapRequest(MessageKind::kCallBatch, body);
+  return WrapRequest(MessageKind::kCallBatch, body, trace);
 }
 
 inline Result<std::vector<CallRequest>> DecodeCallBatch(wire::Reader& body) {

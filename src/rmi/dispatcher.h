@@ -59,6 +59,14 @@ class Dispatcher final : public net::MessageHandler {
   // modelled costs (proxy export, policy work) show up in server latency.
   void SetClock(Clock* clock) { clock_ = clock; }
 
+  // Span sinks for server-side dispatch spans (the owning site passes its
+  // own, so the dispatch span lands in the site's flight recorder and any
+  // attached tracer). `sinks` must outlive the dispatcher.
+  void SetTrace(const TraceSinks* sinks, SiteId site) {
+    sinks_ = sinks;
+    site_ = site;
+  }
+
   Result<Bytes> HandleRequest(const net::Address& from,
                               BytesView request) override {
     Result<ParsedRequest> parsed = ParseRequest(request);
@@ -74,12 +82,22 @@ class Dispatcher final : public net::MessageHandler {
     }
     PerKind& pk = per_kind_[static_cast<std::size_t>(parsed->kind)];
     pk.requests->Inc();
+    // The envelope's flow id is installed first, so the dispatch span — and
+    // every span the handler opens — records under the originating trace.
+    // With in-process delivery the handler runs on the caller's thread and
+    // the span parents under the caller's client span, which is exactly the
+    // causal chain: client rmi → dispatch → serve → nested faults.
     TraceContext::Scope scope(parsed->trace);
+    SpanScope span(sinks_, *clock_, site_, "dispatch", KindName(parsed->kind),
+                   parsed->trace);
     const Nanos start = clock_->Now();
     wire::Reader body(parsed->body);
     Result<Bytes> reply = service->Handle(parsed->kind, from, body);
     pk.latency->Observe(clock_->Now() - start);
-    if (!reply.ok()) pk.errors->Inc();
+    if (!reply.ok()) {
+      pk.errors->Inc();
+      span.MarkFailed();
+    }
     return reply;
   }
 
@@ -94,6 +112,8 @@ class Dispatcher final : public net::MessageHandler {
   std::array<PerKind, kMaxMessageKind + 1> per_kind_{};
   Counter* malformed_ = nullptr;
   Clock* clock_ = &SystemClock::Instance();
+  const TraceSinks* sinks_ = nullptr;
+  SiteId site_ = kInvalidSite;
 };
 
 }  // namespace obiwan::rmi

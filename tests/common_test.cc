@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace obiwan {
@@ -155,6 +156,42 @@ TEST(Log, LevelGate) {
   OBIWAN_LOG(kError) << "suppressed";  // must not crash, produces nothing
   SetLogLevel(LogLevel::kError);
   OBIWAN_LOG(kDebug) << "below the gate";
+  SetLogLevel(before);
+}
+
+TEST(Log, DisabledStatementSkipsStreamEvaluation) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("never built");
+  };
+  OBIWAN_LOG(kDebug) << expensive();
+  OBIWAN_LOG(kError) << expensive();  // counted in metrics, still not built
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(before);
+}
+
+TEST(Log, WarningsAndErrorsCountIntoMetrics) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);  // suppressed statements must still count
+  auto& reg = MetricsRegistry::Default();
+  const std::uint64_t warnings_before =
+      reg.GetCounter("obiwan_log_messages_total", {{"level", "warning"}})
+          .Value();
+  const std::uint64_t errors_before =
+      reg.GetCounter("obiwan_log_messages_total", {{"level", "error"}}).Value();
+  OBIWAN_LOG(kWarning) << "w";
+  OBIWAN_LOG(kError) << "e1";
+  OBIWAN_LOG(kError) << "e2";
+  OBIWAN_LOG(kInfo) << "not counted";
+  EXPECT_EQ(reg.GetCounter("obiwan_log_messages_total", {{"level", "warning"}})
+                .Value(),
+            warnings_before + 1);
+  EXPECT_EQ(
+      reg.GetCounter("obiwan_log_messages_total", {{"level", "error"}}).Value(),
+      errors_before + 2);
   SetLogLevel(before);
 }
 

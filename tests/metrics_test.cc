@@ -295,5 +295,38 @@ TEST(Registry, NextInstanceIsMonotonic) {
   EXPECT_LT(a, b);
 }
 
+TEST(Registry, DumpPrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.GetCounter("esc_total",
+                 {{"path", "a\\b"}, {"msg", "he said \"hi\"\nbye"}},
+                 "line one\nback\\slash")
+      .Inc(1);
+  std::string prom = reg.DumpPrometheus();
+  // Label values: backslash, quote, and newline are escaped per the
+  // Prometheus exposition format.
+  EXPECT_NE(prom.find("path=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(prom.find("msg=\"he said \\\"hi\\\"\\nbye\""), std::string::npos);
+  // HELP text: backslash and newline escaped (quotes stay raw there).
+  EXPECT_NE(prom.find("# HELP esc_total line one\\nback\\\\slash"),
+            std::string::npos);
+  // No raw newline may survive inside any exposition line.
+  for (std::size_t pos = prom.find('\n'); pos + 1 < prom.size();
+       pos = prom.find('\n', pos + 1)) {
+    EXPECT_NE(prom[pos + 1], '"');  // a line never starts mid-label-value
+  }
+  // The text dump (and registry identity) still use the raw value.
+  EXPECT_NE(reg.DumpText().find("msg=\"he said \"hi\"\nbye\""),
+            std::string::npos);
+}
+
+TEST(Registry, DumpPrometheusEscapedHistogramLabels) {
+  MetricsRegistry reg;
+  reg.GetHistogram("esc_ns", {{"op", "a\"b"}}, {10}).Observe(5);
+  std::string prom = reg.DumpPrometheus();
+  EXPECT_NE(prom.find("esc_ns_bucket{op=\"a\\\"b\",le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("esc_ns_count{op=\"a\\\"b\"} 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace obiwan

@@ -1,0 +1,345 @@
+// Causal span system: SpanScope nesting, the cross-site fault → get → put
+// cascade under an originating RMI span, merged timelines, the Chrome
+// trace-event exporter, and the flight recorder's dump-on-failure hook.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/trace.h"
+#include "common/trace_collector.h"
+#include "obiwan.h"
+
+namespace obiwan {
+namespace {
+
+// The site a served method uses to reintegrate its edits — a stand-in for the
+// "current site" handle a real application object would carry.
+core::Site* g_cascade_site = nullptr;
+
+// Two-node chain whose TouchNext() dereferences the next reference (an
+// object fault when next is still a proxy) and puts the edit back to the
+// master — the paper's cascade, triggered from inside a served RMI.
+class SpanNode : public core::Shareable {
+ public:
+  OBIWAN_SHAREABLE(SpanNode)
+
+  std::int64_t value = 0;
+  core::Ref<SpanNode> next;
+
+  std::int64_t TouchNext() {
+    std::int64_t v = next->value + 1;  // proxy-out deref: fault -> get
+    next->value = v;
+    if (g_cascade_site != nullptr) {
+      (void)g_cascade_site->Put(next);  // reintegrate: put -> serve.put
+    }
+    return v;
+  }
+
+  static void ObiwanDefine(core::ClassDef<SpanNode>& def) {
+    def.Field("value", &SpanNode::value)
+        .Ref("next", &SpanNode::next)
+        .Method("TouchNext", &SpanNode::TouchNext);
+  }
+};
+OBIWAN_REGISTER_CLASS(SpanNode);
+
+TEST(SpanScope, NestsAndRestoresParentChain) {
+  VirtualClock clock;
+  Tracer tracer(16);
+  TraceSinks sinks;
+  sinks.SetAttached(&tracer);
+  TraceId flow = TraceContext::NewId(1);
+
+  EXPECT_EQ(SpanContext::Current(), 0u);
+  {
+    SpanScope outer(&sinks, clock, 1, "outer", "a", flow);
+    EXPECT_EQ(SpanContext::Current(), outer.id());
+    clock.Sleep(10);
+    {
+      SpanScope inner(&sinks, clock, 1, "inner", "b", flow);
+      EXPECT_EQ(SpanContext::Current(), inner.id());
+      clock.Sleep(5);
+    }
+    EXPECT_EQ(SpanContext::Current(), outer.id());
+  }
+  EXPECT_EQ(SpanContext::Current(), 0u);
+
+  auto spans = tracer.SnapshotSpans();
+  ASSERT_EQ(spans.size(), 2u);  // completion order: inner first
+  const Span& inner = spans[0];
+  const Span& outer = spans[1];
+  EXPECT_EQ(inner.category, "inner");
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(outer.trace, flow);
+  EXPECT_GE(inner.begin, outer.begin);
+  EXPECT_LE(inner.end, outer.end);
+  EXPECT_EQ(outer.duration(), 15);
+}
+
+TEST(SpanScope, InactiveSinksLeaveParentChainUntouched) {
+  VirtualClock clock;
+  TraceSinks inactive;  // no flight, no attached
+  Tracer tracer(8);
+  TraceSinks active;
+  active.SetAttached(&tracer);
+  TraceId flow = TraceContext::NewId(1);
+
+  SpanScope outer(&active, clock, 1, "outer", "a", flow);
+  {
+    SpanScope noop(&inactive, clock, 1, "noop", "b", flow);
+    EXPECT_EQ(noop.id(), 0u);
+    // A child recorded inside the no-op scope parents to `outer`.
+    SpanScope child(&active, clock, 1, "child", "c", flow);
+    EXPECT_NE(child.id(), 0u);
+  }
+  auto spans = tracer.SnapshotSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent, outer.id());
+}
+
+// The acceptance scenario: demander D masters the chain, provider P holds an
+// incremental replica, and an RMI from D makes P's served method fault the
+// next node (get from D) and put the edit back — every step one causal tree
+// under the originating rmi span, in one distributed flow.
+TEST(Span, TwoSiteCascadeNestsUnderOriginatingRmi) {
+  VirtualClock clock;
+  net::SimNetwork network(clock, net::kPaperLan);
+  core::Site demander(1, network.CreateEndpoint("d"), clock);
+  core::Site provider(2, network.CreateEndpoint("p"), clock);
+  ASSERT_TRUE(demander.Start().ok());
+  ASSERT_TRUE(provider.Start().ok());
+  demander.HostRegistry();
+  provider.UseRegistry("d");
+
+  Tracer tracer(256);
+  demander.SetTracer(&tracer);
+  provider.SetTracer(&tracer);
+  network.SetTracer(&tracer);
+
+  auto a = std::make_shared<SpanNode>();
+  auto b = std::make_shared<SpanNode>();
+  a->next = b;
+  ASSERT_TRUE(demander.Bind("a", a).ok());
+
+  // P replicates the head incrementally: it holds a's replica with a proxy
+  // to b, so TouchNext() at P must fault.
+  auto remote = provider.Lookup<SpanNode>("a");
+  ASSERT_TRUE(remote.ok());
+  auto replica = remote->Replicate(core::ReplicationMode::Incremental(1));
+  ASSERT_TRUE(replica.ok());
+  tracer.Clear();  // keep only the cascade in the snapshot
+
+  g_cascade_site = &provider;
+  wire::Writer args;
+  wire::Encode(args, std::tuple<>());
+  auto reply = demander.CallRaw("p", remote->id(), "TouchNext",
+                                std::move(args).Take());
+  g_cascade_site = nullptr;
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  wire::Reader r(AsView(*reply));
+  EXPECT_EQ(wire::Decode<std::int64_t>(r), 1);
+  EXPECT_EQ(b->value, 1);  // the put reached the master
+
+  auto spans = tracer.SnapshotSpans();
+  std::map<std::uint64_t, Span> by_id;
+  for (const Span& s : spans) by_id[s.id] = s;
+  auto find = [&](std::string_view category, SiteId site) -> const Span* {
+    for (const Span& s : spans) {
+      if (s.category == category && s.site == site) return &s;
+    }
+    return nullptr;
+  };
+
+  const Span* rmi = find("rmi", 1);
+  const Span* fault = find("fault", 2);
+  const Span* get = find("get", 2);
+  const Span* put = find("put", 2);
+  const Span* serve_get = find("serve.get", 1);
+  const Span* serve_put = find("serve.put", 1);
+  const Span* serve_call = find("serve.call", 2);
+  ASSERT_NE(rmi, nullptr);
+  ASSERT_NE(fault, nullptr);
+  ASSERT_NE(get, nullptr);
+  ASSERT_NE(put, nullptr);
+  ASSERT_NE(serve_get, nullptr);
+  ASSERT_NE(serve_put, nullptr);
+  ASSERT_NE(serve_call, nullptr);
+
+  // One distributed flow, allocated at the demander, spans both sites.
+  EXPECT_TRUE(rmi->trace.valid());
+  EXPECT_EQ(fault->trace, rmi->trace);
+  EXPECT_EQ(get->trace, rmi->trace);
+  EXPECT_EQ(put->trace, rmi->trace);
+  EXPECT_EQ(serve_put->trace, rmi->trace);
+
+  // Direct parent links: get under the fault that caused it; fault and put
+  // under the served call.
+  EXPECT_EQ(get->parent, fault->id);
+  EXPECT_EQ(fault->parent, serve_call->id);
+  EXPECT_EQ(put->parent, serve_call->id);
+
+  // And the whole cascade is a subtree of the originating rmi span.
+  auto is_descendant_of = [&](const Span* s, std::uint64_t root) {
+    for (std::uint64_t cur = s->id; cur != 0;) {
+      if (cur == root) return true;
+      auto it = by_id.find(cur);
+      if (it == by_id.end()) return false;
+      cur = it->second.parent;
+    }
+    return false;
+  };
+  EXPECT_TRUE(is_descendant_of(serve_call, rmi->id));
+  EXPECT_TRUE(is_descendant_of(fault, rmi->id));
+  EXPECT_TRUE(is_descendant_of(get, rmi->id));
+  EXPECT_TRUE(is_descendant_of(put, rmi->id));
+  EXPECT_TRUE(is_descendant_of(serve_get, rmi->id));
+  EXPECT_TRUE(is_descendant_of(serve_put, rmi->id));
+
+  // Everything nests inside the rmi interval on the shared virtual clock.
+  for (const Span* s : {fault, get, put, serve_get, serve_put, serve_call}) {
+    EXPECT_GE(s->begin, rmi->begin);
+    EXPECT_LE(s->end, rmi->end);
+  }
+
+  // The flight recorders captured the cascade too, with no tracer attached.
+  EXPECT_GT(provider.flight_recorder().spans_recorded(), 0u);
+  EXPECT_GT(demander.flight_recorder().spans_recorded(), 0u);
+
+  // For CI: export the cascade as Chrome trace JSON when asked to.
+  if (const char* path = std::getenv("OBIWAN_SPAN_EXPORT")) {
+    TraceCollector collector;
+    collector.Attach(&tracer);
+    ASSERT_TRUE(collector.WriteChromeTrace(path).ok());
+  }
+}
+
+TEST(TraceCollector, MergesTracersInTimelineOrder) {
+  Tracer t1(8);
+  Tracer t2(8);
+  Span s1{/*id=*/1, 0, {}, 1, /*begin=*/50, /*end=*/60, "a", "x", false};
+  Span s2{/*id=*/2, 0, {}, 2, /*begin=*/10, /*end=*/40, "b", "y", false};
+  Span s3{/*id=*/3, 0, {}, 1, /*begin=*/30, /*end=*/35, "c", "z", false};
+  t1.RecordSpan(s1);
+  t1.RecordSpan(s3);
+  t2.RecordSpan(s2);
+  t1.Record(20, 1, "ev", "first");
+  t2.Record(5, 2, "ev", "earliest");
+
+  TraceCollector collector;
+  collector.Attach(&t1);
+  collector.Attach(&t2);
+  auto spans = collector.MergedSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].id, 2u);
+  EXPECT_EQ(spans[1].id, 3u);
+  EXPECT_EQ(spans[2].id, 1u);
+  auto events = collector.MergedEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].detail, "earliest");
+  EXPECT_LE(events[0].at, events[1].at);
+
+  std::string text = collector.DumpText();
+  EXPECT_NE(text.find("earliest"), std::string::npos);
+}
+
+TEST(ChromeTrace, JsonIsWellFormedAndBalanced) {
+  std::vector<Span> spans;
+  TraceId flow{1, 7};
+  spans.push_back({1, 0, flow, 1, 100, 500, "rmi", "Call \"x\"\n", false});
+  // Child begins before its parent and ends after it: the exporter must
+  // clamp it into the parent interval so the B/E stack stays well-nested.
+  spans.push_back({2, 1, flow, 1, 50, 900, "get", "child", true});
+  spans.push_back({3, 0, {}, 2, 200, 300, "put", "other-site", false});
+  std::vector<TraceEvent> events;
+  events.push_back({150, 1, flow, "fault", "obj(1:2)"});
+
+  std::string json = ChromeTraceJson(spans, events);
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  // Every span opens and closes; the instant event and metadata ride along.
+  EXPECT_EQ(count("\"ph\":\"B\""), 3u);
+  EXPECT_EQ(count("\"ph\":\"E\""), 3u);
+  EXPECT_EQ(count("\"ph\":\"i\""), 1u);
+  EXPECT_GE(count("\"ph\":\"M\""), 2u);  // process + thread names
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"site 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"site 2\""), std::string::npos);
+
+  // Special characters in names are escaped, never raw.
+  EXPECT_NE(json.find("Call \\\"x\\\"\\n"), std::string::npos);
+  EXPECT_EQ(json.find("Call \"x\"\n"), std::string::npos);
+
+  // The failed span carries its marker.
+  EXPECT_NE(json.find("\"failed\":true"), std::string::npos);
+
+  // The clamped child's timestamps stay inside the parent: ts of span 2's B
+  // is parent's 0.1 us... simply assert no B for the raw begin 50 (0.050).
+  EXPECT_EQ(json.find("\"ts\":0.050"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpsOnFailureOnceAndDisarms) {
+  VirtualClock clock;
+  net::SimNetwork network(clock, net::kPaperLan);
+  core::Site demander(1, network.CreateEndpoint("fd"), clock);
+  core::Site provider(2, network.CreateEndpoint("fp"), clock);
+  ASSERT_TRUE(demander.Start().ok());
+  ASSERT_TRUE(provider.Start().ok());
+  demander.HostRegistry();
+  provider.UseRegistry("fd");
+
+  auto obj = std::make_shared<SpanNode>();
+  ASSERT_TRUE(demander.Bind("flight-obj", obj).ok());
+  auto remote = provider.Lookup<SpanNode>("flight-obj");
+  ASSERT_TRUE(remote.ok());
+
+  const std::string path =
+      ::testing::TempDir() + "/obiwan_flight_dump_test.json";
+  std::remove(path.c_str());
+
+  auto& recorder = FlightRecorder::Global();
+  recorder.ArmDumpOnFailure(path);
+  EXPECT_TRUE(recorder.armed());
+
+  // A disconnection window: the provider's next request fails, and that
+  // failure must trigger exactly one dump.
+  network.SetEndpointUp("fp", false);
+  const std::uint64_t failures_before = recorder.failures();
+  EXPECT_EQ(remote->Invoke(&SpanNode::TouchNext).status().code(),
+            StatusCode::kDisconnected);
+  network.SetEndpointUp("fp", true);
+
+  EXPECT_GT(recorder.failures(), failures_before);
+  EXPECT_FALSE(recorder.armed());  // one-shot
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "dump not written to " << path;
+  std::string content;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  EXPECT_EQ(content.find("{\"traceEvents\":["), 0u);
+  // Both sites' always-on flight rings contribute processes.
+  EXPECT_NE(content.find("\"site 1\""), std::string::npos);
+  EXPECT_NE(content.find("\"site 2\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obiwan

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# CI entry point: build and test the tree twice —
-#   1. the plain Release-ish build (RelWithDebInfo, the default), and
-#   2. an AddressSanitizer build (OBIWAN_SANITIZE=address)
+# CI entry point: build and test the tree three times —
+#   1. the plain Release-ish build (RelWithDebInfo, the default),
+#   2. an AddressSanitizer build (OBIWAN_SANITIZE=address), and
+#   3. an UndefinedBehaviorSanitizer build (OBIWAN_SANITIZE=undefined)
 # and run the full ctest suite under each. Any failure fails the script.
 #
 # Usage: tools/ci.sh [jobs]          (jobs defaults to nproc)
@@ -24,6 +25,7 @@ run_flavour() {
 
 run_flavour release build-ci
 run_flavour asan build-asan -DOBIWAN_SANITIZE=address
+run_flavour ubsan build-ubsan -DOBIWAN_SANITIZE=undefined
 
 # The fig4 bench must emit a schema-valid BENCH_*.json with latency
 # percentiles (skip the google-benchmark micro-benchmarks; the paper series
@@ -50,4 +52,45 @@ print("BENCH_fig4_rmi_vs_lmi.json: schema OK "
       f"({len(doc['series'])} series, {len(doc['rpc_latency_ns'])} ops)")
 EOF
 
-echo "=== CI green: release + asan + bench JSON ==="
+# The two-site cascade test, run with the flight recorder armed, must leave a
+# loadable Chrome trace: valid JSON, every B has a matching E (per pid/tid,
+# LIFO order), and the cascade's span categories are present.
+echo "=== [trace] two-site cascade Chrome trace ==="
+TRACE_JSON="$(pwd)/build-ci/span_two_site.trace.json"
+rm -f "$TRACE_JSON"
+(cd build-ci && OBIWAN_SPAN_EXPORT="$TRACE_JSON" \
+    ./tests/span_test --gtest_filter='*TwoSiteCascade*')
+python3 - "$TRACE_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+stacks = {}
+begins = ends = 0
+for ev in events:
+    ph = ev["ph"]
+    key = (ev.get("pid"), ev.get("tid"))
+    if ph == "B":
+        begins += 1
+        stacks.setdefault(key, []).append(ev["name"])
+        assert ev["ts"] >= 0, f"negative ts in {ev}"
+    elif ph == "E":
+        ends += 1
+        stack = stacks.get(key)
+        assert stack, f"E without open B on {key}: {ev}"
+        top = stack.pop()
+        assert top == ev["name"], f"mismatched E on {key}: {ev['name']} != {top}"
+assert begins == ends, f"unbalanced: {begins} B vs {ends} E"
+for key, stack in stacks.items():
+    assert not stack, f"unclosed spans on {key}: {stack}"
+cats = {ev.get("cat") for ev in events}
+for needed in ("rmi", "dispatch", "fault", "get", "put"):
+    assert needed in cats, f"missing span category {needed!r}"
+pids = {ev["pid"] for ev in events if ev["ph"] in "BE"}
+assert len(pids) >= 2, f"expected spans from at least two sites, got {pids}"
+print(f"span_two_site.trace.json: {begins} spans well-nested across "
+      f"{len(pids)} processes, categories OK")
+EOF
+
+echo "=== CI green: release + asan + ubsan + bench JSON + chrome trace ==="
