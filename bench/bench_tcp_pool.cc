@@ -1,0 +1,88 @@
+// Ablation — TCP connection pooling.
+//
+// Real-socket round trips with and without the client-side connection pool.
+// Without pooling every request pays socket/connect/close (the pre-pool
+// transport behaviour, re-enabled with SetPoolCapacity(0)); with pooling a
+// burst of N requests establishes exactly one connection and reuses it. The
+// series reports mean per-call latency over real time; the JSON's
+// "transport" section records connects-per-call, which CI can assert moved
+// from ~1.0 to ~1/N.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "harness.h"
+#include "net/tcp.h"
+
+namespace obiwan::bench {
+namespace {
+
+const std::vector<long> kBurstSizes = {1, 10, 100, 1000};
+
+class Echo : public net::MessageHandler {
+ public:
+  Result<Bytes> HandleRequest(const net::Address&, BytesView request) override {
+    return Bytes(request.begin(), request.end());
+  }
+};
+
+// Mean per-call latency (ms) for a burst of `requests` echo round trips.
+double BurstCost(long requests, bool pooled) {
+  auto server = net::TcpTransport::Create(0);
+  if (!server.ok()) return 0.0;
+  Echo echo;
+  (void)(*server)->Serve(&echo);
+  auto client = net::TcpTransport::Create(0);
+  if (!client.ok()) return 0.0;
+  if (!pooled) (*client)->SetPoolCapacity(0);
+
+  const Bytes payload(64, 0x5A);
+  const auto start = std::chrono::steady_clock::now();
+  for (long i = 0; i < requests; ++i) {
+    auto reply = (*client)->Request((*server)->LocalAddress(), payload);
+    if (!reply.ok()) return 0.0;
+  }
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  (*server)->StopServing();
+  return total_ms / static_cast<double>(requests);
+}
+
+void PaperSeries() {
+  std::vector<Series> series;
+  series.push_back({"per-connect", {}});
+  for (long n : kBurstSizes) series.back().values.push_back(BurstCost(n, false));
+  series.push_back({"pooled", {}});
+  for (long n : kBurstSizes) series.back().values.push_back(BurstCost(n, true));
+  PrintTable("TCP pooling ablation: mean per-call latency (ms, real time)",
+             "burst size", kBurstSizes, series);
+  PrintTransportStats();
+  WriteBenchJson("tcp_pool", "burst_size", kBurstSizes, series);
+}
+
+void BM_TcpRoundTripPooled(benchmark::State& state) {
+  auto server = net::TcpTransport::Create(0);
+  Echo echo;
+  (void)(*server)->Serve(&echo);
+  auto client = net::TcpTransport::Create(0);
+  if (state.range(0) == 0) (*client)->SetPoolCapacity(0);
+  const Bytes payload(64, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*client)->Request((*server)->LocalAddress(), payload));
+  }
+  state.SetLabel(state.range(0) ? "pooled" : "per-connect");
+  (*server)->StopServing();
+}
+BENCHMARK(BM_TcpRoundTripPooled)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace obiwan::bench
+
+int main(int argc, char** argv) {
+  obiwan::bench::PaperSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -158,6 +158,46 @@ inline void PrintRpcLatency() {
   }
 }
 
+// Transport-level connection behaviour, aggregated across every transport
+// instance the benchmark created. connects_per_call is the bench-visible
+// measure of what connection pooling buys: 1.0 means a fresh connection per
+// request, ~0 means one persistent connection amortized over the run.
+struct TransportSummary {
+  std::uint64_t requests = 0;
+  std::uint64_t connects = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t timeouts = 0;
+  double connects_per_call = 0.0;
+};
+
+inline TransportSummary SummarizeTransports() {
+  auto& reg = MetricsRegistry::Default();
+  TransportSummary s;
+  s.requests = reg.SumCounters("obiwan_transport_requests_total");
+  s.connects = reg.SumCounters("obiwan_transport_connects_total");
+  s.pool_hits = reg.SumCounters("obiwan_transport_pool_hits_total");
+  s.timeouts = reg.SumCounters("obiwan_transport_timeouts_total");
+  s.connects_per_call =
+      s.requests > 0
+          ? static_cast<double>(s.connects) / static_cast<double>(s.requests)
+          : 0.0;
+  return s;
+}
+
+inline void PrintTransportStats() {
+  TransportSummary s = SummarizeTransports();
+  if (s.requests == 0) return;
+  std::printf("\n=== Transport connections ===\n");
+  std::printf("%14s%14s%14s%14s%20s\n", "requests", "connects", "pool hits",
+              "timeouts", "connects per call");
+  std::printf("%14llu%14llu%14llu%14llu%20.4f\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.connects),
+              static_cast<unsigned long long>(s.pool_hits),
+              static_cast<unsigned long long>(s.timeouts),
+              s.connects_per_call);
+}
+
 inline std::string JsonNumber(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
@@ -181,6 +221,8 @@ inline std::string JsonHistogramSummary(const HistogramSummary& s) {
 //   {"bench":..., "x_label":..., "xs":[...],
 //    "series":[{"name":...,"values":[...]}],
 //    "rpc_latency_ns":{"call":{"count":...,"p50":...},...},
+//    "transport":{"requests":...,"connects":...,"pool_hits":...,
+//                 "timeouts":...,"connects_per_call":...},
 //    "metrics":{"counters":[...],"gauges":[...],"histograms":[...]}}
 inline void WriteBenchJson(const std::string& name, const std::string& x_label,
                            const std::vector<long>& xs,
@@ -212,6 +254,12 @@ inline void WriteBenchJson(const std::string& name, const std::string& x_label,
     first = false;
     out += "\"" + op + "\":" + JsonHistogramSummary(s);
   }
+  const TransportSummary transport = SummarizeTransports();
+  out += "},\"transport\":{\"requests\":" + std::to_string(transport.requests) +
+         ",\"connects\":" + std::to_string(transport.connects) +
+         ",\"pool_hits\":" + std::to_string(transport.pool_hits) +
+         ",\"timeouts\":" + std::to_string(transport.timeouts) +
+         ",\"connects_per_call\":" + JsonNumber(transport.connects_per_call);
   out += "},\"metrics\":" + reg.DumpJson() + "}\n";
 
   const std::string path = "BENCH_" + name + ".json";

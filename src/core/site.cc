@@ -191,12 +191,23 @@ void Site::Stop() {
   started_ = false;
 }
 
+void Site::SetRequestDeadline(Nanos deadline) {
+  request_deadline_ = deadline;
+}
+
+Nanos Site::DeadlineBudget() const {
+  const Nanos deadline = request_deadline_ != 0 ? request_deadline_
+                                                : transport_->default_deadline();
+  return deadline > 0 ? deadline : -1;
+}
+
 Result<Bytes> Site::TimedRequest(const SiteTelemetry::Op& op,
                                  const net::Address& to, BytesView frame) {
   SpanScope span(&sinks_, clock_, id_, "rpc", std::string(op.name) + " " + to,
                  TraceContext::Current());
   const Nanos start = clock_.Now();
-  Result<Bytes> reply = transport_->Request(to, frame);
+  Result<Bytes> reply =
+      transport_->Request(to, frame, net::CallOptions{request_deadline_});
   op.latency->Observe(clock_.Now() - start);
   if (!reply.ok()) {
     op.errors->Inc();
@@ -680,7 +691,7 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
     notifications.emplace_back(
         addr, rmi::WrapRequest(
                   push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
-                  body, TraceContext::Current()));
+                  body, TraceContext::Current(), DeadlineBudget()));
   }
 
   lock.unlock();
@@ -767,7 +778,8 @@ Status Site::RenewProxy(const ProxyDescriptor& descriptor) {
       Bytes reply,
       TimedRequest(telemetry_.op_renew, descriptor.provider,
                    AsView(rmi::WrapRequest(rmi::MessageKind::kRenew, body,
-                                           TraceContext::Current()))));
+                                           TraceContext::Current(),
+                                           DeadlineBudget()))));
   (void)reply;
   return Status::Ok();
 }
@@ -877,7 +889,8 @@ Result<std::shared_ptr<Shareable>> Site::DemandThrough(
       Bytes reply_bytes,
       TimedRequest(telemetry_.op_get, descriptor.provider,
                    AsView(rmi::WrapRequest(rmi::MessageKind::kGet, body,
-                                           TraceContext::Current()))));
+                                           TraceContext::Current(),
+                                           DeadlineBudget()))));
   telemetry_.replication_bytes_in->Inc(reply_bytes.size());
   wire::Reader r(AsView(reply_bytes));
   GetReply reply = wire::Decode<GetReply>(r);
@@ -1095,7 +1108,7 @@ Status Site::PutItems(const ProxyDescriptor& provider,
   telemetry_.puts_sent->Inc();
   Bytes frame = rmi::WrapRequest(
       transactional ? rmi::MessageKind::kCommit : rmi::MessageKind::kPut, body,
-      TraceContext::Current());
+      TraceContext::Current(), DeadlineBudget());
   telemetry_.replication_bytes_out->Inc(frame.size());
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply_bytes,
@@ -1325,8 +1338,8 @@ Result<PutReply> Site::SendCommit(const net::Address& provider, ProxyId pin,
   wire::Writer body;
   wire::Encode(body, req);
   telemetry_.puts_sent->Inc();
-  Bytes frame =
-      rmi::WrapRequest(rmi::MessageKind::kCommit, body, TraceContext::Current());
+  Bytes frame = rmi::WrapRequest(rmi::MessageKind::kCommit, body,
+                                 TraceContext::Current(), DeadlineBudget());
   telemetry_.replication_bytes_out->Inc(frame.size());
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply_bytes,
@@ -1345,7 +1358,8 @@ Status Site::ReleaseProxy(const ProxyDescriptor& descriptor) {
       Bytes reply,
       TimedRequest(telemetry_.op_release, descriptor.provider,
                    AsView(rmi::WrapRequest(rmi::MessageKind::kRelease, body,
-                                           TraceContext::Current()))));
+                                           TraceContext::Current(),
+                                           DeadlineBudget()))));
   (void)reply;
   return Status::Ok();
 }
@@ -1363,7 +1377,8 @@ Result<Bytes> Site::CallRaw(const net::Address& to, ObjectId target,
   Trace("rmi", method + " on " + ToString(target) + " at " + to);
   rmi::CallRequest call{target, method, std::move(args)};
   return TimedRequest(telemetry_.op_call, to,
-                      AsView(rmi::EncodeCall(call, TraceContext::Current())));
+                      AsView(rmi::EncodeCall(call, TraceContext::Current(),
+                                             DeadlineBudget())));
 }
 
 Result<Bytes> Site::CallBatchRaw(const net::Address& to,
@@ -1376,7 +1391,8 @@ Result<Bytes> Site::CallBatchRaw(const net::Address& to,
   Trace("rmi", "batch of " + std::to_string(calls.size()) + " at " + to);
   return TimedRequest(
       telemetry_.op_call, to,
-      AsView(rmi::EncodeCallBatch(calls, TraceContext::Current())));
+      AsView(rmi::EncodeCallBatch(calls, TraceContext::Current(),
+                                  DeadlineBudget())));
 }
 
 Status Site::Ping(const net::Address& to) {
@@ -1386,7 +1402,8 @@ Status Site::Ping(const net::Address& to) {
       Bytes reply,
       TimedRequest(telemetry_.op_ping, to,
                    AsView(rmi::WrapRequest(rmi::MessageKind::kPing, body,
-                                           TraceContext::Current()))));
+                                           TraceContext::Current(),
+                                           DeadlineBudget()))));
   (void)reply;
   return Status::Ok();
 }

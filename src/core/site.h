@@ -281,6 +281,13 @@ class Site final : public rmi::Service {
   void SetConsistencyPolicy(std::unique_ptr<ConsistencyPolicy> policy);
   ConsistencyPolicy& consistency_policy() { return *policy_; }
 
+  // Per-request deadline for every RPC this site issues: applied as the
+  // transport CallOptions deadline and advertised in the request envelope as
+  // the remaining budget, so providers shed work whose caller already gave
+  // up. 0 restores the transport default; net::kNoDeadline disables.
+  void SetRequestDeadline(Nanos deadline);
+  Nanos request_deadline() const { return request_deadline_; }
+
   // Model the cost of creating and exporting one proxy-in — in the Java
   // prototype this is a UnicastRemoteObject export plus stub bookkeeping,
   // the per-object cost §4.2 measures and §4.3 eliminates with clustering.
@@ -388,6 +395,11 @@ class Site final : public rmi::Service {
   Result<Bytes> TimedRequest(const SiteTelemetry::Op& op, const net::Address& to,
                              BytesView frame);
 
+  // Deadline budget to advertise in outbound envelopes: the effective
+  // request deadline when one is set (site override or transport default),
+  // -1 (no header) when requests are unbounded.
+  Nanos DeadlineBudget() const;
+
   // Refresh the masters/replicas/proxy-ins gauges from the table sizes.
   // Call with the site lock held after any table mutation.
   void SyncGauges();
@@ -448,6 +460,7 @@ class Site final : public rmi::Service {
   std::uint64_t next_pin_ = 1;
   Nanos proxy_export_cost_ = 0;
   Nanos proxy_lease_ = 0;
+  Nanos request_deadline_ = 0;  // 0 = transport default
 
   SiteTelemetry telemetry_;
   // Always-on flight-recorder ring (last N spans/events of this site) plus

@@ -16,11 +16,15 @@ namespace obiwan::net {
 
 class CompressedTransport final : public Transport, private MessageHandler {
  public:
+  using Transport::Request;
+
   explicit CompressedTransport(std::unique_ptr<Transport> inner)
       : inner_(std::move(inner)) {}
 
-  Result<Bytes> Request(const Address& to, BytesView request) override {
-    OBIWAN_ASSIGN_OR_RETURN(Bytes reply, inner_->Request(to, Pack(request)));
+  Result<Bytes> Request(const Address& to, BytesView request,
+                        const CallOptions& options) override {
+    OBIWAN_ASSIGN_OR_RETURN(Bytes reply,
+                            inner_->Request(to, Pack(request), options));
     return Unpack(AsView(reply));
   }
 
@@ -35,6 +39,12 @@ class CompressedTransport final : public Transport, private MessageHandler {
   }
 
   Address LocalAddress() const override { return inner_->LocalAddress(); }
+
+  // Deadlines are enforced by the decorated transport.
+  void SetDefaultDeadline(Nanos deadline) override {
+    inner_->SetDefaultDeadline(deadline);
+  }
+  Nanos default_deadline() const override { return inner_->default_deadline(); }
 
   // Bytes saved on the wire so far (requests sent + replies produced).
   std::uint64_t bytes_saved() const { return bytes_saved_; }

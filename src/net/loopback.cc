@@ -36,22 +36,25 @@ Result<Bytes> LoopbackNetwork::Deliver(const Address& from, const Address& to,
     if (it != endpoints_.end()) dest = it->second;
   }
   if (dest == nullptr || dest->handler_ == nullptr) {
-    telemetry_.OnFailure();
-    return NotFoundError("no endpoint serving at " + to);
+    Status status = NotFoundError("no endpoint serving at " + to);
+    telemetry_.OnFailure(status);
+    return status;
   }
   telemetry_.OnRequest(request.size());
   Result<Bytes> reply = dest->handler_->HandleRequest(from, request);
   if (reply.ok()) {
     telemetry_.OnReply(reply->size());
   } else {
-    telemetry_.OnFailure();
+    telemetry_.OnFailure(reply.status());
   }
   return reply;
 }
 
 LoopbackTransport::~LoopbackTransport() { network_->Unregister(address_); }
 
-Result<Bytes> LoopbackTransport::Request(const Address& to, BytesView request) {
+Result<Bytes> LoopbackTransport::Request(const Address& to, BytesView request,
+                                         const CallOptions& options) {
+  (void)options;  // zero-latency delivery always beats any deadline
   return network_->Deliver(address_, to, request);
 }
 

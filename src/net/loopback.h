@@ -37,9 +37,13 @@ class LoopbackNetwork {
 
 class LoopbackTransport final : public Transport {
  public:
+  using Transport::Request;
+
   ~LoopbackTransport() override;
 
-  Result<Bytes> Request(const Address& to, BytesView request) override;
+  // Delivery is instantaneous, so any deadline is trivially honored.
+  Result<Bytes> Request(const Address& to, BytesView request,
+                        const CallOptions& options) override;
   Status Serve(MessageHandler* handler) override;
   void StopServing() override;
   Address LocalAddress() const override { return address_; }

@@ -16,6 +16,8 @@
 // clock, so simulations account the waiting time virtually.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
 
 #include "common/clock.h"
@@ -27,27 +29,35 @@ struct RetryPolicy {
   int max_attempts = 3;             // total tries, including the first
   Nanos initial_backoff = 10 * kMilli;
   double backoff_multiplier = 2.0;
+  // Backoff ceiling: the multiplier is applied in double and clamped here,
+  // so a large max_attempts can neither overflow Nanos nor produce
+  // multi-minute sleeps.
+  Nanos max_backoff = 10 * kSecond;
   bool retry_disconnected = false;  // also retry kDisconnected
 };
 
 class RetryingTransport final : public Transport {
  public:
+  using Transport::Request;
+
   // Decorates `inner`; the clock paces the backoff (virtual in simulations).
   RetryingTransport(std::unique_ptr<Transport> inner, RetryPolicy policy,
                     Clock& clock = SystemClock::Instance())
       : inner_(std::move(inner)), policy_(policy), clock_(clock) {}
 
-  Result<Bytes> Request(const Address& to, BytesView request) override {
-    Nanos backoff = policy_.initial_backoff;
+  Result<Bytes> Request(const Address& to, BytesView request,
+                        const CallOptions& options) override {
+    // The deadline applies per attempt: each try gets the full budget, and
+    // the backoff between tries is charged to the clock on top of it.
+    Nanos backoff = std::min(policy_.initial_backoff, policy_.max_backoff);
     Result<Bytes> reply = InternalError("retry loop did not run");
     for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
-      reply = inner_->Request(to, request);
+      reply = inner_->Request(to, request, options);
       if (reply.ok() || !ShouldRetry(reply.status())) return reply;
-      ++retries_;
+      retries_.fetch_add(1, std::memory_order_relaxed);
       if (attempt < policy_.max_attempts) {
         clock_.Sleep(backoff);
-        backoff = static_cast<Nanos>(static_cast<double>(backoff) *
-                                     policy_.backoff_multiplier);
+        backoff = NextBackoff(backoff);
       }
     }
     return reply;
@@ -57,8 +67,16 @@ class RetryingTransport final : public Transport {
   void StopServing() override { inner_->StopServing(); }
   Address LocalAddress() const override { return inner_->LocalAddress(); }
 
+  // Deadlines are enforced by the decorated transport.
+  void SetDefaultDeadline(Nanos deadline) override {
+    inner_->SetDefaultDeadline(deadline);
+  }
+  Nanos default_deadline() const override { return inner_->default_deadline(); }
+
   // Number of retry attempts performed (not counting first tries).
-  std::uint64_t retries() const { return retries_; }
+  std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
  private:
   bool ShouldRetry(const Status& status) const {
@@ -67,10 +85,20 @@ class RetryingTransport final : public Transport {
             status.code() == StatusCode::kDisconnected);
   }
 
+  Nanos NextBackoff(Nanos backoff) const {
+    const double next =
+        static_cast<double>(backoff) * policy_.backoff_multiplier;
+    const double cap = static_cast<double>(policy_.max_backoff);
+    // !(next < cap) also catches overflow to +inf.
+    if (!(next < cap)) return policy_.max_backoff;
+    return static_cast<Nanos>(next);
+  }
+
   std::unique_ptr<Transport> inner_;
   RetryPolicy policy_;
   Clock& clock_;
-  std::uint64_t retries_ = 0;
+  // Request is issued from many client threads concurrently.
+  std::atomic<std::uint64_t> retries_{0};
 };
 
 }  // namespace obiwan::net

@@ -56,22 +56,31 @@ bool SimNetwork::LinkUp(const Address& a, const Address& b) const {
   return it == link_down_.end() || !it->second;
 }
 
-bool SimNetwork::ChargeMessage(const LinkParams& link, std::size_t bytes) {
+SimNetwork::Charge SimNetwork::ChargeMessage(const LinkParams& link,
+                                             std::size_t bytes,
+                                             Nanos deadline_at) {
   Nanos cost = link.OneWayCost(bytes);
   if (link.jitter > 0) {
     cost += static_cast<Nanos>(rng_() % static_cast<std::uint64_t>(link.jitter));
+  }
+  // A flight that would land past the deadline times out *at* the deadline:
+  // the waiting caller gives up then, not when the bytes would have arrived.
+  if (deadline_at >= 0 && clock_.Now() + cost > deadline_at) {
+    clock_.Sleep(deadline_at - clock_.Now());
+    return Charge::kDeadline;
   }
   clock_.Sleep(cost);
   if (link.drop_probability > 0) {
     double u = static_cast<double>(rng_()) /
                static_cast<double>(std::mt19937_64::max());
-    if (u < link.drop_probability) return false;
+    if (u < link.drop_probability) return Charge::kDropped;
   }
-  return true;
+  return Charge::kDelivered;
 }
 
 Result<Bytes> SimNetwork::Deliver(const Address& from, const Address& to,
-                                  BytesView request) {
+                                  BytesView request, Nanos deadline) {
+  const Nanos deadline_at = deadline < 0 ? -1 : clock_.Now() + deadline;
   // The "net" span covers the whole round trip — request flight, handler,
   // reply flight — on the virtual clock. It nests between the client's rpc
   // span and the destination's dispatch span (delivery is a synchronous call
@@ -84,38 +93,39 @@ Result<Bytes> SimNetwork::Deliver(const Address& from, const Address& to,
                      "B",
                  TraceContext::Current());
   }
-  auto fail = [&](std::string_view detail) {
-    telemetry_.OnFailure();
+  auto fail = [&](const Status& status) {
+    telemetry_.OnFailure(status);
     if (span.has_value()) span->MarkFailed();
     if (sinks_.active()) {
-      sinks_.Record(clock_.Now(), kInvalidSite, "net.error", detail,
+      sinks_.Record(clock_.Now(), kInvalidSite, "net.error", status.message(),
                     TraceContext::Current());
     }
+    return status;
   };
   if (!LinkUp(from, to)) {
-    std::string detail = "link down: " + from + " -> " + to;
-    fail(detail);
-    return DisconnectedError(std::move(detail));
+    return fail(DisconnectedError("link down: " + from + " -> " + to));
   }
   SimTransport* dest = nullptr;
   if (auto it = endpoints_.find(to); it != endpoints_.end()) dest = it->second;
   if (dest == nullptr || dest->handler_ == nullptr) {
-    std::string detail = "no endpoint serving at " + to;
-    fail(detail);
-    return NotFoundError(std::move(detail));
+    return fail(NotFoundError("no endpoint serving at " + to));
   }
 
   const LinkParams& link = LinkFor(from, to);
   telemetry_.OnRequest(request.size());
-  if (!ChargeMessage(link, request.size())) {
-    std::string detail = "request dropped: " + from + " -> " + to;
-    fail(detail);
-    return TimeoutError(std::move(detail));
+  switch (ChargeMessage(link, request.size(), deadline_at)) {
+    case Charge::kDropped:
+      return fail(TimeoutError("request dropped: " + from + " -> " + to));
+    case Charge::kDeadline:
+      return fail(TimeoutError("deadline exceeded in request flight: " + from +
+                               " -> " + to));
+    case Charge::kDelivered:
+      break;
   }
 
   Result<Bytes> reply = dest->handler_->HandleRequest(from, request);
   if (!reply.ok()) {
-    telemetry_.OnFailure();
+    telemetry_.OnFailure(reply.status());
     if (span.has_value()) span->MarkFailed();
     return reply;
   }
@@ -124,22 +134,26 @@ Result<Bytes> SimNetwork::Deliver(const Address& from, const Address& to,
   // A disconnection during the reply flight is indistinguishable from a
   // request-side failure to the caller; model it the same way.
   if (!LinkUp(from, to)) {
-    std::string detail = "link down during reply: " + to + " -> " + from;
-    fail(detail);
-    return DisconnectedError(std::move(detail));
+    return fail(
+        DisconnectedError("link down during reply: " + to + " -> " + from));
   }
-  if (!ChargeMessage(link, reply->size())) {
-    std::string detail = "reply dropped: " + to + " -> " + from;
-    fail(detail);
-    return TimeoutError(std::move(detail));
+  switch (ChargeMessage(link, reply->size(), deadline_at)) {
+    case Charge::kDropped:
+      return fail(TimeoutError("reply dropped: " + to + " -> " + from));
+    case Charge::kDeadline:
+      return fail(TimeoutError("deadline exceeded in reply flight: " + to +
+                               " -> " + from));
+    case Charge::kDelivered:
+      break;
   }
   return reply;
 }
 
 SimTransport::~SimTransport() { network_->Unregister(address_); }
 
-Result<Bytes> SimTransport::Request(const Address& to, BytesView request) {
-  return network_->Deliver(address_, to, request);
+Result<Bytes> SimTransport::Request(const Address& to, BytesView request,
+                                    const CallOptions& options) {
+  return network_->Deliver(address_, to, request, EffectiveDeadline(options));
 }
 
 Status SimTransport::Serve(MessageHandler* handler) {

@@ -101,11 +101,18 @@ class SimNetwork {
 
   Status Register(const Address& address, SimTransport* endpoint);
   void Unregister(const Address& address);
-  Result<Bytes> Deliver(const Address& from, const Address& to, BytesView request);
+  // `deadline`: round-trip budget in nanos; negative = unbounded. When a
+  // message's flight would cross the deadline, the clock is charged only up
+  // to the deadline and the request fails with kTimeout — the virtual-time
+  // analogue of a socket timeout firing.
+  Result<Bytes> Deliver(const Address& from, const Address& to, BytesView request,
+                        Nanos deadline);
 
-  // Charge the one-way cost of a message to the virtual clock. Returns false
-  // if the message was dropped.
-  bool ChargeMessage(const LinkParams& link, std::size_t bytes);
+  // Charge the one-way cost of a message to the virtual clock, bounded by
+  // `deadline_at` (absolute virtual time; negative = none).
+  enum class Charge { kDelivered, kDropped, kDeadline };
+  Charge ChargeMessage(const LinkParams& link, std::size_t bytes,
+                       Nanos deadline_at);
 
   const LinkParams& LinkFor(const Address& a, const Address& b) const;
   bool LinkUp(const Address& a, const Address& b) const;
@@ -134,9 +141,12 @@ class SimNetwork {
 
 class SimTransport final : public Transport {
  public:
+  using Transport::Request;
+
   ~SimTransport() override;
 
-  Result<Bytes> Request(const Address& to, BytesView request) override;
+  Result<Bytes> Request(const Address& to, BytesView request,
+                        const CallOptions& options) override;
   Status Serve(MessageHandler* handler) override;
   void StopServing() override;
   Address LocalAddress() const override { return address_; }

@@ -1,8 +1,10 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,17 +17,49 @@
 namespace obiwan::net {
 namespace {
 
+// Absolute steady-clock deadline; negative = unbounded.
+constexpr Nanos kNoDeadlineAt = -1;
+
+Nanos SteadyNow() { return SystemClock::Instance().Now(); }
+
 Status Errno(const std::string& what) {
   return InternalError(what + ": " + std::strerror(errno));
 }
 
-// Blocking write of the whole buffer.
-Status WriteFull(int fd, BytesView data) {
+// Remaining budget until `deadline_at`: negative = unbounded, 0 = expired.
+Nanos Remaining(Nanos deadline_at) {
+  if (deadline_at < 0) return -1;
+  const Nanos left = deadline_at - SteadyNow();
+  return left > 0 ? left : 0;
+}
+
+// Arm SO_SNDTIMEO/SO_RCVTIMEO from the remaining budget. A zero timeval
+// means "block forever" to the kernel, so unbounded budgets map to exactly
+// that — which also clears any timeout a pooled socket carried from an
+// earlier, deadline-bound request.
+void SetSocketTimeout(int fd, int optname, Nanos remaining) {
+  timeval tv{};
+  if (remaining > 0) {
+    tv.tv_sec = static_cast<time_t>(remaining / kSecond);
+    tv.tv_usec = static_cast<suseconds_t>((remaining % kSecond) / kMicro);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+// Write the whole buffer, bounded by `deadline_at`.
+Status WriteFull(int fd, BytesView data, Nanos deadline_at) {
   std::size_t sent = 0;
   while (sent < data.size()) {
+    const Nanos remaining = Remaining(deadline_at);
+    if (remaining == 0) return TimeoutError("send: deadline exceeded");
+    SetSocketTimeout(fd, SO_SNDTIMEO, remaining);
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return TimeoutError("send: deadline exceeded");
+      }
       return Errno("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -33,35 +67,51 @@ Status WriteFull(int fd, BytesView data) {
   return Status::Ok();
 }
 
-// Blocking read of exactly `size` bytes. A clean close mid-frame is data loss.
-Status ReadFull(int fd, std::uint8_t* out, std::size_t size) {
+// Read exactly `size` bytes, bounded by `deadline_at`. A clean close
+// mid-frame is data loss. `*progressed` (optional) is set once any byte has
+// been consumed from the stream.
+Status ReadFull(int fd, std::uint8_t* out, std::size_t size, Nanos deadline_at,
+                bool* progressed = nullptr) {
   std::size_t got = 0;
   while (got < size) {
+    const Nanos remaining = Remaining(deadline_at);
+    if (remaining == 0) return TimeoutError("recv: deadline exceeded");
+    SetSocketTimeout(fd, SO_RCVTIMEO, remaining);
     ssize_t n = ::recv(fd, out + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return TimeoutError("recv: deadline exceeded");
+      }
       return Errno("recv");
     }
     if (n == 0) return DataLossError("peer closed connection mid-frame");
     got += static_cast<std::size_t>(n);
+    if (progressed != nullptr) *progressed = true;
   }
   return Status::Ok();
 }
 
-Status WriteFrame(int fd, BytesView payload) {
-  std::uint8_t header[4];
+Status WriteFrame(int fd, BytesView payload, Nanos deadline_at) {
+  // One coalesced write per frame: a separate header write would make every
+  // exchange a write-write-read pattern, which stalls ~40 ms per round trip
+  // on reused connections (Nagle holding the second segment for the peer's
+  // delayed ACK).
+  Bytes frame(4 + payload.size());
   auto size = static_cast<std::uint32_t>(payload.size());
-  header[0] = static_cast<std::uint8_t>(size);
-  header[1] = static_cast<std::uint8_t>(size >> 8);
-  header[2] = static_cast<std::uint8_t>(size >> 16);
-  header[3] = static_cast<std::uint8_t>(size >> 24);
-  OBIWAN_RETURN_IF_ERROR(WriteFull(fd, BytesView(header, 4)));
-  return WriteFull(fd, payload);
+  frame[0] = static_cast<std::uint8_t>(size);
+  frame[1] = static_cast<std::uint8_t>(size >> 8);
+  frame[2] = static_cast<std::uint8_t>(size >> 16);
+  frame[3] = static_cast<std::uint8_t>(size >> 24);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + 4, payload.data(), payload.size());
+  }
+  return WriteFull(fd, AsView(frame), deadline_at);
 }
 
-Result<Bytes> ReadFrame(int fd) {
+Result<Bytes> ReadFrame(int fd, Nanos deadline_at, bool* progressed = nullptr) {
   std::uint8_t header[4];
-  OBIWAN_RETURN_IF_ERROR(ReadFull(fd, header, 4));
+  OBIWAN_RETURN_IF_ERROR(ReadFull(fd, header, 4, deadline_at, progressed));
   std::uint32_t size = std::uint32_t{header[0]} | std::uint32_t{header[1]} << 8 |
                        std::uint32_t{header[2]} << 16 |
                        std::uint32_t{header[3]} << 24;
@@ -69,7 +119,7 @@ Result<Bytes> ReadFrame(int fd) {
   // allocation.
   if (size > (64u << 20)) return DataLossError("oversized frame");
   Bytes payload(size);
-  OBIWAN_RETURN_IF_ERROR(ReadFull(fd, payload.data(), size));
+  OBIWAN_RETURN_IF_ERROR(ReadFull(fd, payload.data(), size, deadline_at, progressed));
   return payload;
 }
 
@@ -107,6 +157,85 @@ class FdGuard {
   int fd_;
 };
 
+Status SetNonBlocking(int fd, bool non_blocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  flags = non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::Ok();
+}
+
+// Connect within the deadline budget: non-blocking connect + poll, then back
+// to blocking mode (per-I/O deadlines are enforced with socket timeouts).
+Result<int> ConnectWithDeadline(const std::string& host, std::uint16_t port,
+                                const Address& to, Nanos deadline_at) {
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0) return Errno("socket");
+
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad IPv4 address: " + host);
+  }
+
+  OBIWAN_RETURN_IF_ERROR(SetNonBlocking(fd.get(), true));
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      // Connection refused / unreachable is the TCP face of a disconnection.
+      return DisconnectedError("connect to " + to + ": " + std::strerror(errno));
+    }
+    for (;;) {
+      const Nanos remaining = Remaining(deadline_at);
+      if (remaining == 0) {
+        return TimeoutError("connect to " + to + ": deadline exceeded");
+      }
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      const int timeout_ms =
+          remaining < 0 ? -1
+                        : static_cast<int>((remaining + kMilli - 1) / kMilli);
+      int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll(connect)");
+      }
+      if (rc == 0) {
+        return TimeoutError("connect to " + to + ": deadline exceeded");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return DisconnectedError("connect to " + to + ": " + std::strerror(err));
+    }
+  }
+  OBIWAN_RETURN_IF_ERROR(SetNonBlocking(fd.get(), false));
+  return fd.release();
+}
+
+// Actual peer endpoint of a connected socket, for logs/spans/flight
+// recorder; falls back to an opaque tag if the socket is already gone.
+Address PeerAddress(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0 ||
+      addr.sin_family != AF_INET) {
+    return "tcp-peer";
+  }
+  char buf[INET_ADDRSTRLEN];
+  if (::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) == nullptr) {
+    return "tcp-peer";
+  }
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Create(std::uint16_t port) {
@@ -134,15 +263,49 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Create(std::uint16_t port) {
 }
 
 TcpTransport::TcpTransport(int listen_fd, std::uint16_t port)
-    : listen_fd_(listen_fd), port_(port) {}
+    : listen_fd_(listen_fd), port_(port) {
+  SetDefaultDeadline(kDefaultDeadline);
+}
 
 TcpTransport::~TcpTransport() {
   StopServing();
+  CloseIdleConnections();
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
 Address TcpTransport::LocalAddress() const {
   return "127.0.0.1:" + std::to_string(port_);
+}
+
+void TcpTransport::SetPoolCapacity(std::size_t capacity) {
+  std::vector<int> evicted;
+  {
+    std::lock_guard lock(pool_mutex_);
+    pool_capacity_ = capacity;
+    while (pool_.size() > pool_capacity_) {
+      evicted.push_back(pool_.back().second);
+      pool_.pop_back();
+    }
+  }
+  for (int fd : evicted) ::close(fd);
+}
+
+void TcpTransport::SetMaxConnections(std::size_t max_connections) {
+  {
+    std::lock_guard lock(conn_mutex_);
+    max_connections_ = max_connections > 0 ? max_connections : 1;
+  }
+  conn_cv_.notify_all();
+}
+
+std::size_t TcpTransport::idle_pooled_connections() const {
+  std::lock_guard lock(pool_mutex_);
+  return pool_.size();
+}
+
+std::size_t TcpTransport::active_connections() const {
+  std::lock_guard lock(conn_mutex_);
+  return conn_threads_.size();
 }
 
 Status TcpTransport::Serve(MessageHandler* handler) {
@@ -158,78 +321,182 @@ void TcpTransport::StopServing() {
   // Unblock accept() by shutting the listening socket down; keep the fd so
   // LocalAddress stays valid until destruction.
   ::shutdown(listen_fd_, SHUT_RDWR);
+  conn_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard lock(conn_threads_mutex_);
-    to_join.swap(conn_threads_);
-  }
-  for (auto& t : to_join) {
-    if (t.joinable()) t.join();
-  }
+  std::unique_lock lock(conn_mutex_);
+  // Persistent connections idle in recv() until their peer speaks; shut them
+  // down so every handler thread unblocks and retires itself.
+  for (auto& [fd, thread] : conn_threads_) ::shutdown(fd, SHUT_RDWR);
+  conn_cv_.wait(lock, [this] { return conn_threads_.empty(); });
+  for (auto& thread : finished_threads_) thread.join();
+  finished_threads_.clear();
   handler_.store(nullptr);
 }
 
 void TcpTransport::AcceptLoop() {
   while (running_.load()) {
+    {
+      std::unique_lock lock(conn_mutex_);
+      // Reap finished connection threads so a long-lived server does not
+      // accumulate one dead std::thread per connection ever accepted.
+      for (auto& thread : finished_threads_) thread.join();
+      finished_threads_.clear();
+      // Bound concurrency: stop accepting (the kernel backlog queues) until
+      // a handler slot frees up.
+      conn_cv_.wait(lock, [this] {
+        return !running_.load() || conn_threads_.size() < max_connections_;
+      });
+    }
+    if (!running_.load()) break;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // socket shut down or fatal error: stop accepting
     }
-    std::lock_guard lock(conn_threads_mutex_);
-    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(conn_mutex_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    // The handler thread's retire step locks conn_mutex_, so it cannot race
+    // past this emplace even if the connection is closed immediately.
+    conn_threads_.emplace(fd, std::thread([this, fd] {
+                            HandleConnection(fd);
+                            RetireConnection(fd);
+                          }));
   }
+}
+
+void TcpTransport::RetireConnection(int fd) {
+  std::lock_guard lock(conn_mutex_);
+  ::close(fd);
+  auto it = conn_threads_.find(fd);
+  if (it != conn_threads_.end()) {
+    finished_threads_.push_back(std::move(it->second));
+    conn_threads_.erase(it);
+  }
+  conn_cv_.notify_all();
 }
 
 void TcpTransport::HandleConnection(int fd) {
-  FdGuard guard(fd);
+  const Address peer = PeerAddress(fd);
   // A connection carries any number of request/reply exchanges in sequence.
   while (running_.load()) {
-    Result<Bytes> request = ReadFrame(fd);
+    Result<Bytes> request = ReadFrame(fd, kNoDeadlineAt);
     if (!request.ok()) return;  // peer closed or stream corrupt
     MessageHandler* handler = handler_.load();
     if (handler == nullptr) return;
-    Result<Bytes> reply = handler->HandleRequest("tcp-peer", AsView(*request));
+    Result<Bytes> reply = handler->HandleRequest(peer, AsView(*request));
     Bytes frame = EncodeReplyFrame(reply);
-    if (!WriteFrame(fd, AsView(frame)).ok()) return;
+    if (!WriteFrame(fd, AsView(frame), kNoDeadlineAt).ok()) return;
   }
 }
 
-Result<Bytes> TcpTransport::Request(const Address& to, BytesView request) {
-  Result<Bytes> reply = RequestImpl(to, request);
+int TcpTransport::CheckoutConnection(const Address& to) {
+  std::lock_guard lock(pool_mutex_);
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if (it->first != to) {
+      ++it;
+      continue;
+    }
+    const int fd = it->second;
+    it = pool_.erase(it);
+    // Health check: a readable FIN (peer hung up) or stray bytes (protocol
+    // desync) disqualify the connection for a fresh request/reply exchange.
+    std::uint8_t probe;
+    const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return fd;
+    ::close(fd);
+  }
+  return -1;
+}
+
+void TcpTransport::CheckinConnection(const Address& to, int fd) {
+  std::vector<int> evicted;
+  {
+    std::lock_guard lock(pool_mutex_);
+    if (pool_capacity_ == 0) {
+      evicted.push_back(fd);
+    } else {
+      pool_.emplace_front(to, fd);
+      while (pool_.size() > pool_capacity_) {
+        evicted.push_back(pool_.back().second);
+        pool_.pop_back();
+      }
+    }
+  }
+  for (int evicted_fd : evicted) ::close(evicted_fd);
+}
+
+void TcpTransport::CloseIdleConnections() {
+  std::lock_guard lock(pool_mutex_);
+  for (auto& [address, fd] : pool_) ::close(fd);
+  pool_.clear();
+}
+
+Result<Bytes> TcpTransport::Request(const Address& to, BytesView request,
+                                    const CallOptions& options) {
+  Result<Bytes> reply = RequestImpl(to, request, options);
   if (reply.ok()) {
     telemetry_.OnRequest(request.size());
     telemetry_.OnReply(reply->size());
   } else {
-    telemetry_.OnFailure();
+    telemetry_.OnFailure(reply.status());
   }
   return reply;
 }
 
-Result<Bytes> TcpTransport::RequestImpl(const Address& to, BytesView request) {
+Result<Bytes> TcpTransport::RoundTrip(int fd, BytesView request,
+                                      Nanos deadline_at, bool* reply_started) {
+  OBIWAN_RETURN_IF_ERROR(WriteFrame(fd, request, deadline_at));
+  return ReadFrame(fd, deadline_at, reply_started);
+}
+
+Result<Bytes> TcpTransport::RequestImpl(const Address& to, BytesView request,
+                                        const CallOptions& options) {
   OBIWAN_ASSIGN_OR_RETURN(auto host_port, ParseAddress(to));
+  const Nanos deadline = EffectiveDeadline(options);
+  const Nanos deadline_at =
+      deadline < 0 ? kNoDeadlineAt : SteadyNow() + deadline;
 
-  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
-  if (fd.get() < 0) return Errno("socket");
-
-  int one = 1;
-  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(host_port.second);
-  if (::inet_pton(AF_INET, host_port.first.c_str(), &addr.sin_addr) != 1) {
-    return InvalidArgumentError("bad IPv4 address: " + host_port.first);
-  }
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    // Connection refused / unreachable is the TCP face of a disconnection.
-    return DisconnectedError("connect to " + to + ": " + std::strerror(errno));
+  bool reused = false;
+  int fd = CheckoutConnection(to);
+  if (fd >= 0) {
+    reused = true;
+    telemetry_.OnPoolHit();
+  } else {
+    OBIWAN_ASSIGN_OR_RETURN(
+        fd, ConnectWithDeadline(host_port.first, host_port.second, to,
+                                deadline_at));
+    telemetry_.OnConnect();
   }
 
-  OBIWAN_RETURN_IF_ERROR(WriteFrame(fd.get(), request));
-  OBIWAN_ASSIGN_OR_RETURN(Bytes frame, ReadFrame(fd.get()));
-  return DecodeReplyFrame(AsView(frame));
+  bool reply_started = false;
+  Result<Bytes> frame = RoundTrip(fd, request, deadline_at, &reply_started);
+  if (!frame.ok()) {
+    ::close(fd);
+    // The checkout health check can miss a peer that vanished between probe
+    // and write. If the exchange died on a reused connection before any
+    // reply byte arrived, run it once more on a fresh connection. Timeouts
+    // are excluded: the peer may still be executing the request, and
+    // re-sending is the retry decorator's (at-least-once) decision.
+    const bool stale_retry = reused && !reply_started &&
+                             frame.status().code() != StatusCode::kTimeout;
+    if (!stale_retry) return frame.status();
+    OBIWAN_ASSIGN_OR_RETURN(
+        fd, ConnectWithDeadline(host_port.first, host_port.second, to,
+                                deadline_at));
+    telemetry_.OnConnect();
+    frame = RoundTrip(fd, request, deadline_at, &reply_started);
+    if (!frame.ok()) {
+      ::close(fd);
+      return frame.status();
+    }
+  }
+  CheckinConnection(to, fd);
+  return DecodeReplyFrame(AsView(*frame));
 }
 
 }  // namespace obiwan::net

@@ -5,13 +5,35 @@
 // simulated benchmarks never touch this; it exists so the same application
 // code (sites, registry, replication) runs across real processes, and it is
 // exercised by the cross-process integration tests.
+//
+// Two properties make it usable on the paper's "slow and unreliable
+// connections":
+//
+//   Deadlines. Every request runs under an effective deadline (per-call
+//   CallOptions or the transport default, kDefaultDeadline unless
+//   configured). Connect is non-blocking with poll(); send/recv run under
+//   SO_SNDTIMEO/SO_RCVTIMEO recomputed from the remaining budget, so a peer
+//   that accepts and then stalls yields kTimeout instead of wedging the
+//   caller — which is what makes RetryingTransport meaningful over real
+//   sockets.
+//
+//   Connection pooling. Outbound connections are persistent and reused per
+//   destination address instead of paying socket/connect/close per request.
+//   Checkout health-checks the pooled socket (a peer FIN or stray bytes
+//   disqualify it), a stale connection whose request fails before any reply
+//   byte arrived is retried once on a fresh connection, and the idle pool is
+//   capped with LRU eviction.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/transport.h"
@@ -20,6 +42,17 @@ namespace obiwan::net {
 
 class TcpTransport final : public Transport {
  public:
+  using Transport::Request;
+
+  // Default round-trip deadline on real sockets; override per call or with
+  // SetDefaultDeadline (kNoDeadline restores unbounded waits).
+  static constexpr Nanos kDefaultDeadline = 30 * kSecond;
+  // Idle outbound connections kept across all destinations (LRU-evicted).
+  static constexpr std::size_t kDefaultPoolCapacity = 8;
+  // Concurrent inbound connections; the accept loop stops accepting (the
+  // kernel backlog queues) until a slot frees up.
+  static constexpr std::size_t kDefaultMaxConnections = 128;
+
   // Binds and listens immediately so the address (with the kernel-assigned
   // port when `port` is 0) is known before Serve is called.
   static Result<std::unique_ptr<TcpTransport>> Create(std::uint16_t port);
@@ -29,10 +62,17 @@ class TcpTransport final : public Transport {
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
-  Result<Bytes> Request(const Address& to, BytesView request) override;
+  Result<Bytes> Request(const Address& to, BytesView request,
+                        const CallOptions& options) override;
   Status Serve(MessageHandler* handler) override;
   void StopServing() override;
   Address LocalAddress() const override;
+
+  // Idle-connection cap; 0 disables pooling (one connect per request, the
+  // pre-pool behaviour — benches use this to measure what pooling buys).
+  void SetPoolCapacity(std::size_t capacity);
+  // Server-side concurrent-connection bound (must be >= 1).
+  void SetMaxConnections(std::size_t max_connections);
 
   // Outbound traffic issued through this transport (payload bytes, excluding
   // the 4-byte frame headers, to stay comparable with the in-process
@@ -40,20 +80,56 @@ class TcpTransport final : public Transport {
   TrafficStats stats() const { return telemetry_.stats(); }
   void ResetStats() { telemetry_.Reset(); }
 
+  // Pooling introspection (tests, benches).
+  std::uint64_t connects() const { return telemetry_.stats().connects; }
+  std::uint64_t pool_hits() const { return telemetry_.stats().pool_hits; }
+  std::size_t idle_pooled_connections() const;
+  // Live server-side connection handler threads.
+  std::size_t active_connections() const;
+
  private:
   TcpTransport(int listen_fd, std::uint16_t port);
 
-  Result<Bytes> RequestImpl(const Address& to, BytesView request);
+  Result<Bytes> RequestImpl(const Address& to, BytesView request,
+                            const CallOptions& options);
+  // One framed exchange on `fd`. `*reply_started` is set once any reply byte
+  // has been read (after which a stale-connection retry would risk a
+  // duplicate execution and is not attempted).
+  Result<Bytes> RoundTrip(int fd, BytesView request, Nanos deadline_at,
+                          bool* reply_started);
+
+  // Client-side pool: health-checked checkout (or -1), MRU check-in with LRU
+  // eviction beyond the cap.
+  int CheckoutConnection(const Address& to);
+  void CheckinConnection(const Address& to, int fd);
+  void CloseIdleConnections();
+
   void AcceptLoop();
   void HandleConnection(int fd);
+  // Runs on the connection thread as its last action: closes the fd and
+  // moves the thread handle to the finished list for joining.
+  void RetireConnection(int fd);
 
   int listen_fd_;
   std::uint16_t port_;
   std::atomic<MessageHandler*> handler_{nullptr};
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  std::mutex conn_threads_mutex_;
-  std::vector<std::thread> conn_threads_;
+
+  // Server-side connection bookkeeping: live handler threads keyed by their
+  // connection fd (so StopServing can shut the sockets down), finished
+  // threads awaiting a join (reaped by the accept loop and StopServing).
+  mutable std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  std::unordered_map<int, std::thread> conn_threads_;
+  std::vector<std::thread> finished_threads_;
+  std::size_t max_connections_ = kDefaultMaxConnections;
+
+  // Client-side idle pool, most recently used at the front.
+  mutable std::mutex pool_mutex_;
+  std::list<std::pair<Address, int>> pool_;
+  std::size_t pool_capacity_ = kDefaultPoolCapacity;
+
   TrafficTelemetry telemetry_{"tcp"};
 };
 

@@ -11,10 +11,12 @@
 //   - TcpTransport: real sockets, for deployment and cross-process tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/status.h"
 
@@ -23,6 +25,20 @@ namespace obiwan::net {
 // Logical endpoint address. Loopback/sim networks use opaque names
 // (e.g. "site-a"); the TCP transport uses "host:port".
 using Address = std::string;
+
+// Explicit "wait forever" deadline value (see CallOptions::deadline).
+inline constexpr Nanos kNoDeadline = -1;
+
+// Per-call options for Transport::Request.
+struct CallOptions {
+  // Round-trip deadline budget for this call, in nanoseconds:
+  //   > 0          — the call must complete within this budget or fail with
+  //                  kTimeout (the hard bound the paper's "slow and
+  //                  unreliable connections" setting requires);
+  //   0 (default)  — use the transport's configured default deadline;
+  //   kNoDeadline  — explicitly unbounded (the pre-deadline behaviour).
+  Nanos deadline = 0;
+};
 
 // Receives inbound requests. A site's RMI dispatcher implements this.
 class MessageHandler {
@@ -41,6 +57,9 @@ struct TrafficStats {
   std::uint64_t request_bytes = 0;
   std::uint64_t reply_bytes = 0;
   std::uint64_t failures = 0;
+  std::uint64_t timeouts = 0;   // failures that were deadline expirations
+  std::uint64_t connects = 0;   // physical connections established (TCP)
+  std::uint64_t pool_hits = 0;  // requests served on a reused connection
 };
 
 // Registry-backed traffic accounting shared by the three transports. Each
@@ -64,6 +83,12 @@ class TrafficTelemetry {
                                        labels, "Reply payload bytes");
     failures_ = &metrics.GetCounter("obiwan_transport_failures_total", labels,
                                     "Requests that failed to deliver or serve");
+    timeouts_ = &metrics.GetCounter("obiwan_transport_timeouts_total", labels,
+                                    "Requests that failed with an expired deadline");
+    connects_ = &metrics.GetCounter("obiwan_transport_connects_total", labels,
+                                    "Physical connections established");
+    pool_hits_ = &metrics.GetCounter("obiwan_transport_pool_hits_total", labels,
+                                     "Requests served on a pooled connection");
   }
 
   void OnRequest(std::size_t bytes) {
@@ -71,7 +96,12 @@ class TrafficTelemetry {
     request_bytes_->Inc(bytes);
   }
   void OnReply(std::size_t bytes) { reply_bytes_->Inc(bytes); }
-  void OnFailure() { failures_->Inc(); }
+  void OnFailure(const Status& status) {
+    failures_->Inc();
+    if (status.code() == StatusCode::kTimeout) timeouts_->Inc();
+  }
+  void OnConnect() { connects_->Inc(); }
+  void OnPoolHit() { pool_hits_->Inc(); }
 
   // Traffic since construction (or the last Reset), as the legacy struct.
   // Saturating, so a registry-wide Reset() between baselines reads as zero
@@ -84,13 +114,18 @@ class TrafficTelemetry {
     return TrafficStats{since(requests_, baseline_.requests),
                         since(request_bytes_, baseline_.request_bytes),
                         since(reply_bytes_, baseline_.reply_bytes),
-                        since(failures_, baseline_.failures)};
+                        since(failures_, baseline_.failures),
+                        since(timeouts_, baseline_.timeouts),
+                        since(connects_, baseline_.connects),
+                        since(pool_hits_, baseline_.pool_hits)};
   }
 
   // Rebaseline the view; the registry counters stay monotonic.
   void Reset() {
-    baseline_ = TrafficStats{requests_->Value(), request_bytes_->Value(),
-                             reply_bytes_->Value(), failures_->Value()};
+    baseline_ = TrafficStats{requests_->Value(),   request_bytes_->Value(),
+                             reply_bytes_->Value(), failures_->Value(),
+                             timeouts_->Value(),    connects_->Value(),
+                             pool_hits_->Value()};
   }
 
  private:
@@ -98,6 +133,9 @@ class TrafficTelemetry {
   Counter* request_bytes_;
   Counter* reply_bytes_;
   Counter* failures_;
+  Counter* timeouts_;
+  Counter* connects_;
+  Counter* pool_hits_;
   TrafficStats baseline_;
 };
 
@@ -107,8 +145,17 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
+  // Synchronous round trip with default options (the transport's configured
+  // default deadline applies).
+  Result<Bytes> Request(const Address& to, BytesView request) {
+    return Request(to, request, CallOptions{});
+  }
+
   // Synchronous round trip: deliver `request` to `to`, return its reply.
-  virtual Result<Bytes> Request(const Address& to, BytesView request) = 0;
+  // When the effective deadline (options or transport default) is positive,
+  // the call fails with kTimeout instead of blocking past it.
+  virtual Result<Bytes> Request(const Address& to, BytesView request,
+                                const CallOptions& options) = 0;
 
   // Start serving inbound requests with `handler`. The handler must outlive
   // the transport (or a subsequent StopServing call).
@@ -118,6 +165,27 @@ class Transport {
 
   // Address other endpoints should use to reach this transport.
   virtual Address LocalAddress() const = 0;
+
+  // Deadline applied when CallOptions::deadline is 0. kNoDeadline (the base
+  // default) preserves unbounded waits; TcpTransport installs a finite
+  // default because a real socket must never hang forever. Virtual so
+  // decorators (retry, compression) can forward to the transport that
+  // actually enforces it. Sites configure this via Site::SetRequestDeadline.
+  virtual void SetDefaultDeadline(Nanos deadline) {
+    default_deadline_.store(deadline, std::memory_order_relaxed);
+  }
+  virtual Nanos default_deadline() const {
+    return default_deadline_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  // Resolve per-call options against the configured default.
+  Nanos EffectiveDeadline(const CallOptions& options) const {
+    return options.deadline == 0 ? default_deadline() : options.deadline;
+  }
+
+ private:
+  std::atomic<Nanos> default_deadline_{kNoDeadline};
 };
 
 }  // namespace obiwan::net

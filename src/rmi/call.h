@@ -29,10 +29,11 @@ inline void EncodeCallBody(wire::Writer& body, const CallRequest& call) {
   body.Blob(AsView(call.args));
 }
 
-inline Bytes EncodeCall(const CallRequest& call, TraceId trace = {}) {
+inline Bytes EncodeCall(const CallRequest& call, TraceId trace = {},
+                        Nanos deadline_budget = -1) {
   wire::Writer body;
   EncodeCallBody(body, call);
-  return WrapRequest(MessageKind::kCall, body, trace);
+  return WrapRequest(MessageKind::kCall, body, trace, deadline_budget);
 }
 
 inline Result<CallRequest> DecodeCall(wire::Reader& body) {
@@ -51,7 +52,7 @@ inline Result<CallRequest> DecodeCall(wire::Reader& body) {
 // independently — one unknown method does not poison its neighbours.
 
 inline Bytes EncodeCallBatch(const std::vector<CallRequest>& calls,
-                             TraceId trace = {}) {
+                             TraceId trace = {}, Nanos deadline_budget = -1) {
   wire::Writer body;
   body.Varint(calls.size());
   for (const CallRequest& call : calls) {
@@ -59,7 +60,7 @@ inline Bytes EncodeCallBatch(const std::vector<CallRequest>& calls,
     body.String(call.method);
     body.Blob(AsView(call.args));
   }
-  return WrapRequest(MessageKind::kCallBatch, body, trace);
+  return WrapRequest(MessageKind::kCallBatch, body, trace, deadline_budget);
 }
 
 inline Result<std::vector<CallRequest>> DecodeCallBatch(wire::Reader& body) {

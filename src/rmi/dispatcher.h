@@ -48,6 +48,10 @@ class Dispatcher final : public net::MessageHandler {
     malformed_ = &metrics.GetCounter(
         "obiwan_rmi_server_malformed_total", {},
         "Requests rejected before dispatch (bad envelope or unknown kind)");
+    expired_ = &metrics.GetCounter(
+        "obiwan_rmi_expired_total", {},
+        "Requests shed before dispatch because their deadline budget was "
+        "already exhausted on arrival");
   }
 
   // `service` must outlive the dispatcher.
@@ -82,6 +86,15 @@ class Dispatcher final : public net::MessageHandler {
     }
     PerKind& pk = per_kind_[static_cast<std::size_t>(parsed->kind)];
     pk.requests->Inc();
+    // Load shedding: a request whose declared budget is already zero has a
+    // caller that gave up — doing the work would only burn server time on a
+    // reply nobody reads.
+    if (parsed->deadline_budget == 0) {
+      expired_->Inc();
+      pk.errors->Inc();
+      return TimeoutError("deadline expired before dispatch (kind " +
+                          std::string(KindName(parsed->kind)) + ")");
+    }
     // The envelope's flow id is installed first, so the dispatch span — and
     // every span the handler opens — records under the originating trace.
     // With in-process delivery the handler runs on the caller's thread and
@@ -111,6 +124,7 @@ class Dispatcher final : public net::MessageHandler {
   std::array<Service*, kMaxMessageKind + 1> services_{};
   std::array<PerKind, kMaxMessageKind + 1> per_kind_{};
   Counter* malformed_ = nullptr;
+  Counter* expired_ = nullptr;
   Clock* clock_ = &SystemClock::Instance();
   const TraceSinks* sinks_ = nullptr;
   SiteId site_ = kInvalidSite;

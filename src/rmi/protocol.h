@@ -8,14 +8,17 @@
 //   - naming (kBind, kLookup, kUnbind, kList) — the name server (§2, Fig. 1)
 // Telemetry rides in the envelope: the high bit of the kind byte marks an
 // optional trace header (varint site + varint seq of the originating flow's
-// TraceId) between the kind byte and the body. Requests without the flag are
-// unchanged, so untraced peers interoperate.
+// TraceId) between the kind byte and the body, and bit 0x40 marks an optional
+// deadline header (varint remaining budget in nanoseconds) after the trace
+// header. Requests without the flags are unchanged, so older peers
+// interoperate.
 #pragma once
 
 #include <cstdint>
 #include <string_view>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "wire/reader.h"
@@ -44,6 +47,14 @@ inline constexpr std::uint8_t kMaxMessageKind = 14;
 
 // High bit of the kind byte: a trace header follows the kind.
 inline constexpr std::uint8_t kTraceFlag = 0x80;
+// Bit 0x40 of the kind byte: a deadline header (varint remaining budget,
+// nanoseconds) follows the trace header (or the kind byte when untraced). The
+// budget is relative — "this much time was left when the request was sent" —
+// because site clocks are not synchronized; the server sheds work whose
+// budget already reached zero.
+inline constexpr std::uint8_t kDeadlineFlag = 0x40;
+// The kind value lives in the low 6 bits.
+inline constexpr std::uint8_t kKindMask = 0x3F;
 
 // Diagnostic name of a message kind ("call", "get", ...), for metric labels.
 inline std::string_view KindName(MessageKind kind) {
@@ -66,15 +77,22 @@ inline std::string_view KindName(MessageKind kind) {
   return "unknown";
 }
 
+// `deadline_budget` < 0 means no deadline header; >= 0 writes the remaining
+// budget (clamped at 0: an already-expired budget is still sent so the server
+// sheds the work explicitly).
 inline Bytes WrapRequest(MessageKind kind, const wire::Writer& body,
-                         TraceId trace = {}) {
-  wire::Writer w(body.size() + 12);
+                         TraceId trace = {}, Nanos deadline_budget = -1) {
+  wire::Writer w(body.size() + 24);
+  std::uint8_t first = static_cast<std::uint8_t>(kind);
+  if (trace.valid()) first |= kTraceFlag;
+  if (deadline_budget >= 0) first |= kDeadlineFlag;
+  w.U8(first);
   if (trace.valid()) {
-    w.U8(static_cast<std::uint8_t>(kind) | kTraceFlag);
     w.Varint(trace.site);
     w.Varint(trace.seq);
-  } else {
-    w.U8(static_cast<std::uint8_t>(kind));
+  }
+  if (deadline_budget >= 0) {
+    w.Varint(static_cast<std::uint64_t>(deadline_budget));
   }
   w.Raw(AsView(body.data()));
   return std::move(w).Take();
@@ -83,23 +101,31 @@ inline Bytes WrapRequest(MessageKind kind, const wire::Writer& body,
 struct ParsedRequest {
   MessageKind kind;
   TraceId trace;  // invalid when the request carried no trace header
+  // Remaining budget (ns) declared by the caller; -1 when the request
+  // carried no deadline header.
+  Nanos deadline_budget = -1;
   BytesView body;
 };
 
 inline Result<ParsedRequest> ParseRequest(BytesView request) {
   if (request.empty()) return DataLossError("empty request");
   const std::uint8_t first = request[0];
-  const std::uint8_t kind = first & static_cast<std::uint8_t>(~kTraceFlag);
+  const std::uint8_t kind = first & kKindMask;
   if (kind == 0 || kind > kMaxMessageKind) {
     return DataLossError("unknown message kind " + std::to_string(first));
   }
   ParsedRequest parsed;
   parsed.kind = static_cast<MessageKind>(kind);
   BytesView rest = request.subspan(1);
-  if ((first & kTraceFlag) != 0) {
+  if ((first & (kTraceFlag | kDeadlineFlag)) != 0) {
     wire::Reader header(rest);
-    parsed.trace.site = static_cast<SiteId>(header.Varint());
-    parsed.trace.seq = header.Varint();
+    if ((first & kTraceFlag) != 0) {
+      parsed.trace.site = static_cast<SiteId>(header.Varint());
+      parsed.trace.seq = header.Varint();
+    }
+    if ((first & kDeadlineFlag) != 0) {
+      parsed.deadline_budget = static_cast<Nanos>(header.Varint());
+    }
     OBIWAN_RETURN_IF_ERROR(header.status());
     rest = rest.subspan(rest.size() - header.remaining());
   }

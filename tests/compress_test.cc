@@ -1,7 +1,10 @@
 // LZ compression codec + CompressedTransport + RetryingTransport tests.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
+#include <thread>
+#include <vector>
 
 #include "net/compressed.h"
 #include "net/retry.h"
@@ -260,6 +263,102 @@ TEST(RetryingTransport, OptInDisconnectedRetry) {
   EXPECT_EQ(transport.Request("server", Bytes{1}).status().code(),
             StatusCode::kDisconnected);
   EXPECT_EQ(transport.retries(), 4u);
+}
+
+TEST(RetryingTransport, BackoffIsClampedAtMaxBackoff) {
+  VirtualClock clock;
+  net::SimNetwork network(clock, net::LinkParams{.drop_probability = 1.0});
+  // Aggressive growth that would reach minutes in a few attempts without the
+  // clamp: 1 ms × 100^n. With max_backoff = 5 ms the sleeps are
+  // 1 + 5 × 6 = 31 ms across 8 attempts.
+  net::RetryingTransport transport(
+      network.CreateEndpoint("client"),
+      net::RetryPolicy{.max_attempts = 8,
+                       .initial_backoff = kMilli,
+                       .backoff_multiplier = 100.0,
+                       .max_backoff = 5 * kMilli},
+      clock);
+  auto server_endpoint = network.CreateEndpoint("server");
+  class Echo : public net::MessageHandler {
+   public:
+    Result<Bytes> HandleRequest(const net::Address&, BytesView b) override {
+      return Bytes(b.begin(), b.end());
+    }
+  } echo;
+  ASSERT_TRUE(server_endpoint->Serve(&echo).ok());
+
+  EXPECT_EQ(transport.Request("server", Bytes{1}).status().code(),
+            StatusCode::kTimeout);
+  EXPECT_EQ(clock.Now(), 31 * kMilli);
+}
+
+TEST(RetryingTransport, HugeMultiplierDoesNotOverflow) {
+  VirtualClock clock;
+  net::SimNetwork network(clock, net::LinkParams{.drop_probability = 1.0});
+  net::RetryingTransport transport(
+      network.CreateEndpoint("client"),
+      net::RetryPolicy{.max_attempts = 50,
+                       .initial_backoff = kSecond,
+                       .backoff_multiplier = 1e18,  // overflows Nanos in one step
+                       .max_backoff = 2 * kMilli},
+      clock);
+  auto server_endpoint = network.CreateEndpoint("server");
+  class Echo : public net::MessageHandler {
+   public:
+    Result<Bytes> HandleRequest(const net::Address&, BytesView b) override {
+      return Bytes(b.begin(), b.end());
+    }
+  } echo;
+  ASSERT_TRUE(server_endpoint->Serve(&echo).ok());
+
+  EXPECT_EQ(transport.Request("server", Bytes{1}).status().code(),
+            StatusCode::kTimeout);
+  // initial_backoff itself is clamped too: 49 sleeps of 2 ms each, and the
+  // virtual clock never sees a negative or overflowed sleep.
+  EXPECT_EQ(clock.Now(), 49 * 2 * kMilli);
+}
+
+// Concurrent clients hammer one RetryingTransport whose every attempt fails:
+// the retry counter must stay exact (it was a plain uint64 data race before).
+// Runs under TSan in the thread-sanitizer CI flavour.
+TEST(RetryingTransport, ConcurrentRetriesCountExactly) {
+  net::LoopbackNetwork network;
+  auto client_endpoint = network.CreateEndpoint("client");
+  auto server_endpoint = network.CreateEndpoint("server");
+  class AlwaysTimeout : public net::MessageHandler {
+   public:
+    Result<Bytes> HandleRequest(const net::Address&, BytesView) override {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      return TimeoutError("induced");
+    }
+    std::atomic<std::uint64_t> calls{0};
+  } handler;
+  ASSERT_TRUE(server_endpoint->Serve(&handler).ok());
+
+  // Real clock with nanosecond backoffs: the test exercises contention, not
+  // waiting.
+  net::RetryingTransport transport(
+      std::move(client_endpoint),
+      net::RetryPolicy{.max_attempts = 3,
+                       .initial_backoff = 1000,
+                       .max_backoff = 1000});
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        EXPECT_EQ(transport.Request("server", Bytes{1}).status().code(),
+                  StatusCode::kTimeout);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const std::uint64_t requests = kThreads * kRequestsPerThread;
+  EXPECT_EQ(transport.retries(), requests * 3);
+  EXPECT_EQ(handler.calls.load(), requests * 3);
 }
 
 }  // namespace

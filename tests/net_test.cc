@@ -211,6 +211,83 @@ TEST(Sim, JitterIsDeterministicPerSeed) {
   EXPECT_EQ(run(5), run(5));
 }
 
+// --- deadlines on the simulated network -------------------------------------------
+
+TEST(SimDeadline, RequestFlightExceedingDeadlineTimesOut) {
+  VirtualClock clock;
+  // 10 ms one-way: a 5 ms deadline expires mid-request-flight.
+  SimNetwork network(clock, LinkParams{.latency = 10 * kMilli});
+  auto a = network.CreateEndpoint("a");
+  auto b = network.CreateEndpoint("b");
+  EchoHandler echo;
+  ASSERT_TRUE(b->Serve(&echo).ok());
+
+  auto reply = a->Request("b", Bytes{1}, CallOptions{5 * kMilli});
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+  // The caller waits exactly until the deadline, not until the message would
+  // have landed.
+  EXPECT_EQ(clock.Now(), 5 * kMilli);
+  EXPECT_EQ(echo.calls, 0);
+  EXPECT_GE(network.stats().timeouts, 1u);
+}
+
+TEST(SimDeadline, ReplyFlightExceedingDeadlineTimesOut) {
+  VirtualClock clock;
+  // Request (1 byte) is nearly free; the 1000-byte reply at 1000 B/s takes a
+  // second, far past the 100 ms deadline. The handler runs; the caller still
+  // gives up at the deadline.
+  SimNetwork network(clock, LinkParams{.bandwidth_bytes_per_sec = 1000.0});
+  auto a = network.CreateEndpoint("a");
+  auto b = network.CreateEndpoint("b");
+  EchoHandler echo;
+  echo.suffix = Bytes(1000, 0);
+  ASSERT_TRUE(b->Serve(&echo).ok());
+
+  auto reply = a->Request("b", Bytes{1}, CallOptions{100 * kMilli});
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(clock.Now(), 100 * kMilli);
+  EXPECT_EQ(echo.calls, 1);
+}
+
+TEST(SimDeadline, DefaultDeadlineAppliesAndNoDeadlineDisables) {
+  VirtualClock clock;
+  SimNetwork network(clock, LinkParams{.latency = 10 * kMilli});
+  auto a = network.CreateEndpoint("a");
+  auto b = network.CreateEndpoint("b");
+  EchoHandler echo;
+  ASSERT_TRUE(b->Serve(&echo).ok());
+
+  a->SetDefaultDeadline(5 * kMilli);
+  EXPECT_EQ(a->Request("b", Bytes{1}).status().code(), StatusCode::kTimeout);
+
+  // An explicit unbounded deadline overrides the transport default.
+  EXPECT_TRUE(a->Request("b", Bytes{1}, CallOptions{kNoDeadline}).ok());
+
+  a->SetDefaultDeadline(kNoDeadline);
+  EXPECT_TRUE(a->Request("b", Bytes{1}).ok());
+}
+
+TEST(SimDeadline, GenerousDeadlineDoesNotInterfere) {
+  VirtualClock clock;
+  SimNetwork network(clock, LinkParams{.latency = kMilli});
+  auto a = network.CreateEndpoint("a");
+  auto b = network.CreateEndpoint("b");
+  EchoHandler echo;
+  ASSERT_TRUE(b->Serve(&echo).ok());
+  EXPECT_TRUE(a->Request("b", Bytes{1}, CallOptions{kSecond}).ok());
+  EXPECT_EQ(clock.Now(), 2 * kMilli);  // full cost charged, no early cut
+}
+
+TEST(Loopback, IgnoresDeadlines) {
+  LoopbackNetwork network;
+  auto a = network.CreateEndpoint("a");
+  auto b = network.CreateEndpoint("b");
+  EchoHandler echo;
+  ASSERT_TRUE(b->Serve(&echo).ok());
+  // Zero-latency delivery beats any deadline, even a 1 ns one.
+  EXPECT_TRUE(a->Request("b", Bytes{1}, CallOptions{1}).ok());
+}
+
 // --- reply framing --------------------------------------------------------------
 
 TEST(Frame, OkRoundTrip) {

@@ -200,6 +200,31 @@ TEST_F(RmiTest, DispatcherRejectsUnknownKind) {
   EXPECT_EQ(empty.status().code(), StatusCode::kDataLoss);
 }
 
+TEST_F(RmiTest, DispatcherShedsExpiredDeadlines) {
+  const std::uint64_t expired_before =
+      MetricsRegistry::Default().SumCounters("obiwan_rmi_expired_total");
+
+  // A ping whose declared remaining budget is zero: the caller has already
+  // given up, so the server must refuse it before dispatch.
+  wire::Writer body;
+  Bytes frame =
+      rmi::WrapRequest(rmi::MessageKind::kPing, body, {}, /*deadline_budget=*/0);
+  auto reply = client_->transport().Request("server", AsView(frame));
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(MetricsRegistry::Default().SumCounters("obiwan_rmi_expired_total"),
+            expired_before + 1);
+
+  // A positive budget passes through untouched.
+  wire::Writer body2;
+  Bytes live = rmi::WrapRequest(rmi::MessageKind::kPing, body2, {}, kSecond);
+  EXPECT_TRUE(client_->transport().Request("server", AsView(live)).ok());
+
+  // And the site's own RPCs advertise a budget once a deadline is set.
+  client_->SetRequestDeadline(5 * kSecond);
+  EXPECT_TRUE(client_->Ping("server").ok());
+  client_->SetRequestDeadline(0);
+}
+
 TEST_F(RmiTest, ExportIsIdempotent) {
   auto calc = std::make_shared<Calculator>();
   ObjectId first = server_->Export(calc);

@@ -1,12 +1,62 @@
-// Real-socket transport tests, including full OBIWAN sites over TCP.
+// Real-socket transport tests, including full OBIWAN sites over TCP:
+// deadlines (no request may hang forever), connection pooling, stale-pool
+// recovery, retry-over-TCP, and server thread lifecycle.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/retry.h"
 #include "net/tcp.h"
 #include "obiwan.h"
 #include "test_objects.h"
 
 namespace obiwan {
 namespace {
+
+// Connect a raw client socket to 127.0.0.1:`port` (or return -1).
+int RawConnect(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Raw listening socket on an ephemeral port; never accepts unless asked.
+struct RawListener {
+  int fd = -1;
+  std::uint16_t port = 0;
+
+  RawListener() {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+        ::listen(fd, 8) == 0) {
+      socklen_t len = sizeof(addr);
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+      port = ntohs(addr.sin_port);
+    }
+  }
+  ~RawListener() {
+    if (fd >= 0) ::close(fd);
+  }
+  std::string address() const { return "127.0.0.1:" + std::to_string(port); }
+};
 
 class EchoHandler : public net::MessageHandler {
  public:
@@ -142,6 +192,212 @@ TEST(Tcp, FullSitesOverTcp) {
 
   demander.Stop();
   provider.Stop();
+}
+
+// --- deadlines -----------------------------------------------------------------
+
+TEST(TcpDeadline, DefaultDeadlineIsFinite) {
+  auto client = net::TcpTransport::Create(0);
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ((*client)->default_deadline(), net::TcpTransport::kDefaultDeadline);
+}
+
+// The hang-forever bug: a peer whose kernel completes the handshake (listen
+// backlog) but that never reads or replies used to block the caller
+// indefinitely in recv. With a deadline the call must return kTimeout.
+TEST(TcpDeadline, DeadPeerTimesOutBeforeDeadline) {
+  RawListener dead;  // listening, never accepting, never replying
+  ASSERT_GT(dead.port, 0);
+  auto client = net::TcpTransport::Create(0);
+  ASSERT_TRUE(client.ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto reply = (*client)->Request(dead.address(), Bytes{1, 2, 3},
+                                  net::CallOptions{200 * kMilli});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout) << reply.status();
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  EXPECT_GE((*client)->stats().timeouts, 1u);
+}
+
+TEST(TcpDeadline, SetDefaultDeadlineApplies) {
+  RawListener dead;
+  ASSERT_GT(dead.port, 0);
+  auto client = net::TcpTransport::Create(0);
+  ASSERT_TRUE(client.ok());
+  (*client)->SetDefaultDeadline(100 * kMilli);
+  auto reply = (*client)->Request(dead.address(), Bytes{1});
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+}
+
+TEST(TcpDeadline, MidFramePeerCloseIsDataLoss) {
+  RawListener listener;
+  ASSERT_GT(listener.port, 0);
+  // Server: accept, consume the request frame, write half a reply header,
+  // close. The client must fail fast with kDataLoss, not hang.
+  std::thread server([&] {
+    int conn = ::accept(listener.fd, nullptr, nullptr);
+    if (conn < 0) return;
+    std::uint8_t buf[64];
+    (void)::recv(conn, buf, sizeof(buf), 0);
+    const std::uint8_t half_header[2] = {42, 0};
+    (void)::send(conn, half_header, sizeof(half_header), MSG_NOSIGNAL);
+    ::close(conn);
+  });
+  auto client = net::TcpTransport::Create(0);
+  ASSERT_TRUE(client.ok());
+  auto reply = (*client)->Request(listener.address(), Bytes{7},
+                                  net::CallOptions{2 * kSecond});
+  EXPECT_EQ(reply.status().code(), StatusCode::kDataLoss) << reply.status();
+  server.join();
+}
+
+// --- connection pooling ----------------------------------------------------------
+
+TEST(TcpPool, BurstReusesOneConnection) {
+  auto server = net::TcpTransport::Create(0);
+  ASSERT_TRUE(server.ok());
+  EchoHandler echo;
+  ASSERT_TRUE((*server)->Serve(&echo).ok());
+  auto client = net::TcpTransport::Create(0);
+  ASSERT_TRUE(client.ok());
+
+  for (int i = 0; i < 10; ++i) {
+    auto reply = (*client)->Request((*server)->LocalAddress(),
+                                    Bytes{static_cast<std::uint8_t>(i)});
+    ASSERT_TRUE(reply.ok()) << reply.status();
+  }
+  EXPECT_EQ((*client)->connects(), 1u);
+  EXPECT_EQ((*client)->pool_hits(), 9u);
+  EXPECT_EQ((*client)->idle_pooled_connections(), 1u);
+}
+
+TEST(TcpPool, CapacityZeroDisablesPooling) {
+  auto server = net::TcpTransport::Create(0);
+  ASSERT_TRUE(server.ok());
+  EchoHandler echo;
+  ASSERT_TRUE((*server)->Serve(&echo).ok());
+  auto client = net::TcpTransport::Create(0);
+  ASSERT_TRUE(client.ok());
+  (*client)->SetPoolCapacity(0);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*client)->Request((*server)->LocalAddress(), Bytes{1}).ok());
+  }
+  EXPECT_EQ((*client)->connects(), 5u);
+  EXPECT_EQ((*client)->pool_hits(), 0u);
+  EXPECT_EQ((*client)->idle_pooled_connections(), 0u);
+}
+
+TEST(TcpPool, StaleConnectionRecovers) {
+  auto server = net::TcpTransport::Create(0);
+  ASSERT_TRUE(server.ok());
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      std::stoi((*server)->LocalAddress().substr(std::string("127.0.0.1:").size())));
+  EchoHandler echo;
+  ASSERT_TRUE((*server)->Serve(&echo).ok());
+
+  auto client = net::TcpTransport::Create(0);
+  ASSERT_TRUE(client.ok());
+  const net::Address address = (*server)->LocalAddress();
+  ASSERT_TRUE((*client)->Request(address, Bytes{1}).ok());
+  EXPECT_EQ((*client)->idle_pooled_connections(), 1u);
+
+  // Kill the server (FINs the pooled connection) and restart on the same
+  // port: the next request must detect the stale socket and reconnect.
+  server->reset();
+  auto reborn = net::TcpTransport::Create(port);
+  ASSERT_TRUE(reborn.ok()) << reborn.status();
+  ASSERT_TRUE((*reborn)->Serve(&echo).ok());
+
+  auto reply = (*client)->Request(address, Bytes{2},
+                                  net::CallOptions{2 * kSecond});
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ((*client)->connects(), 2u);
+}
+
+// --- retry over real sockets ------------------------------------------------------
+
+// A handler whose first call stalls longer than the client deadline: attempt
+// one times out, the retry decorator re-sends, attempt two succeeds. This is
+// the end-to-end proof that kTimeout (not a hang) makes retries meaningful
+// on real sockets.
+TEST(TcpRetry, RetryRecoversAfterTimeout) {
+  class FlakyHandler : public net::MessageHandler {
+   public:
+    Result<Bytes> HandleRequest(const net::Address&, BytesView request) override {
+      if (calls.fetch_add(1) == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      }
+      return Bytes(request.begin(), request.end());
+    }
+    std::atomic<int> calls{0};
+  };
+
+  auto server = net::TcpTransport::Create(0);
+  ASSERT_TRUE(server.ok());
+  FlakyHandler flaky;
+  ASSERT_TRUE((*server)->Serve(&flaky).ok());
+
+  auto client = net::TcpTransport::Create(0);
+  ASSERT_TRUE(client.ok());
+  const net::Address address = (*server)->LocalAddress();
+  net::RetryingTransport reliable(
+      std::move(*client),
+      net::RetryPolicy{.max_attempts = 3, .initial_backoff = kMilli});
+  reliable.SetDefaultDeadline(150 * kMilli);
+
+  auto reply = reliable.Request(address, Bytes{5});
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, Bytes{5});
+  EXPECT_EQ(reliable.retries(), 1u);
+  EXPECT_EQ(flaky.calls.load(), 2);
+}
+
+// --- server thread lifecycle ------------------------------------------------------
+
+TEST(TcpServer, SoakReapsConnectionThreads) {
+  auto server = net::TcpTransport::Create(0);
+  ASSERT_TRUE(server.ok());
+  EchoHandler echo;
+  ASSERT_TRUE((*server)->Serve(&echo).ok());
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      std::stoi((*server)->LocalAddress().substr(std::string("127.0.0.1:").size())));
+
+  for (int i = 0; i < 1000; ++i) {
+    int fd = RawConnect(port);
+    ASSERT_GE(fd, 0) << "iteration " << i;
+    ::close(fd);
+  }
+  // Every handler thread sees the FIN and retires; none may linger.
+  for (int spin = 0; spin < 500 && (*server)->active_connections() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ((*server)->active_connections(), 0u);
+  (*server)->StopServing();
+}
+
+TEST(TcpServer, MaxConnectionsBoundsHandlerThreads) {
+  auto server = net::TcpTransport::Create(0);
+  ASSERT_TRUE(server.ok());
+  (*server)->SetMaxConnections(2);
+  EchoHandler echo;
+  ASSERT_TRUE((*server)->Serve(&echo).ok());
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      std::stoi((*server)->LocalAddress().substr(std::string("127.0.0.1:").size())));
+
+  int fds[4];
+  for (int& fd : fds) {
+    fd = RawConnect(port);
+    ASSERT_GE(fd, 0);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_LE((*server)->active_connections(), 2u);
+  for (int fd : fds) ::close(fd);
+  for (int spin = 0; spin < 500 && (*server)->active_connections() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ((*server)->active_connections(), 0u);
 }
 
 }  // namespace

@@ -76,6 +76,55 @@ TEST(TraceWire, FlaggedUnknownKindRejected) {
   EXPECT_FALSE(rmi::ParseRequest(AsView(bad)).ok());
 }
 
+// --- deadline header -------------------------------------------------------------
+
+TEST(DeadlineWire, EnvelopeCarriesDeadlineBudget) {
+  wire::Writer body;
+  body.U32(0xFEEDFACE);
+  Bytes framed =
+      rmi::WrapRequest(rmi::MessageKind::kGet, body, {}, 250 * kMilli);
+  EXPECT_NE(framed[0] & rmi::kDeadlineFlag, 0);
+  EXPECT_EQ(framed[0] & rmi::kTraceFlag, 0);
+
+  auto parsed = rmi::ParseRequest(AsView(framed));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, rmi::MessageKind::kGet);
+  EXPECT_EQ(parsed->deadline_budget, 250 * kMilli);
+  wire::Reader r(parsed->body);
+  EXPECT_EQ(r.U32(), 0xFEEDFACEu);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(DeadlineWire, TraceAndDeadlineCompose) {
+  wire::Writer body;
+  body.U8(9);
+  TraceId id{3, 42};
+  Bytes framed = rmi::WrapRequest(rmi::MessageKind::kPut, body, id, kSecond);
+  auto parsed = rmi::ParseRequest(AsView(framed));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, rmi::MessageKind::kPut);
+  EXPECT_EQ(parsed->trace, id);
+  EXPECT_EQ(parsed->deadline_budget, kSecond);
+  wire::Reader r(parsed->body);
+  EXPECT_EQ(r.U8(), 9);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(DeadlineWire, AbsentDeadlineParsesAsMinusOne) {
+  wire::Writer empty;
+  Bytes framed = rmi::WrapRequest(rmi::MessageKind::kPing, empty);
+  ASSERT_EQ(framed.size(), 1u);  // wire layout unchanged without the flag
+  auto parsed = rmi::ParseRequest(AsView(framed));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->deadline_budget, -1);
+}
+
+TEST(DeadlineWire, TruncatedDeadlineHeaderRejected) {
+  Bytes bad = {static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(rmi::MessageKind::kPing) | rmi::kDeadlineFlag)};
+  EXPECT_FALSE(rmi::ParseRequest(AsView(bad)).ok());
+}
+
 // The PR's acceptance criterion: a single LMI fault-and-replicate flow leaves
 // the SAME correlation id in both sites' trace snapshots, with each site's
 // own tracer — the id demonstrably crossed the wire.

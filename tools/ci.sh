@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
-# CI entry point: build and test the tree three times —
+# CI entry point: build and test the tree four times —
 #   1. the plain Release-ish build (RelWithDebInfo, the default),
-#   2. an AddressSanitizer build (OBIWAN_SANITIZE=address), and
-#   3. an UndefinedBehaviorSanitizer build (OBIWAN_SANITIZE=undefined)
-# and run the full ctest suite under each. Any failure fails the script.
+#   2. an AddressSanitizer build (OBIWAN_SANITIZE=address),
+#   3. an UndefinedBehaviorSanitizer build (OBIWAN_SANITIZE=undefined), and
+#   4. a ThreadSanitizer build (OBIWAN_SANITIZE=thread) running the
+#      concurrency-heavy transport tests (real sockets, retry decorator,
+#      connection pool, server thread lifecycle).
+# Any failure fails the script.
 #
 # Usage: tools/ci.sh [jobs]          (jobs defaults to nproc)
 set -eu
@@ -26,6 +29,18 @@ run_flavour() {
 run_flavour release build-ci
 run_flavour asan build-asan -DOBIWAN_SANITIZE=address
 run_flavour ubsan build-ubsan -DOBIWAN_SANITIZE=undefined
+
+# ThreadSanitizer flavour: the transport layer is the concurrency hot spot
+# (client threads sharing one pooled TCP transport, the retry decorator's
+# counter, the server's per-connection threads), so TSan runs the transport
+# and retry test groups rather than the whole (slow under TSan) suite.
+echo "=== [tsan] configure ==="
+cmake -B build-tsan -S . -DOBIWAN_SANITIZE=thread
+echo "=== [tsan] build ==="
+cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test
+echo "=== [tsan] test ==="
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport)'
 
 # The fig4 bench must emit a schema-valid BENCH_*.json with latency
 # percentiles (skip the google-benchmark micro-benchmarks; the paper series
@@ -93,4 +108,30 @@ print(f"span_two_site.trace.json: {begins} spans well-nested across "
       f"{len(pids)} processes, categories OK")
 EOF
 
-echo "=== CI green: release + asan + ubsan + bench JSON + chrome trace ==="
+# The TCP pooling bench must report the pool actually amortizing connects:
+# the JSON's transport section records connects-per-call across the pooled
+# and per-connect series.
+echo "=== [bench] tcp pool JSON ==="
+(cd build-ci && ./bench/bench_tcp_pool --benchmark_filter=SchemaOnly)
+python3 - build-ci/BENCH_tcp_pool.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("bench", "xs", "series", "transport", "metrics"):
+    assert key in doc, f"missing key: {key}"
+t = doc["transport"]
+for key in ("requests", "connects", "pool_hits", "timeouts", "connects_per_call"):
+    assert key in t, f"transport section missing {key}"
+assert t["requests"] > 0, "no TCP requests recorded"
+# Half the runs are per-connect, half pooled; pooling must have amortized a
+# substantial share of connects overall.
+assert t["connects_per_call"] < 0.75, \
+    f"pooling did not amortize connects: {t['connects_per_call']}"
+assert t["pool_hits"] > 0, "pool never hit"
+names = [s["name"] for s in doc["series"]]
+assert "pooled" in names and "per-connect" in names, f"bad series: {names}"
+print(f"BENCH_tcp_pool.json: transport OK (connects_per_call="
+      f"{t['connects_per_call']:.3f}, pool_hits={t['pool_hits']})")
+EOF
+
+echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace ==="
