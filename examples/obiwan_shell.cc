@@ -18,19 +18,32 @@
 //           invoke <name> | replicate <name> [batch] | cluster <name> <n> |
 //           show <name> | set <name> <text> | append <name> <text> |
 //           put <name> | putcluster <name> | refresh <name> | stats |
+//           inspect [addr] | frontier [path] | top [addr] [frames] |
 //           metrics [prom] | trace | help | quit
 //
 // `--stats` dumps the process-wide metrics registry (plain text) on exit, so
 // scripted runs (`echo ... | obiwan_shell --stats`) get a machine-grepable
 // summary without typing `metrics`.
 //
+// `--inspect [addr]` is the one-shot observatory: pull the replication-state
+// report (this site's, or a remote site's over the kInspect RMI method),
+// print it as JSON and exit — `obiwan_shell --site 2 --inspect host:port`
+// shows what any running site holds without touching it.
+//
+// `--frontier <path>` writes the replication-frontier graph (Graphviz DOT)
+// on exit; combined with `--inspect` it snapshots graph + report in one run.
+//
 // `--flight-dump <path>` arms the flight recorder: the first failed request
 // writes the always-on per-site span buffers to <path> as Chrome trace JSON,
 // and a clean exit writes them too — every session leaves a timeline.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
@@ -89,6 +102,29 @@ struct Shell {
     return &it->second;
   }
 
+  // Local report, or a remote site's when `addr` is non-empty.
+  std::optional<core::InspectReport> Report(const std::string& addr) {
+    if (addr.empty()) return site->Inspect();
+    auto report = site->InspectRemote(addr);
+    if (!report.ok()) {
+      std::printf("inspect %s failed: %s\n", addr.c_str(),
+                  report.status().ToString().c_str());
+      return std::nullopt;
+    }
+    return *report;
+  }
+
+  static bool WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    out.flush();
+    if (!out) {
+      std::printf("cannot write %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
   core::RemoteRef<Note>* Remote(const std::string& name) {
     auto it = remotes.find(name);
     if (it == remotes.end()) {
@@ -123,6 +159,7 @@ struct Shell {
           "invoke <name> |\nreplicate <name> [batch] | cluster <name> <n> | "
           "show <name> | set <name> <text> |\nappend <name> <text> | "
           "put <name> | putcluster <name> | refresh <name> | stats |\n"
+          "inspect [addr] | frontier [path] | top [addr] [frames] | "
           "metrics [prom] | trace | quit\n");
       return true;
     }
@@ -164,6 +201,56 @@ struct Shell {
         std::printf("  (%llu older events dropped)\n",
                     static_cast<unsigned long long>(tracer.dropped()));
       }
+      return true;
+    }
+    if (cmd == "inspect") {
+      // No argument: this site's own replica tables. With an address:
+      // pull a remote site's report through the kInspect method.
+      std::string addr;
+      in >> addr;
+      if (auto report = Report(addr)) {
+        std::fputs(core::ToText(*report).c_str(), stdout);
+      }
+      return true;
+    }
+    if (cmd == "frontier") {
+      std::string path;
+      in >> path;
+      const std::string dot = core::FrontierDot(site->Inspect());
+      if (path.empty()) {
+        std::fputs(dot.c_str(), stdout);
+      } else if (WriteFile(path, dot)) {
+        std::printf("frontier graph written to %s\n", path.c_str());
+      }
+      return true;
+    }
+    if (cmd == "top") {
+      // Live watch: redraw the report every second. `top <addr>` watches a
+      // remote site; a trailing number bounds the frames (default 5).
+      std::string addr;
+      int frames = 5;
+      std::string word;
+      while (in >> word) {
+        // All-digits = frame count; anything else (host:port — which stoi
+        // would happily misparse by its leading octet) is the address.
+        if (word.find_first_not_of("0123456789") == std::string::npos) {
+          frames = std::max(1, std::stoi(word));
+        } else {
+          addr = word;
+        }
+      }
+      for (int frame = 0; frame < frames; ++frame) {
+        auto report = Report(addr);
+        if (!report) break;
+        std::printf("\033[2J\033[H");  // clear + home, like top(1)
+        std::printf("obiwan top — frame %d/%d\n", frame + 1, frames);
+        std::fputs(core::ToText(*report).c_str(), stdout);
+        std::fflush(stdout);
+        if (frame + 1 < frames) {
+          std::this_thread::sleep_for(std::chrono::seconds(1));
+        }
+      }
+      std::printf("\n");
       return true;
     }
 
@@ -293,6 +380,9 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   std::string registry;
   std::string flight_dump;
+  std::string frontier_path;
+  std::string inspect_addr;
+  bool do_inspect = false;
   bool dump_stats = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -304,6 +394,13 @@ int main(int argc, char** argv) {
       registry = argv[++i];
     } else if (arg == "--stats") {
       dump_stats = true;
+    } else if (arg == "--inspect") {
+      // One-shot: print the replication-state report as JSON and exit. An
+      // optional following address (not another flag) selects a remote site.
+      do_inspect = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') inspect_addr = argv[++i];
+    } else if (arg == "--frontier" && i + 1 < argc) {
+      frontier_path = argv[++i];
     } else if (arg == "--flight-dump" && i + 1 < argc) {
       // Arm the post-mortem hook (first failed request dumps) and also write
       // the flight buffers on clean exit, so every session leaves a timeline.
@@ -311,8 +408,10 @@ int main(int argc, char** argv) {
       obiwan::FlightRecorder::Global().ArmDumpOnFailure(flight_dump);
     } else {
       std::fprintf(stderr,
-                   "usage: obiwan_shell [--site N] [--port P] [--registry "
-                   "host:port] [--stats] [--flight-dump trace.json]\n");
+                   "usage: obiwan_shell [--site N] [--port P] "
+                   "[--registry host:port] [--stats]\n"
+                   "                    [--inspect [host:port]] "
+                   "[--frontier out.dot] [--flight-dump trace.json]\n");
       return 2;
     }
   }
@@ -327,8 +426,33 @@ int main(int argc, char** argv) {
   if (!site->Start().ok()) return 1;
   site->UseRegistry(registry.empty() ? site->address() : registry);
 
+  if (do_inspect) {
+    core::InspectReport report;
+    if (inspect_addr.empty()) {
+      report = site->Inspect();
+    } else {
+      auto remote = site->InspectRemote(inspect_addr);
+      if (!remote.ok()) {
+        std::fprintf(stderr, "inspect %s failed: %s\n", inspect_addr.c_str(),
+                     remote.status().ToString().c_str());
+        return 1;
+      }
+      report = *remote;
+    }
+    std::printf("%s\n", core::ToJson(report).c_str());
+    if (!frontier_path.empty() &&
+        !Shell::WriteFile(frontier_path, core::FrontierDot(report))) {
+      return 1;
+    }
+    return 0;
+  }
+
   Shell shell(std::move(site));
   shell.Run();
+  if (!frontier_path.empty() &&
+      Shell::WriteFile(frontier_path, core::FrontierDot(shell.site->Inspect()))) {
+    std::printf("frontier graph written to %s\n", frontier_path.c_str());
+  }
   if (dump_stats) {
     std::printf("\n--- metrics ---\n");
     std::fputs(obiwan::MetricsRegistry::Default().DumpText().c_str(), stdout);

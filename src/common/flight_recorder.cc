@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/log.h"
 #include "common/trace_collector.h"
@@ -20,39 +21,55 @@ FlightRecorder::FlightRecorder() {
   }
 }
 
-void FlightRecorder::Register(SiteId site, Tracer* tracer) {
+void FlightRecorder::Register(SiteId site, Tracer* tracer, StateProvider state) {
   if (tracer == nullptr) return;
   std::lock_guard lock(mutex_);
-  tracers_.emplace_back(site, tracer);
+  tracers_.push_back(Entry{site, tracer, std::move(state)});
 }
 
 void FlightRecorder::Unregister(Tracer* tracer) {
   std::lock_guard lock(mutex_);
   tracers_.erase(std::remove_if(tracers_.begin(), tracers_.end(),
-                                [&](const auto& e) { return e.second == tracer; }),
+                                [&](const Entry& e) { return e.tracer == tracer; }),
                  tracers_.end());
 }
 
-std::string FlightRecorder::ChromeTraceJson() const {
+std::string FlightRecorder::RenderLocked() const {
   TraceCollector collector;
-  std::lock_guard lock(mutex_);
-  for (const auto& [site, tracer] : tracers_) {
-    (void)site;
-    collector.Attach(tracer);
+  std::vector<std::pair<std::string, std::string>> other_data;
+  for (const Entry& e : tracers_) {
+    collector.Attach(e.tracer);
+    if (e.state) {
+      other_data.emplace_back("site " + std::to_string(e.site) + " state",
+                              e.state());
+    }
   }
-  // Tracer snapshots take only the tracer's own stripe locks; holding the
-  // registry mutex across the render keeps Unregister from racing us.
-  return collector.ChromeTraceJson();
+  // Tracer snapshots take only the tracer's own stripe locks, and state
+  // providers take their site's lock; holding the registry mutex across the
+  // render keeps Unregister from racing us. (No site ever triggers a dump
+  // while holding its own lock, so the FR-mutex -> site-lock order here
+  // cannot invert.)
+  return obiwan::ChromeTraceJson(collector.MergedSpans(),
+                                 collector.MergedEvents(), other_data);
+}
+
+std::string FlightRecorder::ChromeTraceJson() const {
+  std::lock_guard lock(mutex_);
+  return RenderLocked();
 }
 
 Status FlightRecorder::WriteDump(const std::string& path) const {
-  TraceCollector collector;
-  std::lock_guard lock(mutex_);
-  for (const auto& [site, tracer] : tracers_) {
-    (void)site;
-    collector.Attach(tracer);
+  std::string json;
+  {
+    std::lock_guard lock(mutex_);
+    json = RenderLocked();
   }
-  return collector.WriteChromeTrace(path);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return InternalError("cannot open trace file: " + path);
+  out << json;
+  out.flush();
+  if (!out) return InternalError("failed writing trace file: " + path);
+  return Status::Ok();
 }
 
 void FlightRecorder::ArmDumpOnFailure(std::string path) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -35,9 +36,16 @@ class FlightRecorder {
  public:
   static FlightRecorder& Global();
 
-  // Sites register their flight tracer for their lifetime; the tracer must
-  // stay valid until Unregister.
-  void Register(SiteId site, Tracer* tracer);
+  // Optional per-site state summary, rendered into every dump's "otherData"
+  // next to the spans, so a post-mortem shows *what the site held* at failure
+  // time, not just what it was doing. Must return valid JSON; runs at dump
+  // time on the dumping thread (so it may take the site's own lock, but the
+  // site must never trigger a dump while holding that lock).
+  using StateProvider = std::function<std::string()>;
+
+  // Sites register their flight tracer for their lifetime; the tracer (and
+  // the state provider's captures) must stay valid until Unregister.
+  void Register(SiteId site, Tracer* tracer, StateProvider state = {});
   void Unregister(Tracer* tracer);
 
   // Merged Chrome trace JSON over every registered flight buffer.
@@ -59,10 +67,19 @@ class FlightRecorder {
   }
 
  private:
+  struct Entry {
+    SiteId site;
+    Tracer* tracer;
+    StateProvider state;
+  };
+
   FlightRecorder();
 
+  // Render spans + state summaries; call with mutex_ held.
+  std::string RenderLocked() const;
+
   mutable std::mutex mutex_;
-  std::vector<std::pair<SiteId, Tracer*>> tracers_;
+  std::vector<Entry> tracers_;
   std::string dump_path_;
   std::atomic<std::uint64_t> failures_{0};
 };

@@ -101,13 +101,24 @@ class ChromeWriter {
     Append(std::move(out));
   }
 
-  std::string Finish() const {
+  std::string Finish(
+      const std::vector<std::pair<std::string, std::string>>& other_data)
+      const {
     std::string out = "{\"traceEvents\":[";
     for (std::size_t i = 0; i < events_.size(); ++i) {
       if (i != 0) out += ",\n";
       out += events_[i];
     }
-    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    out += "]";
+    if (!other_data.empty()) {
+      out += ",\"otherData\":{";
+      for (std::size_t i = 0; i < other_data.size(); ++i) {
+        if (i != 0) out += ",";
+        out += JsonString(other_data[i].first) + ":" + other_data[i].second;
+      }
+      out += "}";
+    }
+    out += ",\"displayTimeUnit\":\"ms\"}\n";
     return out;
   }
 
@@ -176,6 +187,12 @@ Status TraceCollector::WriteChromeTrace(const std::string& path) const {
 
 std::string ChromeTraceJson(std::vector<Span> spans,
                             std::vector<TraceEvent> events) {
+  return ChromeTraceJson(std::move(spans), std::move(events), {});
+}
+
+std::string ChromeTraceJson(
+    std::vector<Span> spans, std::vector<TraceEvent> events,
+    const std::vector<std::pair<std::string, std::string>>& other_data) {
   std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
     return a.begin != b.begin ? a.begin < b.begin : a.id < b.id;
   });
@@ -266,7 +283,7 @@ std::string ChromeTraceJson(std::vector<Span> spans,
                                   : std::string("untraced"));
   }
 
-  return writer.Finish();
+  return writer.Finish(other_data);
 }
 
 }  // namespace obiwan

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -53,5 +54,12 @@ class TraceCollector {
 // collector and the flight recorder both go through this).
 std::string ChromeTraceJson(std::vector<Span> spans,
                             std::vector<TraceEvent> events);
+
+// Same, with extra entries for the file's top-level "otherData" object —
+// (key, raw JSON value) pairs, e.g. a site's replica-table summary embedded
+// in a flight-recorder dump. The value string must already be valid JSON.
+std::string ChromeTraceJson(
+    std::vector<Span> spans, std::vector<TraceEvent> events,
+    const std::vector<std::pair<std::string, std::string>>& other_data);
 
 }  // namespace obiwan

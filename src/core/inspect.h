@@ -1,0 +1,207 @@
+// Replication-state introspection: the structured report a site produces
+// about its own replica tables, and the exporters that render it.
+//
+// The paper's mechanism is a *wavefront*: per-object proxy-in/proxy-out
+// pairs advancing through an object graph as the application touches it
+// (§2.1-2.2). The report makes that wavefront observable — per object: role
+// (master / replica), local vs. highest-known master version, staleness in
+// versions and in virtual-time age since the last synchronisation, payload
+// size, serve/fetch counts and the outgoing reference topology; per
+// proxy-in: lease countdown and cluster membership.
+//
+// The same report serializes over obiwan_wire (so any site can pull a remote
+// site's view through the kInspect RMI method), renders as JSON or text, and
+// feeds the frontier exporters: a DOT / JSON graph that distinguishes
+// replicated objects from the unresolved proxy-out frontier — a direct
+// visualization of the paper's Figure-5-style incremental expansion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "net/transport.h"
+#include "wire/codec.h"
+
+namespace obiwan::core {
+
+// One outgoing reference field of an inspected object.
+struct InspectEdge {
+  ObjectId to;             // referenced object
+  bool proxy = false;      // true: unresolved proxy-out — a frontier edge
+  std::string class_name;  // target's class
+};
+
+// One row of the replica table (masters and replicas alike).
+struct InspectEntry {
+  ObjectId id;
+  bool master = false;  // role; false = replica
+  std::string class_name;
+  std::uint64_t local_version = 0;
+  // Replicas: the highest master version this site has heard of (from gets,
+  // put acks and versioned invalidations). Masters: same as local_version.
+  std::uint64_t known_master_version = 0;
+  bool stale = false;
+  bool in_cluster = false;
+  // known_master_version - local_version, saturating; an invalidation whose
+  // version was unknown still counts as >= 1.
+  std::uint64_t staleness_versions = 0;
+  // Virtual-time age: now - last sync (replicas) / now - last accepted
+  // update (masters), on the site's clock.
+  Nanos age = 0;
+  std::uint64_t payload_bytes = 0;  // encoded value-field bytes
+  // Masters: gets served / puts accepted. Replicas: fetches applied
+  // (faults + refreshes + pushes) / puts shipped.
+  std::uint64_t faults = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t holders = 0;  // downstream replica holders
+  std::vector<InspectEdge> edges;
+};
+
+// One provider-side proxy-in handle.
+struct InspectPin {
+  ProxyId pin;
+  ObjectId target;
+  bool cluster = false;
+  bool anchored = false;       // name-server binds never expire
+  std::uint64_t members = 0;   // cluster pins only
+  Nanos lease_remaining = -1;  // -1 = not leased
+};
+
+struct InspectReport {
+  SiteId site = kInvalidSite;
+  net::Address address;
+  Nanos now = 0;  // site clock at the instant of the report
+  std::uint64_t masters = 0;
+  std::uint64_t replicas = 0;
+  std::uint64_t proxy_ins = 0;
+  // Distinct objects just beyond the replicated graph: targets of unresolved
+  // proxy-outs, i.e. where the incremental wavefront currently stops.
+  std::uint64_t frontier = 0;
+  std::vector<InspectEntry> objects;
+  std::vector<InspectPin> pins;
+};
+
+// Renderers. ToJson is the schema tools/ci.sh validates; ToText is the
+// shell's human-readable table.
+std::string ToJson(const InspectReport& report);
+std::string ToText(const InspectReport& report);
+
+// Replication-frontier graph derived from a (local or remote) report:
+// Graphviz DOT — replicated objects as solid boxes (masters filled), the
+// proxy-out frontier as dashed ellipses, proxy edges dashed — and a
+// nodes/edges JSON twin.
+std::string FrontierDot(const InspectReport& report);
+std::string FrontierJson(const InspectReport& report);
+
+}  // namespace obiwan::core
+
+namespace obiwan::wire {
+
+template <>
+struct Codec<core::InspectEdge> {
+  static void Encode(Writer& w, const core::InspectEdge& v) {
+    wire::Encode(w, v.to);
+    w.Bool(v.proxy);
+    w.String(v.class_name);
+  }
+  static core::InspectEdge Decode(Reader& r) {
+    core::InspectEdge v;
+    v.to = wire::Decode<ObjectId>(r);
+    v.proxy = r.Bool();
+    v.class_name = r.String();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::InspectEntry> {
+  static void Encode(Writer& w, const core::InspectEntry& v) {
+    wire::Encode(w, v.id);
+    w.Bool(v.master);
+    w.String(v.class_name);
+    w.Varint(v.local_version);
+    w.Varint(v.known_master_version);
+    w.Bool(v.stale);
+    w.Bool(v.in_cluster);
+    w.Varint(v.staleness_versions);
+    w.Svarint(v.age);
+    w.Varint(v.payload_bytes);
+    w.Varint(v.faults);
+    w.Varint(v.puts);
+    w.Varint(v.holders);
+    wire::Encode(w, v.edges);
+  }
+  static core::InspectEntry Decode(Reader& r) {
+    core::InspectEntry v;
+    v.id = wire::Decode<ObjectId>(r);
+    v.master = r.Bool();
+    v.class_name = r.String();
+    v.local_version = r.Varint();
+    v.known_master_version = r.Varint();
+    v.stale = r.Bool();
+    v.in_cluster = r.Bool();
+    v.staleness_versions = r.Varint();
+    v.age = r.Svarint();
+    v.payload_bytes = r.Varint();
+    v.faults = r.Varint();
+    v.puts = r.Varint();
+    v.holders = r.Varint();
+    v.edges = wire::Decode<std::vector<core::InspectEdge>>(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::InspectPin> {
+  static void Encode(Writer& w, const core::InspectPin& v) {
+    wire::Encode(w, v.pin);
+    wire::Encode(w, v.target);
+    w.Bool(v.cluster);
+    w.Bool(v.anchored);
+    w.Varint(v.members);
+    w.Svarint(v.lease_remaining);
+  }
+  static core::InspectPin Decode(Reader& r) {
+    core::InspectPin v;
+    v.pin = wire::Decode<ProxyId>(r);
+    v.target = wire::Decode<ObjectId>(r);
+    v.cluster = r.Bool();
+    v.anchored = r.Bool();
+    v.members = r.Varint();
+    v.lease_remaining = r.Svarint();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::InspectReport> {
+  static void Encode(Writer& w, const core::InspectReport& v) {
+    w.Varint(v.site);
+    w.String(v.address);
+    w.Svarint(v.now);
+    w.Varint(v.masters);
+    w.Varint(v.replicas);
+    w.Varint(v.proxy_ins);
+    w.Varint(v.frontier);
+    wire::Encode(w, v.objects);
+    wire::Encode(w, v.pins);
+  }
+  static core::InspectReport Decode(Reader& r) {
+    core::InspectReport v;
+    v.site = static_cast<SiteId>(r.Varint());
+    v.address = r.String();
+    v.now = r.Svarint();
+    v.masters = r.Varint();
+    v.replicas = r.Varint();
+    v.proxy_ins = r.Varint();
+    v.frontier = r.Varint();
+    v.objects = wire::Decode<std::vector<core::InspectEntry>>(r);
+    v.pins = wire::Decode<std::vector<core::InspectPin>>(r);
+    return v;
+  }
+};
+
+}  // namespace obiwan::wire

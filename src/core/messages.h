@@ -115,6 +115,10 @@ struct PutReply {
 
 struct InvalidateRequest {
   std::vector<ObjectId> ids;
+  // Master versions aligned with `ids` (empty from peers that predate the
+  // introspection layer). A holder records these so staleness is measurable
+  // in versions, not just as a boolean.
+  std::vector<std::uint64_t> versions;
 };
 
 }  // namespace obiwan::core
@@ -323,10 +327,13 @@ template <>
 struct Codec<core::InvalidateRequest> {
   static void Encode(Writer& w, const core::InvalidateRequest& v) {
     wire::Encode(w, v.ids);
+    wire::Encode(w, v.versions);
   }
   static core::InvalidateRequest Decode(Reader& r) {
     core::InvalidateRequest v;
     v.ids = wire::Decode<std::vector<ObjectId>>(r);
+    // The version vector was appended later; accept the old short form.
+    if (!r.AtEnd()) v.versions = wire::Decode<std::vector<std::uint64_t>>(r);
     return v;
   }
 };

@@ -10,6 +10,53 @@ namespace obiwan::core {
 
 namespace {
 const std::vector<net::Address> kNoHolders;
+
+// The single source of truth tying each SiteStats field to its registry
+// series. The constructor, Raw() and View() all walk this table, so the
+// legacy struct stays a thin adapter over the registry and a new counter is
+// one struct field plus one row here.
+struct SiteCounterSpec {
+  Counter* SiteTelemetry::*handle;
+  std::uint64_t SiteStats::*field;
+  const char* name;
+  const char* help;
+};
+
+constexpr SiteCounterSpec kSiteCounters[] = {
+    {&SiteTelemetry::object_faults, &SiteStats::object_faults,
+     "obiwan_site_object_faults_total", "Proxy-out demands that went remote"},
+    {&SiteTelemetry::gets_sent, &SiteStats::gets_sent,
+     "obiwan_site_gets_sent_total", "Get requests issued"},
+    {&SiteTelemetry::gets_served, &SiteStats::gets_served,
+     "obiwan_site_gets_served_total", "Get requests served"},
+    {&SiteTelemetry::puts_sent, &SiteStats::puts_sent,
+     "obiwan_site_puts_sent_total", "Put/commit batches sent"},
+    {&SiteTelemetry::puts_served, &SiteStats::puts_served,
+     "obiwan_site_puts_served_total", "Put/commit batches served"},
+    {&SiteTelemetry::calls_sent, &SiteStats::calls_sent,
+     "obiwan_site_calls_sent_total", "Remote invocations issued"},
+    {&SiteTelemetry::calls_served, &SiteStats::calls_served,
+     "obiwan_site_calls_served_total", "Remote invocations served"},
+    {&SiteTelemetry::proxy_ins_created, &SiteStats::proxy_ins_created,
+     "obiwan_site_proxy_ins_created_total", "Provider-side proxy-ins created"},
+    {&SiteTelemetry::proxy_outs_created, &SiteStats::proxy_outs_created,
+     "obiwan_site_proxy_outs_created_total", "Demander-side proxy-outs created"},
+    {&SiteTelemetry::replicas_created, &SiteStats::replicas_created,
+     "obiwan_site_replicas_created_total", "Replicas materialized"},
+    {&SiteTelemetry::objects_served, &SiteStats::objects_served,
+     "obiwan_site_objects_served_total", "Objects serialized into get replies"},
+    {&SiteTelemetry::invalidations_sent, &SiteStats::invalidations_sent,
+     "obiwan_site_invalidations_sent_total", "Invalidations/pushes delivered"},
+    {&SiteTelemetry::invalidations_received, &SiteStats::invalidations_received,
+     "obiwan_site_invalidations_received_total", "Invalidations/pushes received"},
+    {&SiteTelemetry::replication_bytes_in, &SiteStats::replication_bytes_in,
+     "obiwan_site_replication_bytes_in_total",
+     "Replica state bytes received (get replies, puts served)"},
+    {&SiteTelemetry::replication_bytes_out, &SiteStats::replication_bytes_out,
+     "obiwan_site_replication_bytes_out_total",
+     "Replica state bytes shipped (get replies served, puts sent)"},
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -20,38 +67,40 @@ SiteTelemetry::SiteTelemetry(SiteId site, MetricsRegistry& metrics) {
   const MetricLabels labels{
       {"site", std::to_string(site)},
       {"inst", std::to_string(MetricsRegistry::NextInstance())}};
-  auto counter = [&](std::string_view name, std::string_view help) {
-    return &metrics.GetCounter(name, labels, help);
-  };
-  object_faults = counter("obiwan_site_object_faults_total",
-                          "Proxy-out demands that went remote");
-  gets_sent = counter("obiwan_site_gets_sent_total", "Get requests issued");
-  gets_served = counter("obiwan_site_gets_served_total", "Get requests served");
-  puts_sent = counter("obiwan_site_puts_sent_total", "Put/commit batches sent");
-  puts_served = counter("obiwan_site_puts_served_total", "Put/commit batches served");
-  calls_sent = counter("obiwan_site_calls_sent_total", "Remote invocations issued");
-  calls_served = counter("obiwan_site_calls_served_total", "Remote invocations served");
-  proxy_ins_created =
-      counter("obiwan_site_proxy_ins_created_total", "Provider-side proxy-ins created");
-  proxy_outs_created =
-      counter("obiwan_site_proxy_outs_created_total", "Demander-side proxy-outs created");
-  replicas_created =
-      counter("obiwan_site_replicas_created_total", "Replicas materialized");
-  objects_served =
-      counter("obiwan_site_objects_served_total", "Objects serialized into get replies");
-  invalidations_sent =
-      counter("obiwan_site_invalidations_sent_total", "Invalidations/pushes delivered");
-  invalidations_received = counter("obiwan_site_invalidations_received_total",
-                                   "Invalidations/pushes received");
-  replication_bytes_in = counter("obiwan_site_replication_bytes_in_total",
-                                 "Replica state bytes received (get replies, puts served)");
-  replication_bytes_out = counter("obiwan_site_replication_bytes_out_total",
-                                  "Replica state bytes shipped (get replies served, puts sent)");
+  for (const SiteCounterSpec& spec : kSiteCounters) {
+    this->*spec.handle = &metrics.GetCounter(spec.name, labels, spec.help);
+  }
 
   masters = &metrics.GetGauge("obiwan_site_masters", labels, "Masters owned");
   replicas = &metrics.GetGauge("obiwan_site_replicas", labels, "Replicas held");
   proxy_ins = &metrics.GetGauge("obiwan_site_proxy_ins", labels,
                                 "Live provider-side proxy-ins");
+
+  auto role_gauge = [&](const char* role) {
+    MetricLabels role_labels = labels;
+    role_labels.emplace_back("role", role);
+    return &metrics.GetGauge("obiwan_objects", role_labels,
+                             "Objects by replication role (frontier = "
+                             "distinct unresolved proxy-out targets)");
+  };
+  objects_master = role_gauge("master");
+  objects_replica = role_gauge("replica");
+  objects_frontier = role_gauge("frontier");
+
+  auto staleness_gauge = [&](const char* agg) {
+    MetricLabels agg_labels = labels;
+    agg_labels.emplace_back("agg", agg);
+    return &metrics.GetGauge("obiwan_replica_staleness_versions", agg_labels,
+                             "Replica lag behind the known master version");
+  };
+  staleness_max = staleness_gauge("max");
+  staleness_p95 = staleness_gauge("p95");
+  staleness_age_max =
+      &metrics.GetGauge("obiwan_replica_staleness_age_ns", labels,
+                        "Oldest replica's time since last sync (site clock)");
+  leases_expiring =
+      &metrics.GetGauge("obiwan_leases_expiring", labels,
+                        "Leased proxy-ins within half a lease of expiry");
 
   auto op = [&](const char* name) {
     MetricLabels op_labels = labels;
@@ -71,25 +120,14 @@ SiteTelemetry::SiteTelemetry(SiteId site, MetricsRegistry& metrics) {
   op_release = op("release");
   op_renew = op("renew");
   op_notify = op("notify");
+  op_inspect = op("inspect");
 }
 
 SiteStats SiteTelemetry::Raw() const {
   SiteStats s;
-  s.object_faults = object_faults->Value();
-  s.gets_sent = gets_sent->Value();
-  s.gets_served = gets_served->Value();
-  s.puts_sent = puts_sent->Value();
-  s.puts_served = puts_served->Value();
-  s.calls_sent = calls_sent->Value();
-  s.calls_served = calls_served->Value();
-  s.proxy_ins_created = proxy_ins_created->Value();
-  s.proxy_outs_created = proxy_outs_created->Value();
-  s.replicas_created = replicas_created->Value();
-  s.objects_served = objects_served->Value();
-  s.invalidations_sent = invalidations_sent->Value();
-  s.invalidations_received = invalidations_received->Value();
-  s.replication_bytes_in = replication_bytes_in->Value();
-  s.replication_bytes_out = replication_bytes_out->Value();
+  for (const SiteCounterSpec& spec : kSiteCounters) {
+    s.*spec.field = (this->*spec.handle)->Value();
+  }
   return s;
 }
 
@@ -99,24 +137,9 @@ SiteStats SiteTelemetry::View() const {
   };
   const SiteStats raw = Raw();
   SiteStats s;
-  s.object_faults = since(raw.object_faults, baseline.object_faults);
-  s.gets_sent = since(raw.gets_sent, baseline.gets_sent);
-  s.gets_served = since(raw.gets_served, baseline.gets_served);
-  s.puts_sent = since(raw.puts_sent, baseline.puts_sent);
-  s.puts_served = since(raw.puts_served, baseline.puts_served);
-  s.calls_sent = since(raw.calls_sent, baseline.calls_sent);
-  s.calls_served = since(raw.calls_served, baseline.calls_served);
-  s.proxy_ins_created = since(raw.proxy_ins_created, baseline.proxy_ins_created);
-  s.proxy_outs_created = since(raw.proxy_outs_created, baseline.proxy_outs_created);
-  s.replicas_created = since(raw.replicas_created, baseline.replicas_created);
-  s.objects_served = since(raw.objects_served, baseline.objects_served);
-  s.invalidations_sent = since(raw.invalidations_sent, baseline.invalidations_sent);
-  s.invalidations_received =
-      since(raw.invalidations_received, baseline.invalidations_received);
-  s.replication_bytes_in =
-      since(raw.replication_bytes_in, baseline.replication_bytes_in);
-  s.replication_bytes_out =
-      since(raw.replication_bytes_out, baseline.replication_bytes_out);
+  for (const SiteCounterSpec& spec : kSiteCounters) {
+    s.*spec.field = since(raw.*spec.field, baseline.*spec.field);
+  }
   return s;
 }
 
@@ -140,7 +163,11 @@ Site::Site(SiteId id, std::unique_ptr<net::Transport> transport, Clock& clock)
       policy_(std::make_unique<NoConsistency>()),
       telemetry_(id, MetricsRegistry::Default()) {
   sinks_.SetFlight(&flight_);
-  FlightRecorder::Global().Register(id_, &flight_);
+  // The state provider lets flight dumps embed this site's replica-table
+  // summary next to its spans; it runs at dump time on the dumping thread
+  // (the site lock is never held across a dump trigger).
+  FlightRecorder::Global().Register(id_, &flight_,
+                                    [this] { return ReplicaSummaryJson(); });
   dispatcher_.SetClock(&clock_);
   dispatcher_.SetTrace(&sinks_, id_);
   dispatcher_.RegisterService(rmi::MessageKind::kCall, this);
@@ -153,6 +180,7 @@ Site::Site(SiteId id, std::unique_ptr<net::Transport> transport, Clock& clock)
   dispatcher_.RegisterService(rmi::MessageKind::kRenew, this);
   dispatcher_.RegisterService(rmi::MessageKind::kPush, this);
   dispatcher_.RegisterService(rmi::MessageKind::kCallBatch, this);
+  dispatcher_.RegisterService(rmi::MessageKind::kInspect, this);
 }
 
 Site::~Site() {
@@ -176,6 +204,13 @@ Site::~Site() {
   telemetry_.masters->Set(0);
   telemetry_.replicas->Set(0);
   telemetry_.proxy_ins->Set(0);
+  telemetry_.objects_master->Set(0);
+  telemetry_.objects_replica->Set(0);
+  telemetry_.objects_frontier->Set(0);
+  telemetry_.staleness_max->Set(0);
+  telemetry_.staleness_p95->Set(0);
+  telemetry_.staleness_age_max->Set(0);
+  telemetry_.leases_expiring->Set(0);
 }
 
 Status Site::Start() {
@@ -297,7 +332,8 @@ ObjectId Site::EnsureId(const std::shared_ptr<Shareable>& obj) {
   auto it = ptr_ids_.find(obj.get());
   if (it != ptr_ids_.end()) return it->second;
   ObjectId oid{id_, next_object_++};
-  masters_.emplace(oid, MasterEntry{obj, /*version=*/1, {}, {}});
+  masters_.emplace(oid, MasterEntry{obj, /*version=*/1, {}, {},
+                                    /*last_update=*/clock_.Now()});
   ptr_ids_.emplace(obj.get(), oid);
   telemetry_.masters->Set(static_cast<std::int64_t>(masters_.size()));
   return oid;
@@ -362,6 +398,7 @@ std::size_t Site::CollectExpiredProxyIns() {
     }
   }
   telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
+  UpdateReplicationGauges();
   return collected;
 }
 
@@ -553,11 +590,15 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
         holders.push_back(from);
       }
     }
+    if (auto mit = masters_.find(oid); mit != masters_.end()) {
+      ++mit->second.gets_served;
+    }
 
     telemetry_.objects_served->Inc();
     reply.objects.push_back(std::move(rec));
   }
 
+  UpdateReplicationGauges();
   return reply;
 }
 
@@ -623,7 +664,12 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
 
   PutReply reply;
   reply.new_versions.reserve(targets.size());
-  std::vector<std::pair<net::Address, ObjectId>> invalidations;
+  struct Invalidation {
+    net::Address addr;
+    ObjectId id;
+    std::uint64_t version;  // master version the holder is now behind
+  };
+  std::vector<Invalidation> invalidations;
 
   for (Target& t : targets) {
     if (t.item->read_only) {
@@ -664,13 +710,24 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
 
     ++*t.meta.version;
     reply.new_versions.push_back(*t.meta.version);
+    if (auto mit = masters_.find(t.item->id); mit != masters_.end()) {
+      ++mit->second.puts_accepted;
+      mit->second.last_update = clock_.Now();
+    } else if (auto rit = replicas_.find(t.item->id); rit != replicas_.end()) {
+      // A re-exported replica accepted a downstream put: it is now ahead of
+      // what it last synchronised from its own master.
+      rit->second.known_master_version =
+          std::max(rit->second.known_master_version, *t.meta.version);
+    }
 
     for (net::Address addr : policy_->AfterPut(
              MasterView{t.item->id, *t.meta.version, *t.meta.policy_state,
                         t.meta.holders != nullptr ? *t.meta.holders : kNoHolders},
              PutView{from, t.item->id, t.item->base_version,
                      AsView(t.item->policy_data)})) {
-      if (addr != from) invalidations.emplace_back(std::move(addr), t.item->id);
+      if (addr != from) {
+        invalidations.push_back({std::move(addr), t.item->id, *t.meta.version});
+      }
     }
   }
 
@@ -679,20 +736,21 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
   // updates-dissemination policy the new state itself is pushed instead of
   // an invalidation.
   const bool push = policy_->PushUpdatesOnPut();
-  for (const auto& [addr, oid] : invalidations) {
+  for (const auto& [addr, oid, version] : invalidations) {
     wire::Writer body;
     if (push) {
       Result<ObjectRecord> record = BuildPushRecord(oid);
       if (!record.ok()) continue;
       wire::Encode(body, *record);
     } else {
-      wire::Encode(body, InvalidateRequest{{oid}});
+      wire::Encode(body, InvalidateRequest{{oid}, {version}});
     }
     notifications.emplace_back(
         addr, rmi::WrapRequest(
                   push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
                   body, TraceContext::Current(), DeadlineBudget()));
   }
+  UpdateReplicationGauges();
 
   lock.unlock();
   for (const auto& [addr, frame] : notifications) {
@@ -734,6 +792,52 @@ Result<ObjectRecord> Site::BuildPushRecord(ObjectId id) {
     }
   }
   return rec;
+}
+
+Status Site::MarkMasterUpdated(ObjectId id) {
+  // A master mutated in place (through a local reference, not a put). Bump
+  // its version and notify holders exactly as an accepted put would, so
+  // remote replicas become observably stale. Notifications are best-effort:
+  // an unreachable holder just stays stale until its next refresh.
+  std::vector<std::pair<net::Address, Bytes>> notifications;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = masters_.find(id);
+    if (it == masters_.end()) {
+      return NotFoundError("not a master here: " + ToString(id));
+    }
+    MasterEntry& e = it->second;
+    ++e.version;
+    e.last_update = clock_.Now();
+    Trace("update", ToString(id) + " now at version " + std::to_string(e.version));
+
+    const bool push = policy_->PushUpdatesOnPut();
+    for (const net::Address& addr : e.holders) {
+      wire::Writer body;
+      if (push) {
+        Result<ObjectRecord> record = BuildPushRecord(id);
+        if (!record.ok()) continue;
+        wire::Encode(body, *record);
+      } else {
+        wire::Encode(body, InvalidateRequest{{id}, {e.version}});
+      }
+      notifications.emplace_back(
+          addr, rmi::WrapRequest(
+                    push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
+                    body, TraceContext::Current(), DeadlineBudget()));
+    }
+    UpdateReplicationGauges();
+  }
+  for (const auto& [addr, frame] : notifications) {
+    Result<Bytes> r = TimedRequest(telemetry_.op_notify, addr, AsView(frame));
+    if (r.ok()) {
+      telemetry_.invalidations_sent->Inc();
+    } else {
+      OBIWAN_LOG(kDebug) << "update notification to " << addr
+                         << " failed: " << r.status();
+    }
+  }
+  return Status::Ok();
 }
 
 Status Site::ServePush(const ObjectRecord& record) {
@@ -792,14 +896,26 @@ Status Site::ServeInvalidate(const InvalidateRequest& req) {
   ReplicaUpdateCallback callback;
   {
     std::lock_guard lock(mutex_);
-    for (ObjectId oid : req.ids) {
+    for (std::size_t i = 0; i < req.ids.size(); ++i) {
+      ObjectId oid = req.ids[i];
       if (auto it = replicas_.find(oid); it != replicas_.end()) {
-        it->second.stale = true;
+        ReplicaEntry& e = it->second;
+        e.stale = true;
+        if (i < req.versions.size()) {
+          e.known_master_version =
+              std::max(e.known_master_version, req.versions[i]);
+        } else {
+          // Unversioned invalidation (older peer): the master moved at least
+          // one version past what we hold.
+          e.known_master_version =
+              std::max(e.known_master_version, e.version + 1);
+        }
         telemetry_.invalidations_received->Inc();
         Trace("invalidate", ToString(oid) + " marked stale");
         invalidated.push_back(oid);
       }
     }
+    UpdateReplicationGauges();
     callback = on_replica_update_;
   }
   if (callback) {
@@ -885,12 +1001,19 @@ Result<std::shared_ptr<Shareable>> Site::DemandThrough(
   GetRequest req{descriptor.pin, root, mode, refresh};
   wire::Writer body;
   wire::Encode(body, req);
-  OBIWAN_ASSIGN_OR_RETURN(
-      Bytes reply_bytes,
+  Result<Bytes> reply_result =
       TimedRequest(telemetry_.op_get, descriptor.provider,
                    AsView(rmi::WrapRequest(rmi::MessageKind::kGet, body,
                                            TraceContext::Current(),
-                                           DeadlineBudget()))));
+                                           DeadlineBudget())));
+  if (!reply_result.ok()) {
+    // The provider is unreachable: held replicas keep ageing, and the gauges
+    // must show it even though nothing was materialized.
+    std::lock_guard lock(mutex_);
+    UpdateReplicationGauges();
+    return reply_result.status();
+  }
+  Bytes reply_bytes = std::move(*reply_result);
   telemetry_.replication_bytes_in->Inc(reply_bytes.size());
   wire::Reader r(AsView(reply_bytes));
   GetReply reply = wire::Decode<GetReply>(r);
@@ -938,6 +1061,9 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
         OBIWAN_RETURN_IF_ERROR(e.obj->obiwan_class().DecodeFields(*e.obj, fields));
         e.version = rec.version;
         e.stale = false;
+        e.known_master_version = std::max(e.known_master_version, rec.version);
+        e.last_sync = clock_.Now();
+        ++e.sync_count;
         policy_->OnReplicaData(ReplicaView{rec.id, e.version, e.policy_state},
                                AsView(rec.policy_data));
         fresh[i] = true;
@@ -963,6 +1089,9 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
     ReplicaEntry entry;
     entry.obj = obj;
     entry.version = rec.version;
+    entry.known_master_version = rec.version;
+    entry.last_sync = clock_.Now();
+    entry.sync_count = 1;
     if (rec.provider.valid()) {
       entry.provider = rec.provider;
     } else if (cluster_provider != nullptr) {
@@ -980,6 +1109,7 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
     telemetry_.replicas_created->Inc();
   }
   telemetry_.replicas->Set(static_cast<std::int64_t>(replicas_.size()));
+  UpdateReplicationGauges();
 
   if (reply.cluster) {
     cluster_members_[reply.cluster->provider.pin] = reply.cluster->members;
@@ -1125,10 +1255,17 @@ Status Site::PutItems(const ProxyDescriptor& provider,
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (ids[i].second) continue;  // read-only items do not advance
     if (auto it = replicas_.find(ids[i].first); it != replicas_.end()) {
-      it->second.version = reply.new_versions[i];
-      it->second.stale = false;
+      ReplicaEntry& e = it->second;
+      e.version = reply.new_versions[i];
+      e.stale = false;
+      // An accepted put is a synchronisation: we now hold exactly the master
+      // state our write produced.
+      e.known_master_version = std::max(e.known_master_version, e.version);
+      e.last_sync = clock_.Now();
+      ++e.put_count;
     }
   }
+  UpdateReplicationGauges();
   return Status::Ok();
 }
 
@@ -1298,6 +1435,7 @@ std::size_t Site::EvictIdleReplicas() {
     }
   }
   telemetry_.replicas->Set(static_cast<std::int64_t>(replicas_.size()));
+  UpdateReplicationGauges();
   return evicted;
 }
 
@@ -1476,6 +1614,12 @@ Result<Bytes> Site::Handle(rmi::MessageKind kind, const net::Address& from,
         results.push_back(ServeCall(call));  // items fail independently
       }
       return rmi::EncodeBatchReply(results);
+    }
+    case rmi::MessageKind::kInspect: {
+      InspectReport report = Inspect();
+      wire::Writer w;
+      wire::Encode(w, report);
+      return std::move(w).Take();
     }
     default:
       return UnimplementedError("site cannot handle this message kind");

@@ -38,6 +38,7 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "core/consistency.h"
+#include "core/inspect.h"
 #include "core/messages.h"
 #include "core/mode.h"
 #include "core/proxy.h"
@@ -74,8 +75,11 @@ struct SiteStats {
 // Pre-resolved metric handles for one site. All protocol counters live in the
 // metrics registry (labels: site id + a per-instance sequence number, so two
 // sites with the same id in one process never share a series); SiteStats is a
-// view computed from these counters against a movable baseline, which is what
-// keeps ResetStats() cheap while the registry stays monotonic.
+// thin adapter computed from these counters against a movable baseline, which
+// is what keeps ResetStats() cheap while the registry stays monotonic. The
+// field-to-series mapping lives in one descriptor table (site.cc) that the
+// constructor, Raw() and View() all walk, so adding a counter means adding
+// one struct field and one table row.
 struct SiteTelemetry {
   SiteTelemetry(SiteId site, MetricsRegistry& metrics);
 
@@ -101,6 +105,22 @@ struct SiteTelemetry {
   Gauge* replicas;
   Gauge* proxy_ins;
 
+  // Replication-state gauges (refreshed by Site::UpdateReplicationGauges on
+  // the fault/put/push/invalidate paths and on every Inspect):
+  // obiwan_objects{role=master|replica|frontier} — topology by role, where
+  // "frontier" counts distinct targets of unresolved proxy-outs;
+  // obiwan_replica_staleness_versions{agg=max|p95} — how far behind the
+  // replicas are in master versions; obiwan_replica_staleness_age_ns — the
+  // oldest replica's time since last sync; obiwan_leases_expiring — leased
+  // proxy-ins within half a lease of expiry.
+  Gauge* objects_master;
+  Gauge* objects_replica;
+  Gauge* objects_frontier;
+  Gauge* staleness_max;
+  Gauge* staleness_p95;
+  Gauge* staleness_age_max;
+  Gauge* leases_expiring;
+
   // Client-side RPC telemetry, one bundle per operation the site issues.
   struct Op {
     Histogram* latency = nullptr;  // round-trip time on the site's clock
@@ -114,7 +134,8 @@ struct SiteTelemetry {
   Op op_ping;
   Op op_release;
   Op op_renew;
-  Op op_notify;  // invalidations / pushes fanned out after a put
+  Op op_notify;   // invalidations / pushes fanned out after a put
+  Op op_inspect;  // remote replication-state pulls
 
   // Current counter values as the legacy struct (no baseline applied).
   SiteStats Raw() const;
@@ -172,6 +193,13 @@ class Site final : public rmi::Service {
 
   // Master version counter (bumped on every accepted put).
   Result<std::uint64_t> MasterVersion(ObjectId id) const;
+
+  // A master was edited *locally* (not through a put): bump its version and
+  // notify every registered holder, exactly like the after-put fanout —
+  // a versioned invalidation, or the new state itself under an
+  // updates-dissemination policy. Best-effort: an unreachable holder simply
+  // misses the notification and discovers the staleness on its next sync.
+  Status MarkMasterUpdated(ObjectId id);
 
   // --- replication (demander side) -------------------------------------------
 
@@ -300,6 +328,23 @@ class Site final : public rmi::Service {
   SiteStats stats() const { return telemetry_.View(); }
   void ResetStats() { telemetry_.Rebaseline(); }
 
+  // Structured report over the replica tables: per-object role, versions,
+  // staleness (versions + virtual-time age), payload bytes, serve counts and
+  // reference topology; per-proxy-in lease countdown. Also refreshes the
+  // replication gauges. (Non-const for the same reason as SaveSnapshot:
+  // locally referenced objects that never needed an id are assigned one so
+  // the report's edge set is complete.)
+  InspectReport Inspect();
+
+  // Pull a remote site's report through the kInspect RMI method — a
+  // fleet-wide view from any endpoint.
+  Result<InspectReport> InspectRemote(const net::Address& to);
+
+  // Compact JSON summary of the replica table (bounded size), embedded in
+  // flight-recorder dumps so post-mortems capture replication state at
+  // failure time, not just spans.
+  std::string ReplicaSummaryJson();
+
   // Attach an event tracer (shared across sites to get a merged timeline).
   // Pass nullptr to detach; the tracer must outlive the site while attached.
   // Independent of the always-on flight recorder ring below.
@@ -329,7 +374,8 @@ class Site final : public rmi::Service {
   // Local object (master or replica) by id, if present.
   Result<std::shared_ptr<Shareable>> FindLocal(ObjectId id) const;
 
-  // rmi::Service: handles kCall/kPing/kGet/kPut/kRelease/kInvalidate/kCommit.
+  // rmi::Service: handles kCall/kPing/kGet/kPut/kRelease/kInvalidate/
+  // kCommit/kRenew/kPush/kCallBatch/kInspect.
   Result<Bytes> Handle(rmi::MessageKind kind, const net::Address& from,
                        wire::Reader& body) override;
 
@@ -339,6 +385,11 @@ class Site final : public rmi::Service {
     std::uint64_t version = 1;
     Bytes policy_state;
     std::vector<net::Address> holders;
+    // Introspection: when the master last accepted an update (site clock;
+    // creation time until the first put) and how often it was served.
+    Nanos last_update = 0;
+    std::uint64_t gets_served = 0;
+    std::uint64_t puts_accepted = 0;
   };
 
   struct ProxyInEntry {
@@ -359,6 +410,13 @@ class Site final : public rmi::Service {
     // Re-exporting makes this site a provider for the replica; track the
     // downstream holders just like a master's.
     std::vector<net::Address> holders;
+    // Introspection: the highest master version this site has heard of (via
+    // gets, put acks and versioned invalidations), when this replica last
+    // synchronised with its master (site clock), and its sync/put traffic.
+    std::uint64_t known_master_version = 0;
+    Nanos last_sync = 0;
+    std::uint64_t sync_count = 0;
+    std::uint64_t put_count = 0;
   };
 
   // Assign an ObjectId to a local object if it does not have one, making it
@@ -403,6 +461,20 @@ class Site final : public rmi::Service {
   // Refresh the masters/replicas/proxy-ins gauges from the table sizes.
   // Call with the site lock held after any table mutation.
   void SyncGauges();
+
+  // Recompute the staleness/topology gauges (obiwan_objects{role},
+  // obiwan_replica_staleness_versions max/p95, staleness age, expiring
+  // leases) from the tables. O(objects + refs); called with the lock held
+  // from the fault/put/push/invalidate paths and from Inspect, not per
+  // proxy creation.
+  void UpdateReplicationGauges();
+
+  // Inspect() body; call with the site lock held.
+  InspectReport InspectLocked();
+
+  // Assign ids to every locally referenced object (fixed point), so reports
+  // and snapshots cover the complete edge set. Lock held.
+  void EnsureGraphIds();
 
   // Snapshot restore body; the public wrapper clears all tables on failure.
   Status LoadSnapshotLocked(BytesView snapshot);

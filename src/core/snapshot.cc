@@ -45,22 +45,8 @@ Result<Bytes> Site::SaveSnapshot() {
   };
 
   // Pre-pass: assign ids to every locally referenced object so the master
-  // table is complete before anything is written. Minting an id inserts a
-  // new master whose own refs must be visited too — iterate to a fixed point.
-  std::size_t known = 0;
-  while (known != masters_.size()) {
-    known = masters_.size();
-    std::vector<std::shared_ptr<Shareable>> objects;
-    objects.reserve(masters_.size() + replicas_.size());
-    for (const auto& [oid, entry] : masters_) objects.push_back(entry.obj);
-    for (const auto& [oid, entry] : replicas_) objects.push_back(entry.obj);
-    for (const auto& obj : objects) {
-      for (const RefFieldInfo& rf : obj->obiwan_class().refs()) {
-        RefBase& rb = rf.get(*obj);
-        if (rb.IsLocal()) (void)EnsureId(rb.local());
-      }
-    }
-  }
+  // table is complete before anything is written.
+  EnsureGraphIds();
 
   std::vector<ObjectId> master_ids;
   master_ids.reserve(masters_.size());
@@ -74,6 +60,9 @@ Result<Bytes> Site::SaveSnapshot() {
     w.Varint(entry.version);
     w.Blob(AsView(entry.policy_state));
     wire::Encode(w, entry.holders);
+    w.Svarint(entry.last_update);
+    w.Varint(entry.gets_served);
+    w.Varint(entry.puts_accepted);
     wire::Writer fields;
     entry.obj->obiwan_class().EncodeFields(*entry.obj, fields);
     w.Blob(AsView(fields.data()));
@@ -91,6 +80,10 @@ Result<Bytes> Site::SaveSnapshot() {
     w.Bool(entry.in_cluster);
     w.Bool(entry.stale);
     wire::Encode(w, entry.holders);
+    w.Varint(entry.known_master_version);
+    w.Svarint(entry.last_sync);
+    w.Varint(entry.sync_count);
+    w.Varint(entry.put_count);
     wire::Writer fields;
     entry.obj->obiwan_class().EncodeFields(*entry.obj, fields);
     w.Blob(AsView(fields.data()));
@@ -132,6 +125,7 @@ Status Site::LoadSnapshot(BytesView snapshot) {
     next_pin_ = 1;
   }
   SyncGauges();
+  UpdateReplicationGauges();
   return status;
 }
 
@@ -208,6 +202,9 @@ Status Site::LoadSnapshotLocked(BytesView snapshot) {
     entry.version = r.Varint();
     entry.policy_state = r.Blob();
     entry.holders = wire::Decode<std::vector<net::Address>>(r);
+    entry.last_update = r.Svarint();
+    entry.gets_served = r.Varint();
+    entry.puts_accepted = r.Varint();
     OBIWAN_ASSIGN_OR_RETURN(entry.obj, decode_object(class_name, oid));
     masters_.emplace(oid, std::move(entry));
   }
@@ -227,6 +224,10 @@ Status Site::LoadSnapshotLocked(BytesView snapshot) {
     entry.in_cluster = r.Bool();
     entry.stale = r.Bool();
     entry.holders = wire::Decode<std::vector<net::Address>>(r);
+    entry.known_master_version = r.Varint();
+    entry.last_sync = r.Svarint();
+    entry.sync_count = r.Varint();
+    entry.put_count = r.Varint();
     OBIWAN_ASSIGN_OR_RETURN(entry.obj, decode_object(class_name, oid));
     replicas_.emplace(oid, std::move(entry));
   }

@@ -25,6 +25,7 @@
 #include "consistency/write_invalidate.h"
 #include "core/batch.h"
 #include "core/consistency.h"
+#include "core/inspect.h"
 #include "core/messages.h"
 #include "core/mode.h"
 #include "core/prefetcher.h"

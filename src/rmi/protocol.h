@@ -41,9 +41,10 @@ enum class MessageKind : std::uint8_t {
   kRenew = 12,      // renew a proxy-in lease (distributed GC)
   kPush = 13,       // master pushes updated state to replica holders
   kCallBatch = 14,  // several invocations in one round trip
+  kInspect = 15,    // pull the serving site's replication-state report
 };
 
-inline constexpr std::uint8_t kMaxMessageKind = 14;
+inline constexpr std::uint8_t kMaxMessageKind = 15;
 
 // High bit of the kind byte: a trace header follows the kind.
 inline constexpr std::uint8_t kTraceFlag = 0x80;
@@ -73,6 +74,7 @@ inline std::string_view KindName(MessageKind kind) {
     case MessageKind::kRenew: return "renew";
     case MessageKind::kPush: return "push";
     case MessageKind::kCallBatch: return "call_batch";
+    case MessageKind::kInspect: return "inspect";
   }
   return "unknown";
 }

@@ -134,4 +134,67 @@ print(f"BENCH_tcp_pool.json: transport OK (connects_per_call="
       f"{t['connects_per_call']:.3f}, pool_hits={t['pool_hits']})")
 EOF
 
-echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace ==="
+# The replication observatory, exercised over real TCP: a provider shell
+# hosts a bound chain, a demander shell replicates part of it and writes its
+# frontier DOT on exit, and a third one-shot `--inspect` pulls the provider's
+# report through the kInspect RMI method as JSON. The JSON must match the
+# report schema and the DOT must parse as a well-formed frontier digraph.
+echo "=== [shell] replication observatory: inspect JSON + frontier DOT ==="
+SHELL_BIN=./build-ci/examples/obiwan_shell
+OBS_JSON="$(pwd)/build-ci/observatory.json"
+OBS_DOT="$(pwd)/build-ci/observatory.dot"
+rm -f "$OBS_JSON" "$OBS_DOT"
+{ printf 'host-registry\nbind todo inspect-me 3\n'; sleep 6; } | \
+    "$SHELL_BIN" --site 1 --port 7461 >/dev/null &
+OBS_SERVER=$!
+sleep 1
+printf 'lookup todo\nreplicate todo 2\ninspect\nfrontier\n' | \
+    "$SHELL_BIN" --site 2 --port 7462 --registry 127.0.0.1:7461 \
+    --frontier "$OBS_DOT" >/dev/null
+"$SHELL_BIN" --site 3 --port 7463 --registry 127.0.0.1:7461 \
+    --inspect 127.0.0.1:7461 > "$OBS_JSON"
+kill "$OBS_SERVER" 2>/dev/null || true
+wait "$OBS_SERVER" 2>/dev/null || true
+python3 - "$OBS_JSON" "$OBS_DOT" <<'EOF'
+import json, re, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("site", "address", "now_ns", "summary", "objects", "pins"):
+    assert key in doc, f"missing key: {key}"
+for key in ("masters", "replicas", "proxy_ins", "frontier"):
+    assert key in doc["summary"], f"summary missing {key}"
+assert doc["site"] == 1, f"inspected the wrong site: {doc['site']}"
+assert doc["summary"]["masters"] == 3, f"bad master count: {doc['summary']}"
+assert len(doc["objects"]) == doc["summary"]["masters"], "missing object rows"
+for o in doc["objects"]:
+    for key in ("id", "role", "class", "version", "known_master_version",
+                "stale", "staleness_versions", "age_ns", "payload_bytes",
+                "faults", "puts", "holders", "edges"):
+        assert key in o, f"object row missing {key}: {o}"
+    assert o["role"] in ("master", "replica"), f"bad role: {o['role']}"
+    for e in o["edges"]:
+        for key in ("to", "proxy", "class"):
+            assert key in e, f"edge missing {key}: {e}"
+assert any(o["holders"] > 0 for o in doc["objects"]), \
+    "no master records the demander as a holder"
+assert any(p["anchored"] for p in doc["pins"]), "bind pin not anchored"
+for p in doc["pins"]:
+    for key in ("pin", "target", "cluster", "anchored", "members",
+                "lease_remaining_ns"):
+        assert key in p, f"pin row missing {key}: {p}"
+
+with open(sys.argv[2]) as f:
+    dot = f.read()
+assert dot.startswith("digraph obiwan_frontier {"), "bad DOT header"
+assert dot.count("{") == dot.count("}"), "unbalanced braces in DOT"
+nodes = re.findall(r'^\s*"[^"]+"\s*\[', dot, re.M)
+edges = re.findall(r'^\s*"[^"]+"\s*->\s*"[^"]+"', dot, re.M)
+assert nodes, "no nodes in frontier DOT"
+assert edges, "no edges in frontier DOT"
+assert "style=dashed" in dot, "frontier DOT lost its dashed frontier styling"
+print(f"observatory: inspect JSON schema OK ({len(doc['objects'])} objects, "
+      f"{len(doc['pins'])} pins), frontier DOT OK "
+      f"({len(nodes)} nodes, {len(edges)} edges)")
+EOF
+
+echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace + observatory ==="
