@@ -11,8 +11,15 @@
 //   on-demand     incremental replication; faults during an outage fail.
 //   prefetch      replicate-ahead before the outage window (PrefetchAll),
 //                 then work entirely locally.
+//
+// A second experiment quantifies the update-fanout path under partial
+// disconnection: put latency with one of N holders unreachable (bounded by
+// one notification deadline thanks to the parallel fanout), and the time for
+// the reconnecting holder to reconverge through the provider's notification
+// retry queue plus the demander-side resync daemon.
 #include <benchmark/benchmark.h>
 
+#include "core/resync.h"
 #include "harness.h"
 
 namespace obiwan::bench {
@@ -108,6 +115,102 @@ RunResult RunReplicated(bool prefetch) {
   return result;
 }
 
+// Disconnection-reconvergence: returns the "reconvergence" BENCH JSON
+// section.
+std::string Reconvergence() {
+  constexpr int kHolders = 8;
+  constexpr int kUpdatesDuringWindow = 3;
+  constexpr Nanos kNotifyDeadline = 2 * kSecond;
+
+  VirtualClock clock;
+  net::SimNetwork network(clock, net::kPaperWireless);
+  core::Site office(1, network.CreateEndpoint("office"), clock);
+  (void)office.Start();
+  office.HostRegistry();
+  office.SetConsistencyPolicy(std::make_unique<consistency::WriteInvalidate>());
+  office.SetRequestDeadline(kNotifyDeadline);
+  // The experiment measures the retry-queue path; never unregister the
+  // disconnected holder.
+  office.SetHolderFailureThreshold(0);
+
+  auto agenda = std::make_shared<test::Node>();
+  agenda->payload.resize(64);
+  (void)office.Bind("agenda", agenda);
+  const ObjectId oid = office.Export(agenda);
+
+  std::vector<std::unique_ptr<core::Site>> devices;
+  std::vector<core::Ref<test::Node>> refs;
+  for (int i = 0; i < kHolders; ++i) {
+    const std::string name = "dev" + std::to_string(i);
+    auto site = std::make_unique<core::Site>(
+        static_cast<SiteId>(10 + i), network.CreateEndpoint(name), clock);
+    (void)site->Start();
+    site->UseRegistry("office");
+    auto remote = site->Lookup<test::Node>("agenda");
+    refs.push_back(*remote->Replicate(core::ReplicationMode::Incremental(1)));
+    devices.push_back(std::move(site));
+  }
+
+  core::Site& writer = *devices.back();
+  core::Ref<test::Node>& writer_ref = refs.back();
+
+  // Baseline: everyone reachable.
+  writer_ref.get()->SetValue(1);
+  Stopwatch all_up(clock);
+  (void)writer.Put(writer_ref);
+  const double put_ms_all_up = all_up.ElapsedMs();
+
+  // dev0 falls into a black hole: notifications to it burn the full
+  // deadline instead of failing fast.
+  network.SetLinkParams("office", "dev0",
+                        net::LinkParams{.latency = 10 * kNotifyDeadline});
+  writer_ref.get()->SetValue(2);
+  Stopwatch one_down(clock);
+  (void)writer.Put(writer_ref);
+  const double put_ms_one_down = one_down.ElapsedMs();
+
+  // More updates land while dev0 is gone; the retry queue keeps (and
+  // supersedes) the undelivered invalidation.
+  for (int i = 0; i < kUpdatesDuringWindow - 1; ++i) {
+    writer_ref.get()->SetValue(3 + i);
+    (void)writer.Put(writer_ref);
+  }
+
+  // Reconnect: the provider drains its retry queue, the device's resync
+  // daemon refreshes the now-stale replica.
+  network.SetLinkParams("office", "dev0", net::kPaperWireless);
+  core::ResyncDaemon daemon(*devices.front());
+  Stopwatch reconverge(clock);
+  const std::uint64_t master_version = *office.MasterVersion(oid);
+  while (*devices.front()->ReplicaVersion(refs.front()) != master_version) {
+    clock.Sleep(100 * kMilli);
+    (void)office.PumpNotifyRetries();
+    (void)daemon.PumpOnce();
+  }
+  const double reconverge_ms = reconverge.ElapsedMs();
+
+  std::printf("\n=== disconnection reconvergence (%d holders, 1 down) ===\n",
+              kHolders);
+  std::printf("put all-up %.3f ms | put one-down %.3f ms (deadline %.0f ms) | "
+              "reconverge %.3f ms | resync refreshes %llu\n",
+              put_ms_all_up, put_ms_one_down,
+              static_cast<double>(kNotifyDeadline) / kMilli, reconverge_ms,
+              static_cast<unsigned long long>(daemon.refreshed_total()));
+
+  std::string out = "\"reconvergence\":{";
+  out += "\"holders\":" + std::to_string(kHolders);
+  out += ",\"disconnected\":1";
+  out += ",\"updates_during_window\":" + std::to_string(kUpdatesDuringWindow);
+  out += ",\"put_ms_all_up\":" + JsonNumber(put_ms_all_up);
+  out += ",\"put_ms_one_down\":" + JsonNumber(put_ms_one_down);
+  out += ",\"notify_deadline_ms\":" +
+         JsonNumber(static_cast<double>(kNotifyDeadline) / kMilli);
+  out += ",\"reconverge_ms\":" + JsonNumber(reconverge_ms);
+  out += ",\"resync_refreshes\":" + std::to_string(daemon.refreshed_total());
+  out += "}";
+  return out;
+}
+
 void PaperSeries() {
   std::printf("=== A4: disconnected operation on a flaky wireless link ===\n");
   std::printf("(%d accesses over a %d-entry agenda; link down 20%% of the time)\n",
@@ -126,6 +229,22 @@ void PaperSeries() {
               "fault during an outage;\nprefetch completes everything and, after "
               "the initial transfer, pays ~zero per access\n(the footnote-3 "
               "claim).\n");
+
+  const std::string reconvergence = Reconvergence();
+
+  // xs indexes the strategies: 0 pure-RMI, 1 on-demand, 2 prefetch.
+  std::vector<Series> series;
+  series.push_back({"time_ms", {rmi.ms, on_demand.ms, prefetch.ms}});
+  series.push_back({"completed",
+                    {static_cast<double>(rmi.completed),
+                     static_cast<double>(on_demand.completed),
+                     static_cast<double>(prefetch.completed)}});
+  series.push_back({"failed",
+                    {static_cast<double>(rmi.failed),
+                     static_cast<double>(on_demand.failed),
+                     static_cast<double>(prefetch.failed)}});
+  WriteBenchJson("mobility", "strategy_index", {0, 1, 2}, series,
+                 {reconvergence});
 }
 
 }  // namespace

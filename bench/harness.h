@@ -224,9 +224,13 @@ inline std::string JsonHistogramSummary(const HistogramSummary& s) {
 //    "transport":{"requests":...,"connects":...,"pool_hits":...,
 //                 "timeouts":...,"connects_per_call":...},
 //    "metrics":{"counters":[...],"gauges":[...],"histograms":[...]}}
+// `extra_sections` is spliced verbatim before "metrics" — each entry must be
+// a complete `"key":value` fragment (e.g. the mobility bench's
+// "reconvergence" experiment summary).
 inline void WriteBenchJson(const std::string& name, const std::string& x_label,
                            const std::vector<long>& xs,
-                           const std::vector<Series>& series) {
+                           const std::vector<Series>& series,
+                           const std::vector<std::string>& extra_sections = {}) {
   auto& reg = MetricsRegistry::Default();
   std::string out = "{\"bench\":\"" + name + "\",\"x_label\":\"" + x_label +
                     "\",\"xs\":[";
@@ -260,7 +264,11 @@ inline void WriteBenchJson(const std::string& name, const std::string& x_label,
          ",\"pool_hits\":" + std::to_string(transport.pool_hits) +
          ",\"timeouts\":" + std::to_string(transport.timeouts) +
          ",\"connects_per_call\":" + JsonNumber(transport.connects_per_call);
-  out += "},\"metrics\":" + reg.DumpJson() + "}\n";
+  out += "}";
+  for (const std::string& section : extra_sections) {
+    out += "," + section;
+  }
+  out += ",\"metrics\":" + reg.DumpJson() + "}\n";
 
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -1,0 +1,60 @@
+#include "core/fanout.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace obiwan::core {
+
+FanoutPool::FanoutPool(Clock& clock, std::size_t width)
+    : clock_(clock), width_(width == 0 ? 1 : width) {}
+
+void FanoutPool::set_width(std::size_t width) {
+  width_.store(width == 0 ? 1 : width, std::memory_order_relaxed);
+}
+
+std::vector<Status> FanoutPool::RunAll(std::vector<Task> tasks) {
+  std::vector<Status> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  const std::size_t width = this->width();
+  if (tasks.size() == 1 || width == 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) results[i] = tasks[i]();
+    return results;
+  }
+
+  if (clock_.Jumpable()) {
+    // Modeled parallelism: one availability instant per virtual worker.
+    // Each task starts at the earliest-free worker's instant and pushes
+    // that worker's availability to its own finish time; the batch as a
+    // whole ends at the latest finish (the makespan).
+    const Nanos start = clock_.Now();
+    std::vector<Nanos> avail(std::min(width, tasks.size()), start);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      auto it = std::min_element(avail.begin(), avail.end());
+      clock_.JumpTo(*it);
+      results[i] = tasks[i]();
+      *it = clock_.Now();
+    }
+    clock_.JumpTo(*std::max_element(avail.begin(), avail.end()));
+    return results;
+  }
+
+  // Real clock: bounded burst of threads, caller included.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      results[i] = tasks[i]();
+    }
+  };
+  const std::size_t spawned = std::min(width, tasks.size()) - 1;
+  std::vector<std::thread> threads;
+  threads.reserve(spawned);
+  for (std::size_t i = 0; i < spawned; ++i) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+}  // namespace obiwan::core

@@ -1,0 +1,53 @@
+// Bounded parallel fanout for holder notifications.
+//
+// When a put (or MarkMasterUpdated) must notify N holders, running the
+// notifications sequentially means one unreachable PDA stalls the writer for
+// a full deadline *per holder*. FanoutPool runs a batch of independent tasks
+// with bounded parallelism so the batch costs roughly the makespan of the
+// slowest task, not the sum.
+//
+// Determinism: simulations drive a VirtualClock shared by every site, and
+// that clock is not thread-safe — real threads would race on it and destroy
+// reproducibility. When the clock is Jumpable() the pool instead *models*
+// bounded-width parallelism on the calling thread: it keeps one availability
+// instant per virtual worker, runs each task sequentially starting at its
+// worker's free instant (greedy earliest-free scheduling, the same policy a
+// real pool's task queue yields), and finally jumps the clock to the overall
+// makespan. Against a real clock (TCP deployments) the pool spawns an
+// actual bounded burst of threads, the caller's thread being one of them.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace obiwan::core {
+
+class FanoutPool {
+ public:
+  using Task = std::function<Status()>;
+
+  static constexpr std::size_t kDefaultWidth = 8;
+
+  explicit FanoutPool(Clock& clock, std::size_t width = kDefaultWidth);
+
+  // Maximum number of tasks in flight at once; 0 is clamped to 1.
+  void set_width(std::size_t width);
+  std::size_t width() const { return width_.load(std::memory_order_relaxed); }
+
+  // Runs every task and returns their statuses in task order. Blocks until
+  // the whole batch is done. Tasks must be independently executable: they
+  // may run on other threads (real clocks) and must not assume any ordering
+  // between each other.
+  std::vector<Status> RunAll(std::vector<Task> tasks);
+
+ private:
+  Clock& clock_;
+  std::atomic<std::size_t> width_;
+};
+
+}  // namespace obiwan::core

@@ -1,0 +1,193 @@
+// Reconnect resync: the demander-side half of the update fanout.
+//
+// The provider notifies holders when a master moves (invalidations or
+// pushes, site.cc), but a device that was disconnected during the window
+// only learns it is stale on reconnect — and until something re-Refreshes
+// the replica, it stays stale. The paper's mobility story (§2.1) makes that
+// the normal case, not the error path: ResyncDaemon watches the site's
+// ReplicaUpdateCallback and stale set, and re-Refreshes stale replicas in
+// the background with exponential backoff, so a reconnecting device
+// converges without application code.
+//
+// Deterministic tests and simulations drive PumpOnce() by hand; real
+// deployments call Start() for a background worker polling on
+// Options::poll_interval (woken early by invalidations).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "core/site.h"
+
+namespace obiwan::core {
+
+class ResyncDaemon {
+ public:
+  struct Options {
+    Nanos initial_backoff = 500 * kMilli;  // after the first failed refresh
+    Nanos max_backoff = 30 * kSecond;
+    Nanos poll_interval = 1 * kSecond;  // background worker idle period
+  };
+
+  // Two constructors instead of `Options options = {}`: GCC rejects a
+  // default argument that needs Options' member initializers before the end
+  // of the enclosing class.
+  explicit ResyncDaemon(Site& site) : ResyncDaemon(site, Options{}) {}
+
+  ResyncDaemon(Site& site, Options options) : site_(site), options_(options) {
+    const MetricLabels labels{
+        {"site", std::to_string(site.id())},
+        {"inst", std::to_string(MetricsRegistry::NextInstance())}};
+    auto& metrics = MetricsRegistry::Default();
+    refreshes_ = &metrics.GetCounter("obiwan_resync_refreshes_total", labels,
+                                     "Stale replicas refreshed by the resync daemon");
+    failures_ = &metrics.GetCounter("obiwan_resync_failures_total", labels,
+                                    "Resync refresh attempts that failed");
+    pending_gauge_ = &metrics.GetGauge("obiwan_resync_pending", labels,
+                                       "Stale replicas awaiting resync");
+    chained_ = site_.SetReplicaUpdateCallback(
+        [this](ObjectId id, bool stale) { OnReplicaUpdate(id, stale); });
+  }
+
+  ~ResyncDaemon() {
+    // Detach from the site before stopping, so no notification served after
+    // this point can call into a daemon that is going away.
+    site_.SetReplicaUpdateCallback(std::move(chained_));
+    Stop();
+    pending_gauge_->Set(0);
+  }
+
+  ResyncDaemon(const ResyncDaemon&) = delete;
+  ResyncDaemon& operator=(const ResyncDaemon&) = delete;
+
+  // One deterministic sweep: merge the site's stale set (replicas that were
+  // already stale when the daemon attached, or restored from a snapshot,
+  // never fired the callback), refresh everything whose backoff deadline
+  // has passed, and reschedule failures. Returns the number refreshed.
+  std::size_t PumpOnce() {
+    const Nanos now = site_.clock().Now();
+    std::vector<ObjectId> due;
+    {
+      const std::vector<ObjectId> stale = site_.StaleReplicaIds();
+      std::lock_guard lock(mutex_);
+      for (ObjectId id : stale) {
+        pending_.try_emplace(id, Entry{now, options_.initial_backoff});
+      }
+      for (const auto& [id, entry] : pending_) {
+        if (entry.next_attempt <= now) due.push_back(id);
+      }
+    }
+
+    std::size_t refreshed = 0;
+    for (ObjectId id : due) {
+      // The refresh runs without the daemon lock: it is a network round
+      // trip, and its invalidation/push traffic may re-enter the callback.
+      Status status = site_.RefreshReplica(id);
+      std::lock_guard lock(mutex_);
+      auto it = pending_.find(id);
+      if (status.ok()) {
+        refreshes_->Inc();
+        ++refreshed;
+        if (it != pending_.end()) pending_.erase(it);
+      } else if (status.code() == StatusCode::kNotFound) {
+        // Evicted or restored away; nothing left to converge.
+        if (it != pending_.end()) pending_.erase(it);
+      } else {
+        failures_->Inc();
+        if (it != pending_.end()) {
+          it->second.next_attempt = site_.clock().Now() + it->second.backoff;
+          it->second.backoff =
+              std::min(it->second.backoff * 2, options_.max_backoff);
+        }
+      }
+      pending_gauge_->Set(static_cast<std::int64_t>(pending_.size()));
+    }
+    return refreshed;
+  }
+
+  // Background worker for real clocks; invalidations wake it early.
+  void Start() {
+    {
+      std::lock_guard lock(mutex_);
+      if (running_) return;
+      running_ = true;
+    }
+    worker_ = std::thread([this] { RunLoop(); });
+  }
+
+  void Stop() {
+    {
+      std::lock_guard lock(mutex_);
+      if (!running_) return;
+      running_ = false;
+    }
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return pending_.size();
+  }
+  std::uint64_t refreshed_total() const { return refreshes_->Value(); }
+
+ private:
+  struct Entry {
+    Nanos next_attempt = 0;
+    Nanos backoff = 0;
+  };
+
+  void OnReplicaUpdate(ObjectId id, bool stale) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stale) {
+        const Nanos now = site_.clock().Now();
+        auto [it, inserted] =
+            pending_.try_emplace(id, Entry{now, options_.initial_backoff});
+        if (!inserted) {
+          // A fresh invalidation means the provider is reachable again;
+          // retry now instead of waiting out an old backoff.
+          it->second.next_attempt = std::min(it->second.next_attempt, now);
+        }
+      } else {
+        // A push refreshed the replica in place; nothing left to do.
+        pending_.erase(id);
+      }
+      pending_gauge_->Set(static_cast<std::int64_t>(pending_.size()));
+    }
+    cv_.notify_all();
+    if (chained_) chained_(id, stale);
+  }
+
+  void RunLoop() {
+    std::unique_lock lock(mutex_);
+    while (running_) {
+      lock.unlock();
+      PumpOnce();
+      lock.lock();
+      if (!running_) break;
+      cv_.wait_for(lock, std::chrono::nanoseconds(options_.poll_interval));
+    }
+  }
+
+  Site& site_;
+  Options options_;
+  Counter* refreshes_;
+  Counter* failures_;
+  Gauge* pending_gauge_;
+  Site::ReplicaUpdateCallback chained_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<ObjectId, Entry, ObjectIdHash> pending_;
+  bool running_ = false;
+  std::thread worker_;
+};
+
+}  // namespace obiwan::core

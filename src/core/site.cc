@@ -55,6 +55,12 @@ constexpr SiteCounterSpec kSiteCounters[] = {
     {&SiteTelemetry::replication_bytes_out, &SiteStats::replication_bytes_out,
      "obiwan_site_replication_bytes_out_total",
      "Replica state bytes shipped (get replies served, puts sent)"},
+    {&SiteTelemetry::notify_retries, &SiteStats::notify_retries,
+     "obiwan_notify_retries_total",
+     "Queued holder notifications re-sent after backoff"},
+    {&SiteTelemetry::holders_dropped, &SiteStats::holders_dropped,
+     "obiwan_holders_dropped_total",
+     "Holders unregistered after consecutive notification failures"},
 };
 
 }  // namespace
@@ -101,6 +107,19 @@ SiteTelemetry::SiteTelemetry(SiteId site, MetricsRegistry& metrics) {
   leases_expiring =
       &metrics.GetGauge("obiwan_leases_expiring", labels,
                         "Leased proxy-ins within half a lease of expiry");
+
+  auto holder_gauge = [&](const char* state) {
+    MetricLabels state_labels = labels;
+    state_labels.emplace_back("state", state);
+    return &metrics.GetGauge("obiwan_holders", state_labels,
+                             "Registered holders by health (suspect = at "
+                             "least one consecutive notification failure)");
+  };
+  holders_active = holder_gauge("active");
+  holders_suspect = holder_gauge("suspect");
+  notify_retry_depth =
+      &metrics.GetGauge("obiwan_notify_retry_depth", labels,
+                        "Queued notifications awaiting their backoff deadline");
 
   auto op = [&](const char* name) {
     MetricLabels op_labels = labels;
@@ -161,7 +180,8 @@ Site::Site(SiteId id, std::unique_ptr<net::Transport> transport, Clock& clock)
       transport_(std::move(transport)),
       clock_(clock),
       policy_(std::make_unique<NoConsistency>()),
-      telemetry_(id, MetricsRegistry::Default()) {
+      telemetry_(id, MetricsRegistry::Default()),
+      fanout_(clock) {
   sinks_.SetFlight(&flight_);
   // The state provider lets flight dumps embed this site's replica-table
   // summary next to its spans; it runs at dump time on the dumping thread
@@ -211,6 +231,9 @@ Site::~Site() {
   telemetry_.staleness_p95->Set(0);
   telemetry_.staleness_age_max->Set(0);
   telemetry_.leases_expiring->Set(0);
+  telemetry_.holders_active->Set(0);
+  telemetry_.holders_suspect->Set(0);
+  telemetry_.notify_retry_depth->Set(0);
 }
 
 Status Site::Start() {
@@ -352,32 +375,42 @@ void Site::TouchPin(ProxyInEntry& entry) {
   }
 }
 
-ProxyId Site::NewProxyIn(ObjectId target) {
+ProxyId Site::NewProxyIn(ObjectId target, const net::Address* user) {
+  auto register_user = [&](ProxyInEntry& entry) {
+    if (user != nullptr && std::find(entry.users.begin(), entry.users.end(),
+                                     *user) == entry.users.end()) {
+      entry.users.push_back(*user);
+    }
+  };
   // Reuse an existing single-object proxy-in for the same target; repeated
   // gets of one object do not need distinct channels.
-  for (auto& [pin, entry] : proxy_ins_) {
-    if (!entry.cluster && entry.target == target) {
-      TouchPin(entry);
-      return pin;
-    }
+  if (auto it = pin_by_target_.find(target); it != pin_by_target_.end()) {
+    ProxyInEntry& entry = proxy_ins_.at(it->second);
+    TouchPin(entry);
+    register_user(entry);
+    return it->second;
   }
   ProxyId pin{id_, next_pin_++};
   auto [it, inserted] =
       proxy_ins_.emplace(pin, ProxyInEntry{target, {}, /*cluster=*/false, 0});
   (void)inserted;
+  pin_by_target_.emplace(target, pin);
   TouchPin(it->second);
+  register_user(it->second);
   telemetry_.proxy_ins_created->Inc();
   telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
   clock_.Sleep(proxy_export_cost_);
   return pin;
 }
 
-ProxyId Site::NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members) {
+ProxyId Site::NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members,
+                                const net::Address* user) {
   ProxyId pin{id_, next_pin_++};
   auto [it, inserted] = proxy_ins_.emplace(
       pin, ProxyInEntry{root, std::move(members), /*cluster=*/true, 0});
   (void)inserted;
   TouchPin(it->second);
+  if (user != nullptr) it->second.users.push_back(*user);
   telemetry_.proxy_ins_created->Inc();
   telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
   clock_.Sleep(proxy_export_cost_);
@@ -391,6 +424,10 @@ std::size_t Site::CollectExpiredProxyIns() {
   std::size_t collected = 0;
   for (auto it = proxy_ins_.begin(); it != proxy_ins_.end();) {
     if (it->second.expires_at != 0 && it->second.expires_at <= now) {
+      if (auto tit = pin_by_target_.find(it->second.target);
+          tit != pin_by_target_.end() && tit->second == it->first) {
+        pin_by_target_.erase(tit);
+      }
       it = proxy_ins_.erase(it);
       ++collected;
     } else {
@@ -530,7 +567,7 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
   GetReply reply;
   const bool shared_pair = req.mode.SharedProxyPair() && !req.refresh;
   if (shared_pair) {
-    ProxyId cpin = NewClusterProxyIn(batch_ids.front(), batch_ids);
+    ProxyId cpin = NewClusterProxyIn(batch_ids.front(), batch_ids, &from);
     reply.cluster = ClusterInfo{
         DescriptorFor(cpin, batch_ids.front(),
                       batch_objs.front()->obiwan_class().name()),
@@ -569,7 +606,8 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
           rec.refs.push_back(RefEntry::Inline(tid));
         } else {
           rec.refs.push_back(RefEntry::Proxy(DescriptorFor(
-              NewProxyIn(tid), tid, rb.local_raw()->obiwan_class().name())));
+              NewProxyIn(tid, &from), tid,
+              rb.local_raw()->obiwan_class().name())));
         }
       } else {
         // An unresolved proxy here: forward its descriptor so the demander
@@ -581,7 +619,7 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
     if (!req.refresh && !shared_pair) {
       // Incremental mode: the per-object proxy pair of §4.2, giving this
       // replica its individual put/refresh channel.
-      rec.provider = DescriptorFor(NewProxyIn(oid), oid, rec.class_name);
+      rec.provider = DescriptorFor(NewProxyIn(oid, &from), oid, rec.class_name);
     }
 
     if (meta.holders != nullptr) {
@@ -589,6 +627,9 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
       if (std::find(holders.begin(), holders.end(), from) == holders.end()) {
         holders.push_back(from);
       }
+      // A (re-)registering holder starts healthy: a get proves the device is
+      // back, even if it was dropped as unreachable earlier.
+      holder_health_[from].consecutive_failures = 0;
     }
     if (auto mit = masters_.find(oid); mit != masters_.end()) {
       ++mit->second.gets_served;
@@ -599,6 +640,7 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
   }
 
   UpdateReplicationGauges();
+  SyncHolderGauges();
   return reply;
 }
 
@@ -614,7 +656,7 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
   // Notifications (invalidations / pushes) are built under the lock but sent
   // after releasing it — network I/O under the site lock deadlocks when the
   // recipient is served by another thread of this process.
-  std::vector<std::pair<net::Address, Bytes>> notifications;
+  std::vector<OutboundNotify> outbound;
 
   std::unique_lock lock(mutex_);
   telemetry_.puts_served->Inc();
@@ -664,12 +706,12 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
 
   PutReply reply;
   reply.new_versions.reserve(targets.size());
-  struct Invalidation {
-    net::Address addr;
+  struct NotifyGroup {
     ObjectId id;
-    std::uint64_t version;  // master version the holder is now behind
+    std::uint64_t version;  // master version the holders are now behind
+    std::vector<net::Address> recipients;
   };
-  std::vector<Invalidation> invalidations;
+  std::vector<NotifyGroup> groups;
 
   for (Target& t : targets) {
     if (t.item->read_only) {
@@ -720,53 +762,53 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
           std::max(rit->second.known_master_version, *t.meta.version);
     }
 
+    NotifyGroup group{t.item->id, *t.meta.version, {}};
     for (net::Address addr : policy_->AfterPut(
              MasterView{t.item->id, *t.meta.version, *t.meta.policy_state,
                         t.meta.holders != nullptr ? *t.meta.holders : kNoHolders},
              PutView{from, t.item->id, t.item->base_version,
                      AsView(t.item->policy_data)})) {
-      if (addr != from) {
-        invalidations.push_back({std::move(addr), t.item->id, *t.meta.version});
-      }
+      if (addr != from) group.recipients.push_back(std::move(addr));
     }
+    if (!group.recipients.empty()) groups.push_back(std::move(group));
   }
 
-  // Best-effort notifications (an offline holder simply misses it; its next
-  // put will be caught by the policy's version check). Under an
-  // updates-dissemination policy the new state itself is pushed instead of
-  // an invalidation.
+  // Build each notification body *once per object* — under an
+  // updates-dissemination policy the new state itself travels instead of an
+  // invalidation — and share the wrapped frame across the object's holders.
+  // An unreachable holder is retried with backoff and eventually dropped
+  // (DispatchNotifications); its next put is still caught by the policy's
+  // version check.
   const bool push = policy_->PushUpdatesOnPut();
-  for (const auto& [addr, oid, version] : invalidations) {
+  for (NotifyGroup& group : groups) {
     wire::Writer body;
     if (push) {
-      Result<ObjectRecord> record = BuildPushRecord(oid);
+      Result<ObjectRecord> record = BuildPushRecord(group.id, group.recipients);
       if (!record.ok()) continue;
       wire::Encode(body, *record);
     } else {
-      wire::Encode(body, InvalidateRequest{{oid}, {version}});
+      wire::Encode(body, InvalidateRequest{{group.id}, {group.version}});
     }
-    notifications.emplace_back(
-        addr, rmi::WrapRequest(
-                  push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
-                  body, TraceContext::Current(), DeadlineBudget()));
+    const std::size_t payload = body.size();
+    auto frame = std::make_shared<const Bytes>(rmi::WrapRequest(
+        push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate, body,
+        TraceContext::Current(), DeadlineBudget()));
+    for (net::Address& addr : group.recipients) {
+      outbound.push_back(OutboundNotify{std::move(addr), frame, payload,
+                                        group.id, push, group.version});
+    }
   }
+  CollectDueRetriesLocked(outbound);
   UpdateReplicationGauges();
 
   lock.unlock();
-  for (const auto& [addr, frame] : notifications) {
-    Result<Bytes> r = TimedRequest(telemetry_.op_notify, addr, AsView(frame));
-    if (r.ok()) {
-      telemetry_.invalidations_sent->Inc();
-      if (push) telemetry_.replication_bytes_out->Inc(frame.size());
-    } else {
-      OBIWAN_LOG(kDebug) << "notification to " << addr << " failed: " << r.status();
-    }
-  }
+  DispatchNotifications(std::move(outbound));
 
   return reply;
 }
 
-Result<ObjectRecord> Site::BuildPushRecord(ObjectId id) {
+Result<ObjectRecord> Site::BuildPushRecord(
+    ObjectId id, const std::vector<net::Address>& recipients) {
   OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(id));
   const ClassInfo& ci = meta.obj->obiwan_class();
 
@@ -785,8 +827,19 @@ Result<ObjectRecord> Site::BuildPushRecord(ObjectId id) {
       rec.refs.push_back(RefEntry::Null());
     } else if (rb.IsLocal()) {
       ObjectId tid = EnsureId(rb.local());
-      rec.refs.push_back(RefEntry::Proxy(DescriptorFor(
-          NewProxyIn(tid), tid, rb.local_raw()->obiwan_class().name())));
+      // One shared pin per target (NewProxyIn reuses through the index);
+      // every recipient of this record can fault through it, so they all
+      // become its users.
+      ProxyId pin = NewProxyIn(tid);
+      ProxyInEntry& entry = proxy_ins_.at(pin);
+      for (const net::Address& addr : recipients) {
+        if (std::find(entry.users.begin(), entry.users.end(), addr) ==
+            entry.users.end()) {
+          entry.users.push_back(addr);
+        }
+      }
+      rec.refs.push_back(RefEntry::Proxy(
+          DescriptorFor(pin, tid, rb.local_raw()->obiwan_class().name())));
     } else {
       rec.refs.push_back(RefEntry::Proxy(rb.proxy()->descriptor()));
     }
@@ -797,9 +850,8 @@ Result<ObjectRecord> Site::BuildPushRecord(ObjectId id) {
 Status Site::MarkMasterUpdated(ObjectId id) {
   // A master mutated in place (through a local reference, not a put). Bump
   // its version and notify holders exactly as an accepted put would, so
-  // remote replicas become observably stale. Notifications are best-effort:
-  // an unreachable holder just stays stale until its next refresh.
-  std::vector<std::pair<net::Address, Bytes>> notifications;
+  // remote replicas become observably stale.
+  std::vector<OutboundNotify> outbound;
   {
     std::lock_guard lock(mutex_);
     auto it = masters_.find(id);
@@ -812,32 +864,226 @@ Status Site::MarkMasterUpdated(ObjectId id) {
     Trace("update", ToString(id) + " now at version " + std::to_string(e.version));
 
     const bool push = policy_->PushUpdatesOnPut();
-    for (const net::Address& addr : e.holders) {
+    if (!e.holders.empty()) {
       wire::Writer body;
+      bool built = true;
       if (push) {
-        Result<ObjectRecord> record = BuildPushRecord(id);
-        if (!record.ok()) continue;
-        wire::Encode(body, *record);
+        Result<ObjectRecord> record = BuildPushRecord(id, e.holders);
+        if (record.ok()) {
+          wire::Encode(body, *record);
+        } else {
+          built = false;
+        }
       } else {
         wire::Encode(body, InvalidateRequest{{id}, {e.version}});
       }
-      notifications.emplace_back(
-          addr, rmi::WrapRequest(
-                    push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
-                    body, TraceContext::Current(), DeadlineBudget()));
+      if (built) {
+        const std::size_t payload = body.size();
+        auto frame = std::make_shared<const Bytes>(rmi::WrapRequest(
+            push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
+            body, TraceContext::Current(), DeadlineBudget()));
+        for (const net::Address& addr : e.holders) {
+          outbound.push_back(
+              OutboundNotify{addr, frame, payload, id, push, e.version});
+        }
+      }
     }
+    CollectDueRetriesLocked(outbound);
     UpdateReplicationGauges();
   }
-  for (const auto& [addr, frame] : notifications) {
-    Result<Bytes> r = TimedRequest(telemetry_.op_notify, addr, AsView(frame));
-    if (r.ok()) {
+  DispatchNotifications(std::move(outbound));
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Update fanout & holder lifecycle
+// ---------------------------------------------------------------------------
+
+void Site::SetNotifyFanout(std::size_t width) { fanout_.set_width(width); }
+
+void Site::SetHolderFailureThreshold(std::uint32_t threshold) {
+  std::lock_guard lock(mutex_);
+  holder_failure_threshold_ = threshold;
+}
+
+void Site::SetNotifyRetryPolicy(NotifyRetryPolicy policy) {
+  std::lock_guard lock(mutex_);
+  notify_retry_policy_ = policy;
+}
+
+void Site::DispatchNotifications(std::vector<OutboundNotify> batch) {
+  if (batch.empty()) return;
+  std::vector<FanoutPool::Task> tasks;
+  tasks.reserve(batch.size());
+  for (const OutboundNotify& note : batch) {
+    tasks.push_back([this, &note] {
+      return TimedRequest(telemetry_.op_notify, note.addr, AsView(*note.frame))
+          .status();
+    });
+  }
+  std::vector<Status> statuses = fanout_.RunAll(std::move(tasks));
+
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    OutboundNotify& note = batch[i];
+    if (statuses[i].ok()) {
       telemetry_.invalidations_sent->Inc();
+      // Symmetric with the receiver's Handle(kPush), which counts the wire
+      // body: payload bytes, not the envelope.
+      if (note.push) telemetry_.replication_bytes_out->Inc(note.payload_bytes);
+      if (auto hit = holder_health_.find(note.addr);
+          hit != holder_health_.end()) {
+        hit->second.consecutive_failures = 0;
+      }
     } else {
-      OBIWAN_LOG(kDebug) << "update notification to " << addr
-                         << " failed: " << r.status();
+      OBIWAN_LOG(kDebug) << "notification to " << note.addr
+                         << " failed: " << statuses[i];
+      HandleNotifyFailureLocked(std::move(note));
     }
   }
-  return Status::Ok();
+  SyncHolderGauges();
+}
+
+void Site::CollectDueRetriesLocked(std::vector<OutboundNotify>& out) {
+  if (notify_retries_.empty()) return;
+  const Nanos now = clock_.Now();
+  for (auto it = notify_retries_.begin(); it != notify_retries_.end();) {
+    if (it->next_attempt <= now) {
+      telemetry_.notify_retries->Inc();
+      out.push_back(std::move(it->note));
+      it = notify_retries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  telemetry_.notify_retry_depth->Set(
+      static_cast<std::int64_t>(notify_retries_.size()));
+}
+
+void Site::HandleNotifyFailureLocked(OutboundNotify note) {
+  auto hit = holder_health_.find(note.addr);
+  if (hit == holder_health_.end()) {
+    // The holder was dropped or released while this batch was in flight.
+    return;
+  }
+  ++hit->second.consecutive_failures;
+  if (holder_failure_threshold_ != 0 &&
+      hit->second.consecutive_failures >= holder_failure_threshold_) {
+    DropHolderLocked(note.addr);
+    return;
+  }
+  if (note.attempt >= notify_retry_policy_.max_attempts) return;
+  Nanos backoff = notify_retry_policy_.initial_backoff;
+  for (std::uint32_t a = 1;
+       a < note.attempt && backoff < notify_retry_policy_.max_backoff; ++a) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, notify_retry_policy_.max_backoff);
+  ++note.attempt;
+  const Nanos next_attempt = clock_.Now() + backoff;
+
+  // A newer notification for the same (holder, object) supersedes a queued
+  // one — the holder only ever needs the latest state/version.
+  for (PendingNotify& pending : notify_retries_) {
+    if (pending.note.addr == note.addr && pending.note.id == note.id) {
+      if (note.version >= pending.note.version) {
+        pending = PendingNotify{std::move(note), next_attempt, backoff};
+      }
+      return;
+    }
+  }
+  // Bound the queue per holder: drop the entry closest to resend (oldest).
+  std::size_t per_holder = 0;
+  for (const PendingNotify& pending : notify_retries_) {
+    if (pending.note.addr == note.addr) ++per_holder;
+  }
+  if (per_holder >= notify_retry_policy_.per_holder_queue) {
+    auto oldest = notify_retries_.end();
+    for (auto it = notify_retries_.begin(); it != notify_retries_.end(); ++it) {
+      if (it->note.addr != note.addr) continue;
+      if (oldest == notify_retries_.end() ||
+          it->next_attempt < oldest->next_attempt) {
+        oldest = it;
+      }
+    }
+    if (oldest != notify_retries_.end()) notify_retries_.erase(oldest);
+  }
+  notify_retries_.push_back(PendingNotify{std::move(note), next_attempt, backoff});
+}
+
+void Site::DropHolderLocked(const net::Address& addr) {
+  holder_health_.erase(addr);
+  for (auto& [oid, e] : masters_) std::erase(e.holders, addr);
+  for (auto& [oid, e] : replicas_) std::erase(e.holders, addr);
+  std::erase_if(notify_retries_, [&](const PendingNotify& pending) {
+    return pending.note.addr == addr;
+  });
+  telemetry_.holders_dropped->Inc();
+  Trace("holder", addr + " dropped after repeated notification failures");
+}
+
+void Site::SyncHolderGauges() {
+  std::int64_t active = 0;
+  std::int64_t suspect = 0;
+  for (const auto& [addr, health] : holder_health_) {
+    (health.consecutive_failures == 0 ? active : suspect) += 1;
+  }
+  telemetry_.holders_active->Set(active);
+  telemetry_.holders_suspect->Set(suspect);
+  telemetry_.notify_retry_depth->Set(
+      static_cast<std::int64_t>(notify_retries_.size()));
+}
+
+bool Site::HolderStillPinnedLocked(const net::Address& addr,
+                                   ObjectId oid) const {
+  for (const auto& [pin, entry] : proxy_ins_) {
+    const bool covers =
+        entry.cluster ? std::find(entry.members.begin(), entry.members.end(),
+                                  oid) != entry.members.end()
+                      : entry.target == oid;
+    if (!covers) continue;
+    if (std::find(entry.users.begin(), entry.users.end(), addr) !=
+        entry.users.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Site::HolderAnywhereLocked(const net::Address& addr) const {
+  for (const auto& [pin, entry] : proxy_ins_) {
+    if (std::find(entry.users.begin(), entry.users.end(), addr) !=
+        entry.users.end()) {
+      return true;
+    }
+  }
+  for (const auto& [oid, e] : masters_) {
+    if (std::find(e.holders.begin(), e.holders.end(), addr) != e.holders.end()) {
+      return true;
+    }
+  }
+  for (const auto& [oid, e] : replicas_) {
+    if (std::find(e.holders.begin(), e.holders.end(), addr) != e.holders.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Site::PumpNotifyRetries() {
+  std::vector<OutboundNotify> due;
+  {
+    std::lock_guard lock(mutex_);
+    CollectDueRetriesLocked(due);
+  }
+  const std::size_t attempted = due.size();
+  DispatchNotifications(std::move(due));
+  return attempted;
+}
+
+std::size_t Site::pending_notify_retries() const {
+  std::lock_guard lock(mutex_);
+  return notify_retries_.size();
 }
 
 Status Site::ServePush(const ObjectRecord& record) {
@@ -846,8 +1092,14 @@ Status Site::ServePush(const ObjectRecord& record) {
   ReplicaUpdateCallback callback;
   {
     std::lock_guard lock(mutex_);
-    if (!replicas_.contains(record.id)) {
+    auto rit = replicas_.find(record.id);
+    if (rit == replicas_.end()) {
       // No longer holding this replica; nothing to update.
+      return Status::Ok();
+    }
+    if (record.version < rit->second.version) {
+      // A late or retried push from before our last sync — applying it
+      // would regress the replica. The sender's state is already covered.
       return Status::Ok();
     }
     GetReply reply;
@@ -883,7 +1135,7 @@ Status Site::RenewProxy(const ProxyDescriptor& descriptor) {
       TimedRequest(telemetry_.op_renew, descriptor.provider,
                    AsView(rmi::WrapRequest(rmi::MessageKind::kRenew, body,
                                            TraceContext::Current(),
-                                           DeadlineBudget()))));
+                                           DeadlineBudget(), address()))));
   (void)reply;
   return Status::Ok();
 }
@@ -924,10 +1176,38 @@ Status Site::ServeInvalidate(const InvalidateRequest& req) {
   return Status::Ok();
 }
 
-Status Site::ServeRelease(ProxyId pin) {
+Status Site::ServeRelease(const net::Address& from, ProxyId pin) {
   std::lock_guard lock(mutex_);
-  if (proxy_ins_.erase(pin) == 0) return NotFoundError("unknown proxy-in");
+  auto it = proxy_ins_.find(pin);
+  if (it == proxy_ins_.end()) return NotFoundError("unknown proxy-in");
+  ProxyInEntry& entry = it->second;
+  std::erase(entry.users, from);
+  if (!entry.users.empty()) {
+    // Other demanders still fault/put through this pin; only the releasing
+    // site's interest is gone.
+    return Status::Ok();
+  }
+  const std::vector<ObjectId> affected =
+      entry.cluster ? entry.members : std::vector<ObjectId>{entry.target};
+  if (auto tit = pin_by_target_.find(entry.target);
+      tit != pin_by_target_.end() && tit->second == pin) {
+    pin_by_target_.erase(tit);
+  }
+  proxy_ins_.erase(it);
   telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
+  // If that was the demander's last pin covering an object, it can no longer
+  // fault or put it — stop sending it invalidations/pushes.
+  for (ObjectId oid : affected) {
+    if (HolderStillPinnedLocked(from, oid)) continue;
+    if (auto mit = masters_.find(oid); mit != masters_.end()) {
+      std::erase(mit->second.holders, from);
+    }
+    if (auto rit = replicas_.find(oid); rit != replicas_.end()) {
+      std::erase(rit->second.holders, from);
+    }
+  }
+  if (!HolderAnywhereLocked(from)) holder_health_.erase(from);
+  SyncHolderGauges();
   return Status::Ok();
 }
 
@@ -1005,7 +1285,7 @@ Result<std::shared_ptr<Shareable>> Site::DemandThrough(
       TimedRequest(telemetry_.op_get, descriptor.provider,
                    AsView(rmi::WrapRequest(rmi::MessageKind::kGet, body,
                                            TraceContext::Current(),
-                                           DeadlineBudget())));
+                                           DeadlineBudget(), address())));
   if (!reply_result.ok()) {
     // The provider is unreachable: held replicas keep ageing, and the gauges
     // must show it even though nothing was materialized.
@@ -1238,8 +1518,9 @@ Status Site::PutItems(const ProxyDescriptor& provider,
   telemetry_.puts_sent->Inc();
   Bytes frame = rmi::WrapRequest(
       transactional ? rmi::MessageKind::kCommit : rmi::MessageKind::kPut, body,
-      TraceContext::Current(), DeadlineBudget());
-  telemetry_.replication_bytes_out->Inc(frame.size());
+      TraceContext::Current(), DeadlineBudget(), address());
+  // Payload (wire body) bytes, symmetric with the provider's Handle(kPut).
+  telemetry_.replication_bytes_out->Inc(body.size());
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply_bytes,
       TimedRequest(transactional ? telemetry_.op_commit : telemetry_.op_put,
@@ -1364,6 +1645,35 @@ Status Site::PutCluster(RefBase& ref) {
   return PutItems(provider, items, /*transactional=*/false);
 }
 
+std::vector<ObjectId> Site::StaleReplicaIds() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ObjectId> ids;
+  for (const auto& [oid, e] : replicas_) {
+    if (e.stale) ids.push_back(oid);
+  }
+  return ids;
+}
+
+Status Site::RefreshReplica(ObjectId id) {
+  ProxyDescriptor provider;
+  {
+    std::lock_guard lock(mutex_);
+    auto rit = replicas_.find(id);
+    if (rit == replicas_.end()) {
+      // kNotFound tells the resync daemon the replica is gone (evicted or
+      // restored away) and the entry can be forgotten, not retried.
+      return NotFoundError("not a replica here: " + ToString(id));
+    }
+    if (!rit->second.provider.valid()) {
+      return FailedPreconditionError("replica has no provider channel");
+    }
+    provider = rit->second.provider;
+  }
+  return DemandThrough(provider, id, ReplicationMode::Incremental(),
+                       /*refresh=*/true)
+      .status();
+}
+
 Status Site::Refresh(RefBase& ref) {
   ProxyDescriptor provider;
   ObjectId oid;
@@ -1477,8 +1787,10 @@ Result<PutReply> Site::SendCommit(const net::Address& provider, ProxyId pin,
   wire::Encode(body, req);
   telemetry_.puts_sent->Inc();
   Bytes frame = rmi::WrapRequest(rmi::MessageKind::kCommit, body,
-                                 TraceContext::Current(), DeadlineBudget());
-  telemetry_.replication_bytes_out->Inc(frame.size());
+                                 TraceContext::Current(), DeadlineBudget(),
+                                 address());
+  // Payload bytes, symmetric with the provider's Handle(kCommit).
+  telemetry_.replication_bytes_out->Inc(body.size());
   OBIWAN_ASSIGN_OR_RETURN(
       Bytes reply_bytes,
       TimedRequest(telemetry_.op_commit, provider, AsView(frame)));
@@ -1497,7 +1809,7 @@ Status Site::ReleaseProxy(const ProxyDescriptor& descriptor) {
       TimedRequest(telemetry_.op_release, descriptor.provider,
                    AsView(rmi::WrapRequest(rmi::MessageKind::kRelease, body,
                                            TraceContext::Current(),
-                                           DeadlineBudget()))));
+                                           DeadlineBudget(), address()))));
   (void)reply;
   return Status::Ok();
 }
@@ -1589,7 +1901,7 @@ Result<Bytes> Site::Handle(rmi::MessageKind kind, const net::Address& from,
     case rmi::MessageKind::kRelease: {
       auto pin = wire::Decode<ProxyId>(body);
       OBIWAN_RETURN_IF_ERROR(body.status());
-      OBIWAN_RETURN_IF_ERROR(ServeRelease(pin));
+      OBIWAN_RETURN_IF_ERROR(ServeRelease(from, pin));
       return Bytes{};
     }
     case rmi::MessageKind::kRenew: {

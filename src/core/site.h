@@ -38,6 +38,7 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "core/consistency.h"
+#include "core/fanout.h"
 #include "core/inspect.h"
 #include "core/messages.h"
 #include "core/mode.h"
@@ -70,6 +71,8 @@ struct SiteStats {
   std::uint64_t invalidations_received = 0;
   std::uint64_t replication_bytes_in = 0;   // replica state received
   std::uint64_t replication_bytes_out = 0;  // replica state shipped
+  std::uint64_t notify_retries = 0;         // queued notifications re-sent
+  std::uint64_t holders_dropped = 0;        // holders unregistered as unreachable
 };
 
 // Pre-resolved metric handles for one site. All protocol counters live in the
@@ -99,6 +102,8 @@ struct SiteTelemetry {
   Counter* invalidations_received;
   Counter* replication_bytes_in;
   Counter* replication_bytes_out;
+  Counter* notify_retries;
+  Counter* holders_dropped;
 
   // Live table sizes.
   Gauge* masters;
@@ -120,6 +125,15 @@ struct SiteTelemetry {
   Gauge* staleness_p95;
   Gauge* staleness_age_max;
   Gauge* leases_expiring;
+
+  // Holder lifecycle (refreshed by Site::SyncHolderGauges after every
+  // fanout/registration/release): obiwan_holders{state=active|suspect} —
+  // registered holders by health, where "suspect" means at least one
+  // consecutive notification failure; obiwan_notify_retry_depth — queued
+  // notifications awaiting their backoff deadline.
+  Gauge* holders_active;
+  Gauge* holders_suspect;
+  Gauge* notify_retry_depth;
 
   // Client-side RPC telemetry, one bundle per operation the site issues.
   struct Op {
@@ -201,6 +215,34 @@ class Site final : public rmi::Service {
   // misses the notification and discovers the staleness on its next sync.
   Status MarkMasterUpdated(ObjectId id);
 
+  // --- update fanout & holder lifecycle ---------------------------------------
+  // After-put notifications (invalidations or pushes) go out through a
+  // bounded parallel pool (core/fanout.h), so one unreachable holder costs
+  // the batch a single notification deadline instead of stalling every
+  // other holder behind it.
+  void SetNotifyFanout(std::size_t width);
+
+  // A holder that fails `threshold` consecutive notifications is dropped
+  // from every holders list (obiwan_holders_dropped_total); its next get
+  // re-registers it. 0 disables dropping. Default: 3.
+  void SetHolderFailureThreshold(std::uint32_t threshold);
+
+  // Transiently failed notifications are queued per holder and re-sent with
+  // exponential backoff — piggybacked on the next fanout whose clock passes
+  // their deadline, or explicitly via PumpNotifyRetries().
+  struct NotifyRetryPolicy {
+    Nanos initial_backoff = 100 * kMilli;
+    Nanos max_backoff = 10 * kSecond;
+    std::uint32_t max_attempts = 4;     // total sends per notification
+    std::size_t per_holder_queue = 16;  // oldest dropped beyond this
+  };
+  void SetNotifyRetryPolicy(NotifyRetryPolicy policy);
+
+  // Re-send every queued notification whose backoff deadline has passed.
+  // Returns the number attempted.
+  std::size_t PumpNotifyRetries();
+  std::size_t pending_notify_retries() const;
+
   // --- replication (demander side) -------------------------------------------
 
   // Core of the demand path: fetch a batch through `descriptor` and
@@ -234,6 +276,15 @@ class Site final : public rmi::Service {
 
   bool IsStale(const RefBase& ref) const;
   Result<std::uint64_t> ReplicaVersion(const RefBase& ref) const;
+
+  // Replicas currently marked stale (invalidated, not yet refreshed) —
+  // the work list the resync daemon (core/resync.h) drains.
+  std::vector<ObjectId> StaleReplicaIds() const;
+
+  // Re-fetch current master state into the replica `id` through its
+  // provider channel — Refresh(RefBase&) addressed by ObjectId, for
+  // callers (the resync daemon) that hold no application Ref.
+  Status RefreshReplica(ObjectId id);
 
   // Memory reclamation for limited-memory info-appliances (§2.1 motivates
   // incremental replication with exactly this constraint): drop every
@@ -361,10 +412,24 @@ class Site final : public rmi::Service {
   // update refreshed one in place (`stale`=false). Runs outside the site
   // lock, on the thread that served the notification; keep it quick and do
   // not call back into blocking site operations from it.
+  // Returns the previously installed callback so wrappers (the resync
+  // daemon) can chain it and restore it on teardown.
   using ReplicaUpdateCallback = std::function<void(ObjectId id, bool stale)>;
-  void SetReplicaUpdateCallback(ReplicaUpdateCallback callback) {
+  ReplicaUpdateCallback SetReplicaUpdateCallback(ReplicaUpdateCallback callback) {
     std::lock_guard lock(mutex_);
+    auto previous = std::move(on_replica_update_);
     on_replica_update_ = std::move(callback);
+    return previous;
+  }
+
+  // Runs `fn` under the site lock and returns its result. Local mutations of
+  // a replica whose provider pushes full updates (`core::PushUpdates`) race
+  // with push application on transport threads unless made through here; the
+  // lock is recursive, so site calls (Put, Refresh) remain legal inside `fn`.
+  template <typename Fn>
+  auto WithSiteLock(Fn&& fn) {
+    std::lock_guard lock(mutex_);
+    return std::forward<Fn>(fn)();
   }
 
   std::size_t master_count() const;
@@ -398,6 +463,10 @@ class Site final : public rmi::Service {
     bool cluster = false;
     Nanos expires_at = 0;   // 0 = no lease
     bool anchored = false;  // name-server bind pins never expire
+    // Demanders sharing this pin (gets, push records, cluster channels).
+    // A release only erases the pin — and only unregisters the releasing
+    // holder — once its last user is gone.
+    std::vector<net::Address> users;
   };
 
   struct ReplicaEntry {
@@ -423,8 +492,12 @@ class Site final : public rmi::Service {
   // a master of this site. Replicas keep their master's id.
   ObjectId EnsureId(const std::shared_ptr<Shareable>& obj);
 
-  ProxyId NewProxyIn(ObjectId target);
-  ProxyId NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members);
+  // `user`, when given, is registered on the pin (see ProxyInEntry::users).
+  // Per-target pins are reused through pin_by_target_, so repeated gets and
+  // push-record builds share one pin instead of minting one per call.
+  ProxyId NewProxyIn(ObjectId target, const net::Address* user = nullptr);
+  ProxyId NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members,
+                            const net::Address* user = nullptr);
   ProxyDescriptor DescriptorFor(ProxyId pin, ObjectId target,
                                 std::string class_name) const;
 
@@ -481,15 +554,52 @@ class Site final : public rmi::Service {
 
   // Serialize the current master/replica state of `id` for a push: every
   // resolved reference travels as a proxy descriptor so any holder can
-  // swizzle or fault it.
-  Result<ObjectRecord> BuildPushRecord(ObjectId id);
+  // swizzle or fault it. Built once per fanout; `recipients` are registered
+  // as users of every boundary pin the record references.
+  Result<ObjectRecord> BuildPushRecord(
+      ObjectId id, const std::vector<net::Address>& recipients);
+
+  // One notification (invalidation or push) addressed to one holder. The
+  // frame is shared across the whole fanout — built once per object.
+  struct OutboundNotify {
+    net::Address addr;
+    std::shared_ptr<const Bytes> frame;
+    std::size_t payload_bytes = 0;  // wire body, not the envelope
+    ObjectId id{};
+    bool push = false;
+    std::uint64_t version = 0;
+    std::uint32_t attempt = 1;
+  };
+  struct PendingNotify {
+    OutboundNotify note;
+    Nanos next_attempt = 0;
+    Nanos backoff = 0;
+  };
+  struct HolderHealth {
+    std::uint32_t consecutive_failures = 0;
+  };
+
+  // Send a batch through the fanout pool, then apply the outcome under the
+  // lock: successes reset holder health and count bytes/invalidations;
+  // failures advance health toward the drop threshold or queue a retry.
+  void DispatchNotifications(std::vector<OutboundNotify> batch);
+  // Move retry-queue entries whose backoff deadline passed into `out`.
+  void CollectDueRetriesLocked(std::vector<OutboundNotify>& out);
+  void HandleNotifyFailureLocked(OutboundNotify note);
+  // Remove `addr` from every holders list and purge its queued retries.
+  void DropHolderLocked(const net::Address& addr);
+  void SyncHolderGauges();
+
+  // Does `addr` still hold a pin covering `oid` / any pin at all?
+  bool HolderStillPinnedLocked(const net::Address& addr, ObjectId oid) const;
+  bool HolderAnywhereLocked(const net::Address& addr) const;
 
   // Provider side.
   Result<GetReply> ServeGet(const net::Address& from, const GetRequest& req);
   Result<PutReply> ServePut(const net::Address& from, const PutRequest& req);
   Status ServeInvalidate(const InvalidateRequest& req);
   Result<Bytes> ServeCall(const rmi::CallRequest& call);
-  Status ServeRelease(ProxyId pin);
+  Status ServeRelease(const net::Address& from, ProxyId pin);
   Status ServeRenew(ProxyId pin);
   Status ServePush(const ObjectRecord& record);
 
@@ -525,8 +635,18 @@ class Site final : public rmi::Service {
   std::unordered_map<ObjectId, ReplicaEntry, ObjectIdHash> replicas_;
   std::unordered_map<const Shareable*, ObjectId> ptr_ids_;
   std::unordered_map<ProxyId, ProxyInEntry, ProxyIdHash> proxy_ins_;
+  // Per-target index over non-cluster proxy_ins_, so repeated gets and push
+  // records reuse a pin in O(1) instead of scanning the table.
+  std::unordered_map<ObjectId, ProxyId, ObjectIdHash> pin_by_target_;
   // Demander-side cluster membership: cluster proxy-in -> member ids.
   std::unordered_map<ProxyId, std::vector<ObjectId>, ProxyIdHash> cluster_members_;
+
+  // Holder lifecycle: consecutive-failure tally per registered holder and
+  // the bounded per-holder retry queue (see NotifyRetryPolicy).
+  std::unordered_map<net::Address, HolderHealth> holder_health_;
+  std::vector<PendingNotify> notify_retries_;
+  std::uint32_t holder_failure_threshold_ = 3;
+  NotifyRetryPolicy notify_retry_policy_;
 
   std::uint64_t next_object_ = 1;
   std::uint64_t next_pin_ = 1;
@@ -535,6 +655,7 @@ class Site final : public rmi::Service {
   Nanos request_deadline_ = 0;  // 0 = transport default
 
   SiteTelemetry telemetry_;
+  FanoutPool fanout_;
   // Always-on flight-recorder ring (last N spans/events of this site) plus
   // the optional attached tracer, fanned out through sinks_.
   Tracer flight_{kFlightRecorderCapacity};

@@ -12,7 +12,8 @@
 namespace obiwan::core {
 namespace {
 
-constexpr std::uint32_t kSnapshotMagic = 0x4F424931;  // "OBI1"
+// "OBI2": version 2 added the per-pin user list (holder lifecycle).
+constexpr std::uint32_t kSnapshotMagic = 0x4F424932;
 
 enum class RefTag : std::uint8_t { kNull = 0, kLocal = 1, kProxy = 2 };
 
@@ -97,6 +98,7 @@ Result<Bytes> Site::SaveSnapshot() {
     wire::Encode(w, entry.members);
     w.Bool(entry.cluster);
     w.Bool(entry.anchored);
+    wire::Encode(w, entry.users);
   }
 
   w.Varint(cluster_members_.size());
@@ -120,12 +122,24 @@ Status Site::LoadSnapshot(BytesView snapshot) {
     replicas_.clear();
     ptr_ids_.clear();
     proxy_ins_.clear();
+    pin_by_target_.clear();
     cluster_members_.clear();
+    holder_health_.clear();
+    notify_retries_.clear();
     next_object_ = 1;
     next_pin_ = 1;
+  } else {
+    // Every restored holder starts healthy; failures re-accumulate live.
+    for (const auto& [oid, entry] : masters_) {
+      for (const net::Address& addr : entry.holders) holder_health_[addr];
+    }
+    for (const auto& [oid, entry] : replicas_) {
+      for (const net::Address& addr : entry.holders) holder_health_[addr];
+    }
   }
   SyncGauges();
   UpdateReplicationGauges();
+  SyncHolderGauges();
   return status;
 }
 
@@ -240,7 +254,9 @@ Status Site::LoadSnapshotLocked(BytesView snapshot) {
     entry.members = wire::Decode<std::vector<ObjectId>>(r);
     entry.cluster = r.Bool();
     entry.anchored = r.Bool();
+    entry.users = wire::Decode<std::vector<net::Address>>(r);
     TouchPin(entry);  // restart the lease clock after restore
+    if (!entry.cluster) pin_by_target_.emplace(entry.target, pin);
     proxy_ins_.emplace(pin, std::move(entry));
   }
 

@@ -105,7 +105,11 @@ class Dispatcher final : public net::MessageHandler {
                    parsed->trace);
     const Nanos start = clock_->Now();
     wire::Reader body(parsed->body);
-    Result<Bytes> reply = service->Handle(parsed->kind, from, body);
+    // Identity-bearing requests declare the address the sender serves at;
+    // the transport's peer address (ephemeral for TCP) is only a fallback.
+    const net::Address& effective_from =
+        parsed->origin.empty() ? from : parsed->origin;
+    Result<Bytes> reply = service->Handle(parsed->kind, effective_from, body);
     pk.latency->Observe(clock_->Now() - start);
     if (!reply.ok()) {
       pk.errors->Inc();

@@ -54,8 +54,16 @@ inline constexpr std::uint8_t kTraceFlag = 0x80;
 // because site clocks are not synchronized; the server sheds work whose
 // budget already reached zero.
 inline constexpr std::uint8_t kDeadlineFlag = 0x40;
-// The kind value lives in the low 6 bits.
-inline constexpr std::uint8_t kKindMask = 0x3F;
+// Bit 0x20: an origin header (the sender's canonical serving address, as a
+// string) follows the deadline header. Transports that multiplex requests
+// over outbound connections (TCP) report an ephemeral peer address, which is
+// useless as a holder identity — a provider that registered it could never
+// notify the holder back. Sites therefore declare the address they serve at
+// in every identity-bearing request (get / put / commit / release / renew),
+// and the dispatcher hands that to the service as `from`.
+inline constexpr std::uint8_t kOriginFlag = 0x20;
+// The kind value lives in the low 5 bits.
+inline constexpr std::uint8_t kKindMask = 0x1F;
 
 // Diagnostic name of a message kind ("call", "get", ...), for metric labels.
 inline std::string_view KindName(MessageKind kind) {
@@ -81,13 +89,15 @@ inline std::string_view KindName(MessageKind kind) {
 
 // `deadline_budget` < 0 means no deadline header; >= 0 writes the remaining
 // budget (clamped at 0: an already-expired budget is still sent so the server
-// sheds the work explicitly).
+// sheds the work explicitly). A non-empty `origin` writes the origin header.
 inline Bytes WrapRequest(MessageKind kind, const wire::Writer& body,
-                         TraceId trace = {}, Nanos deadline_budget = -1) {
+                         TraceId trace = {}, Nanos deadline_budget = -1,
+                         const std::string& origin = {}) {
   wire::Writer w(body.size() + 24);
   std::uint8_t first = static_cast<std::uint8_t>(kind);
   if (trace.valid()) first |= kTraceFlag;
   if (deadline_budget >= 0) first |= kDeadlineFlag;
+  if (!origin.empty()) first |= kOriginFlag;
   w.U8(first);
   if (trace.valid()) {
     w.Varint(trace.site);
@@ -95,6 +105,9 @@ inline Bytes WrapRequest(MessageKind kind, const wire::Writer& body,
   }
   if (deadline_budget >= 0) {
     w.Varint(static_cast<std::uint64_t>(deadline_budget));
+  }
+  if (!origin.empty()) {
+    w.String(origin);
   }
   w.Raw(AsView(body.data()));
   return std::move(w).Take();
@@ -106,6 +119,9 @@ struct ParsedRequest {
   // Remaining budget (ns) declared by the caller; -1 when the request
   // carried no deadline header.
   Nanos deadline_budget = -1;
+  // Sender's canonical serving address; empty when the request carried no
+  // origin header (the transport-reported peer address applies then).
+  std::string origin;
   BytesView body;
 };
 
@@ -119,7 +135,7 @@ inline Result<ParsedRequest> ParseRequest(BytesView request) {
   ParsedRequest parsed;
   parsed.kind = static_cast<MessageKind>(kind);
   BytesView rest = request.subspan(1);
-  if ((first & (kTraceFlag | kDeadlineFlag)) != 0) {
+  if ((first & (kTraceFlag | kDeadlineFlag | kOriginFlag)) != 0) {
     wire::Reader header(rest);
     if ((first & kTraceFlag) != 0) {
       parsed.trace.site = static_cast<SiteId>(header.Varint());
@@ -127,6 +143,9 @@ inline Result<ParsedRequest> ParseRequest(BytesView request) {
     }
     if ((first & kDeadlineFlag) != 0) {
       parsed.deadline_budget = static_cast<Nanos>(header.Varint());
+    }
+    if ((first & kOriginFlag) != 0) {
+      parsed.origin = header.String();
     }
     OBIWAN_RETURN_IF_ERROR(header.status());
     rest = rest.subspan(rest.size() - header.remaining());

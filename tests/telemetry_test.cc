@@ -273,6 +273,54 @@ TEST(SiteTelemetry, ReplicationBytesAccounted) {
   EXPECT_GT(p.replication_bytes_in, 0u);   // the put body it absorbed
 }
 
+// Both ends of every replication leg must count the same payload (wire body)
+// bytes: sender-side envelope bytes or missing push accounting would make
+// cross-site byte totals disagree.
+TEST(SiteTelemetry, ReplicationByteAccountingIsSymmetric) {
+  net::LoopbackNetwork network;
+  core::Site provider(1, network.CreateEndpoint("p"));
+  core::Site writer(2, network.CreateEndpoint("w"));
+  core::Site holder(3, network.CreateEndpoint("h"));
+  ASSERT_TRUE(provider.Start().ok());
+  ASSERT_TRUE(writer.Start().ok());
+  ASSERT_TRUE(holder.Start().ok());
+  provider.HostRegistry();
+  writer.UseRegistry("p");
+  holder.UseRegistry("p");
+  provider.SetConsistencyPolicy(std::make_unique<core::PushUpdates>());
+
+  auto head = test::MakeChain(1, 256, "n");
+  ASSERT_TRUE(provider.Bind("obj", head).ok());
+  auto writer_remote = writer.Lookup<test::Node>("obj");
+  ASSERT_TRUE(writer_remote.ok());
+  auto writer_ref = writer_remote->Replicate(core::ReplicationMode::Incremental(1));
+  ASSERT_TRUE(writer_ref.ok());
+  auto holder_remote = holder.Lookup<test::Node>("obj");
+  ASSERT_TRUE(holder_remote.ok());
+  auto holder_ref = holder_remote->Replicate(core::ReplicationMode::Incremental(1));
+  ASSERT_TRUE(holder_ref.ok());
+
+  const core::SiteStats w0 = writer.stats();
+  const core::SiteStats p0 = provider.stats();
+  const core::SiteStats h0 = holder.stats();
+
+  (*writer_ref)->SetLabel("edited");
+  ASSERT_TRUE(writer.Put(*writer_ref).ok());
+
+  const core::SiteStats w1 = writer.stats();
+  const core::SiteStats p1 = provider.stats();
+  const core::SiteStats h1 = holder.stats();
+
+  // Put leg: what the writer shipped is what the provider absorbed.
+  EXPECT_GT(w1.replication_bytes_out - w0.replication_bytes_out, 0u);
+  EXPECT_EQ(w1.replication_bytes_out - w0.replication_bytes_out,
+            p1.replication_bytes_in - p0.replication_bytes_in);
+  // Push leg: what the provider fanned out is what the holder absorbed.
+  EXPECT_GT(p1.replication_bytes_out - p0.replication_bytes_out, 0u);
+  EXPECT_EQ(p1.replication_bytes_out - p0.replication_bytes_out,
+            h1.replication_bytes_in - h0.replication_bytes_in);
+}
+
 TEST(SiteTelemetry, ClientLatencyObservedOnVirtualClock) {
   // On the simulated paper LAN the RPC round trip costs virtual milliseconds;
   // TimedRequest runs on the site clock, so those modelled costs must show up

@@ -32,15 +32,17 @@ run_flavour ubsan build-ubsan -DOBIWAN_SANITIZE=undefined
 
 # ThreadSanitizer flavour: the transport layer is the concurrency hot spot
 # (client threads sharing one pooled TCP transport, the retry decorator's
-# counter, the server's per-connection threads), so TSan runs the transport
-# and retry test groups rather than the whole (slow under TSan) suite.
+# counter, the server's per-connection threads), plus the update-fanout soak
+# (concurrent writers fanning pushes out on the bounded notification pool,
+# and the resync daemon's background worker) — so TSan runs those groups
+# rather than the whole (slow under TSan) suite.
 echo "=== [tsan] configure ==="
 cmake -B build-tsan -S . -DOBIWAN_SANITIZE=thread
 echo "=== [tsan] build ==="
-cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test
+cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test fanout_test
 echo "=== [tsan] test ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport)'
+    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport|FanoutTcp)'
 
 # The fig4 bench must emit a schema-valid BENCH_*.json with latency
 # percentiles (skip the google-benchmark micro-benchmarks; the paper series
@@ -134,6 +136,37 @@ print(f"BENCH_tcp_pool.json: transport OK (connects_per_call="
       f"{t['connects_per_call']:.3f}, pool_hits={t['pool_hits']})")
 EOF
 
+# The mobility bench must report the disconnection-reconvergence experiment:
+# a put with one of N holders unreachable stays bounded by ~one notification
+# deadline (the parallel fanout claim), and the reconnecting holder
+# reconverges through the retry queue + resync daemon.
+echo "=== [bench] mobility reconvergence JSON ==="
+(cd build-ci && ./bench/bench_mobility --benchmark_filter=SchemaOnly)
+python3 - build-ci/BENCH_mobility.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("bench", "xs", "series", "reconvergence", "metrics"):
+    assert key in doc, f"missing key: {key}"
+r = doc["reconvergence"]
+for key in ("holders", "disconnected", "updates_during_window",
+            "put_ms_all_up", "put_ms_one_down", "notify_deadline_ms",
+            "reconverge_ms", "resync_refreshes"):
+    assert key in r, f"reconvergence section missing {key}"
+assert r["holders"] >= 2 and r["disconnected"] >= 1, f"degenerate setup: {r}"
+# One dead holder must cost about one notification deadline on top of the
+# all-up put — not one deadline per holder.
+overhead_ms = r["put_ms_one_down"] - r["put_ms_all_up"]
+assert overhead_ms < 2 * r["notify_deadline_ms"], \
+    f"fanout did not parallelize: one-down overhead {overhead_ms:.0f} ms"
+assert r["resync_refreshes"] >= 1, "resync daemon never refreshed"
+assert r["reconverge_ms"] > 0, "reconvergence not measured"
+print(f"BENCH_mobility.json: reconvergence OK (one-down overhead "
+      f"{overhead_ms:.0f} ms vs deadline {r['notify_deadline_ms']:.0f} ms, "
+      f"reconverge {r['reconverge_ms']:.0f} ms, "
+      f"{r['resync_refreshes']} resync refreshes)")
+EOF
+
 # The replication observatory, exercised over real TCP: a provider shell
 # hosts a bound chain, a demander shell replicates part of it and writes its
 # frontier DOT on exit, and a third one-shot `--inspect` pulls the provider's
@@ -197,4 +230,4 @@ print(f"observatory: inspect JSON schema OK ({len(doc['objects'])} objects, "
       f"({len(nodes)} nodes, {len(edges)} edges)")
 EOF
 
-echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace + observatory ==="
+echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace + reconvergence + observatory ==="
