@@ -17,6 +17,12 @@
 // one notification deadline thanks to the parallel fanout), and the time for
 // the reconnecting holder to reconverge through the provider's notification
 // retry queue plus the demander-side resync daemon.
+//
+// A third experiment scales the same story to a fleet: 220 devices replicate
+// one document, 30 churn offline while updates land, and a FleetMonitor
+// (obs/fleet_monitor.h) polls every site throughout — its merged
+// convergence-lag distribution peaks during the window and collapses to zero
+// after reconnection. Emitted as the "fleet" BENCH JSON section.
 #include <benchmark/benchmark.h>
 
 #include "core/resync.h"
@@ -211,6 +217,146 @@ std::string Reconvergence() {
   return out;
 }
 
+// Fleet-scale convergence under churn: a ≥200-device fleet replicates one
+// document; a slice of the fleet churns offline while updates land; after
+// reconnection the provider's retry queue plus per-device refreshes drain the
+// staleness. A FleetMonitor polls every site over the kInspect plane
+// throughout — this experiment is as much a test of the monitor's merge math
+// at scale as of the protocol. Returns the "fleet" BENCH JSON section.
+std::string FleetConvergence() {
+  constexpr int kSites = 220;
+  constexpr int kChurned = 30;
+  constexpr int kUpdates = 5;
+  constexpr int kMaxConvergeRounds = 50;
+
+  VirtualClock clock;
+  net::SimNetwork network(clock, net::kPaperLan);
+  core::Site office(1, network.CreateEndpoint("office"), clock);
+  (void)office.Start();
+  office.HostRegistry();
+  office.SetConsistencyPolicy(std::make_unique<consistency::WriteInvalidate>());
+  office.SetRequestDeadline(500 * kMilli);
+  office.SetNotifyFanout(32);
+  // Churned devices must survive the window in the holders list and the
+  // retry queue: never drop them, and retry far past the churn window.
+  office.SetHolderFailureThreshold(0);
+  office.SetNotifyRetryPolicy({.initial_backoff = 100 * kMilli,
+                               .max_backoff = 1 * kSecond,
+                               .max_attempts = 64,
+                               .per_holder_queue = 16});
+
+  auto doc = std::make_shared<test::Node>();
+  doc->payload.resize(256);
+  (void)office.Bind("doc", doc);
+  const ObjectId oid = office.Export(doc);
+
+  std::vector<std::unique_ptr<core::Site>> devices;
+  std::vector<core::Ref<test::Node>> refs;
+  std::vector<net::Address> targets = {"office"};
+  for (int i = 0; i < kSites; ++i) {
+    const std::string name = "dev" + std::to_string(i);
+    auto site = std::make_unique<core::Site>(
+        static_cast<SiteId>(100 + i), network.CreateEndpoint(name), clock);
+    (void)site->Start();
+    site->UseRegistry("office");
+    auto remote = site->Lookup<test::Node>("doc");
+    refs.push_back(*remote->Replicate(core::ReplicationMode::Incremental(1)));
+    targets.push_back(name);
+    devices.push_back(std::move(site));
+  }
+
+  // The monitor is its own vantage site, polling everyone else remotely.
+  core::Site vantage(99, network.CreateEndpoint("monitor"), clock);
+  (void)vantage.Start();
+  vantage.SetRequestDeadline(500 * kMilli);
+  obs::FleetOptions fleet_options;
+  fleet_options.slo_lag_versions = 1;           // breach while max lag > 1
+  fleet_options.slo_lag_age = 3600 * kSecond;   // age alone never breaches
+  obs::FleetMonitor monitor(vantage, targets, fleet_options);
+
+  const obs::FleetReport baseline = monitor.PollOnce();
+
+  // Churn: a slice of the fleet drops off the network.
+  for (int i = 0; i < kChurned; ++i) {
+    network.SetEndpointUp("dev" + std::to_string(i), false);
+  }
+
+  // Updates land while they are gone — written by a connected device and
+  // reintegrated, so the master's put counters (and the monitor's
+  // bytes-per-update figure) move. Invalidations fan out to every holder;
+  // the churned slice's queue up for retry.
+  core::Site& writer = *devices.back();
+  core::Ref<test::Node>& writer_ref = refs.back();
+  for (int u = 0; u < kUpdates; ++u) {
+    writer_ref.get()->SetValue(10 + u);
+    (void)writer.Put(writer_ref);
+    clock.Sleep(200 * kMilli);
+  }
+  const obs::FleetReport peak = monitor.PollOnce();
+
+  // Reconnect and converge: the provider drains its retry queue so the
+  // churned slice learns it is stale, every device refreshes its stale
+  // replicas, the monitor watches the lag distribution collapse to zero.
+  for (int i = 0; i < kChurned; ++i) {
+    network.SetEndpointUp("dev" + std::to_string(i), true);
+  }
+  const std::uint64_t master_version = *office.MasterVersion(oid);
+  Stopwatch converge(clock);
+  obs::FleetReport report = peak;
+  int rounds = 0;
+  while (rounds < kMaxConvergeRounds) {
+    ++rounds;
+    clock.Sleep(500 * kMilli);
+    (void)office.PumpNotifyRetries();
+    for (auto& device : devices) {
+      for (ObjectId id : device->StaleReplicaIds()) {
+        (void)device->RefreshReplica(id);
+      }
+    }
+    report = monitor.PollOnce();
+    bool all_current = report.lag_versions_max == 0 && report.stale_replicas == 0;
+    for (std::size_t i = 0; all_current && i < devices.size(); ++i) {
+      all_current = *devices[i]->ReplicaVersion(refs[i]) == master_version;
+    }
+    if (all_current) break;
+  }
+  const double converge_ms = converge.ElapsedMs();
+
+  std::printf("\n=== fleet convergence (%d devices, %d churned, %d updates) ===\n",
+              kSites, kChurned, kUpdates);
+  std::printf("baseline lag max %llu | peak lag p50=%llu p95=%llu max=%llu, "
+              "%llu stale, %zu unreachable\n",
+              static_cast<unsigned long long>(baseline.lag_versions_max),
+              static_cast<unsigned long long>(peak.lag_versions_p50),
+              static_cast<unsigned long long>(peak.lag_versions_p95),
+              static_cast<unsigned long long>(peak.lag_versions_max),
+              static_cast<unsigned long long>(peak.stale_replicas),
+              peak.sites - peak.reachable);
+  std::printf("reconverged in %.1f ms over %d polls | slo burn %.3f s | "
+              "%.0f bytes/update at peak\n",
+              converge_ms, rounds, report.slo_breach_seconds,
+              peak.bytes_per_update);
+
+  std::string out = "\"fleet\":{";
+  out += "\"sites\":" + std::to_string(kSites);
+  out += ",\"churned\":" + std::to_string(kChurned);
+  out += ",\"updates\":" + std::to_string(kUpdates);
+  out += ",\"updates_observed\":" + std::to_string(peak.updates);
+  out += ",\"peak_lag_versions\":{\"p50\":" + std::to_string(peak.lag_versions_p50) +
+         ",\"p95\":" + std::to_string(peak.lag_versions_p95) +
+         ",\"max\":" + std::to_string(peak.lag_versions_max) + "}";
+  out += ",\"peak_stale_replicas\":" + std::to_string(peak.stale_replicas);
+  out += ",\"unreachable_at_peak\":" + std::to_string(peak.sites - peak.reachable);
+  out += ",\"bytes_per_update_peak\":" + JsonNumber(peak.bytes_per_update);
+  out += ",\"converge_ms\":" + JsonNumber(converge_ms);
+  out += ",\"converge_polls\":" + std::to_string(rounds);
+  out += ",\"final_lag_versions_max\":" + std::to_string(report.lag_versions_max);
+  out += ",\"final_stale_replicas\":" + std::to_string(report.stale_replicas);
+  out += ",\"slo_breach_s\":" + JsonNumber(report.slo_breach_seconds);
+  out += "}";
+  return out;
+}
+
 void PaperSeries() {
   std::printf("=== A4: disconnected operation on a flaky wireless link ===\n");
   std::printf("(%d accesses over a %d-entry agenda; link down 20%% of the time)\n",
@@ -231,6 +377,7 @@ void PaperSeries() {
               "claim).\n");
 
   const std::string reconvergence = Reconvergence();
+  const std::string fleet = FleetConvergence();
 
   // xs indexes the strategies: 0 pure-RMI, 1 on-demand, 2 prefetch.
   std::vector<Series> series;
@@ -244,7 +391,7 @@ void PaperSeries() {
                      static_cast<double>(on_demand.failed),
                      static_cast<double>(prefetch.failed)}});
   WriteBenchJson("mobility", "strategy_index", {0, 1, 2}, series,
-                 {reconvergence});
+                 {reconvergence, fleet});
 }
 
 }  // namespace

@@ -19,7 +19,8 @@
 //           show <name> | set <name> <text> | append <name> <text> |
 //           put <name> | putcluster <name> | refresh <name> | stats |
 //           inspect [addr] | frontier [path] | top [addr] [frames] |
-//           metrics [prom] | trace | help | quit
+//           fleet [watch] <addr...> [frames] | metrics [prom] | trace |
+//           help | quit
 //
 // `--stats` dumps the process-wide metrics registry (plain text) on exit, so
 // scripted runs (`echo ... | obiwan_shell --stats`) get a machine-grepable
@@ -36,6 +37,14 @@
 // `--flight-dump <path>` arms the flight recorder: the first failed request
 // writes the always-on per-site span buffers to <path> as Chrome trace JSON,
 // and a clean exit writes them too — every session leaves a timeline.
+//
+// `--admin <port>` serves the HTTP observability plane on that port:
+// curl http://127.0.0.1:<port>/metrics (Prometheus), /healthz, /inspect.json,
+// /frontier.json|.dot, /flight.
+//
+// `fleet <addr...>` polls the listed sites over the kInspect plane and prints
+// the merged convergence view; `fleet watch <addr...> [frames]` redraws it
+// every second like top(1).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -44,6 +53,7 @@
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
@@ -159,8 +169,8 @@ struct Shell {
           "invoke <name> |\nreplicate <name> [batch] | cluster <name> <n> | "
           "show <name> | set <name> <text> |\nappend <name> <text> | "
           "put <name> | putcluster <name> | refresh <name> | stats |\n"
-          "inspect [addr] | frontier [path] | top [addr] [frames] | "
-          "metrics [prom] | trace | quit\n");
+          "inspect [addr] | frontier [path] | top [addr] [frames] |\n"
+          "fleet [watch] <addr...> [frames] | metrics [prom] | trace | quit\n");
       return true;
     }
     if (cmd == "host-registry") {
@@ -251,6 +261,42 @@ struct Shell {
         }
       }
       std::printf("\n");
+      return true;
+    }
+    if (cmd == "fleet") {
+      // fleet <addr...>          one merged convergence report
+      // fleet watch <addr...> [frames]   redraw every second
+      bool watch = false;
+      int frames = 5;
+      std::vector<net::Address> targets;
+      std::string word;
+      while (in >> word) {
+        if (word == "watch" && targets.empty()) {
+          watch = true;
+        } else if (word.find_first_not_of("0123456789") == std::string::npos) {
+          frames = std::max(1, std::stoi(word));
+        } else {
+          targets.push_back(word);
+        }
+      }
+      if (targets.empty()) {
+        std::printf("usage: fleet [watch] <addr...> [frames]\n");
+        return true;
+      }
+      obs::FleetMonitor monitor(*site, targets);
+      if (!watch) frames = 1;
+      for (int frame = 0; frame < frames; ++frame) {
+        const obs::FleetReport report = monitor.PollOnce();
+        if (watch) {
+          std::printf("\033[2J\033[H");  // clear + home, like top(1)
+          std::printf("obiwan fleet — frame %d/%d\n", frame + 1, frames);
+        }
+        std::fputs(obs::ToText(report).c_str(), stdout);
+        std::fflush(stdout);
+        if (frame + 1 < frames) {
+          std::this_thread::sleep_for(std::chrono::seconds(1));
+        }
+      }
       return true;
     }
 
@@ -378,6 +424,7 @@ struct Shell {
 int main(int argc, char** argv) {
   SiteId site_id = 1;
   std::uint16_t port = 0;
+  std::string admin;
   std::string registry;
   std::string flight_dump;
   std::string frontier_path;
@@ -390,6 +437,8 @@ int main(int argc, char** argv) {
       site_id = static_cast<SiteId>(std::stoul(argv[++i]));
     } else if (arg == "--port" && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::stoul(argv[++i]));
+    } else if (arg == "--admin" && i + 1 < argc) {
+      admin = argv[++i];
     } else if (arg == "--registry" && i + 1 < argc) {
       registry = argv[++i];
     } else if (arg == "--stats") {
@@ -409,7 +458,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: obiwan_shell [--site N] [--port P] "
-                   "[--registry host:port] [--stats]\n"
+                   "[--admin P] [--registry host:port] [--stats]\n"
                    "                    [--inspect [host:port]] "
                    "[--frontier out.dot] [--flight-dump trace.json]\n");
       return 2;
@@ -425,6 +474,15 @@ int main(int argc, char** argv) {
   auto site = std::make_unique<core::Site>(site_id, std::move(*transport));
   if (!site->Start().ok()) return 1;
   site->UseRegistry(registry.empty() ? site->address() : registry);
+  if (!admin.empty()) {
+    Status served = site->ServeAdmin(admin);
+    if (!served.ok()) {
+      std::fprintf(stderr, "cannot serve admin endpoint: %s\n",
+                   served.ToString().c_str());
+      return 1;
+    }
+    std::printf("admin endpoint on http://%s/\n", site->admin_address().c_str());
+  }
 
   if (do_inspect) {
     core::InspectReport report;

@@ -112,6 +112,25 @@ const std::vector<std::int64_t>& DefaultLatencyBuckets() {
   return kBuckets;
 }
 
+#ifndef OBIWAN_VERSION
+#define OBIWAN_VERSION "unknown"
+#endif
+#ifndef OBIWAN_BUILD_FLAGS
+#define OBIWAN_BUILD_FLAGS "unknown"
+#endif
+
+std::string_view BuildVersion() { return OBIWAN_VERSION; }
+std::string_view BuildFlags() { return OBIWAN_BUILD_FLAGS; }
+
+void RegisterBuildInfo(MetricsRegistry& registry) {
+  registry
+      .GetGauge("obiwan_build_info",
+                {{"version", std::string(BuildVersion())},
+                 {"flags", std::string(BuildFlags())}},
+                "Constant 1; version/flags labels identify this build")
+      .Set(1);
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
@@ -327,6 +346,18 @@ std::string PromEscape(const std::string& v, bool escape_quote) {
   return out;
 }
 
+// Exposition name of a counter: Prometheus convention requires the _total
+// suffix on counters, so names registered without one are normalized here
+// (the registry-internal name — and DumpText/DumpJson — keep the raw name).
+std::string PromCounterName(const std::string& name) {
+  constexpr std::string_view kSuffix = "_total";
+  if (name.size() >= kSuffix.size() &&
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0) {
+    return name;
+  }
+  return name + "_total";
+}
+
 // The entry's labels re-rendered with escaped values (labels are already in
 // canonical sorted order from registration).
 std::string PromLabelString(const MetricLabels& labels) {
@@ -362,14 +393,15 @@ std::string MetricsRegistry::DumpPrometheus() const {
     const std::string labels = PromLabelString(e->labels);
     switch (e->type) {
       case Type::kCounter: {
+        const std::string prom_name = PromCounterName(e->name);
         if (first_of_name) {
           if (!e->help.empty()) {
-            out += "# HELP " + e->name + " " +
+            out += "# HELP " + prom_name + " " +
                    PromEscape(e->help, /*escape_quote=*/false) + "\n";
           }
-          out += "# TYPE " + e->name + " counter\n";
+          out += "# TYPE " + prom_name + " counter\n";
         }
-        out += e->name + labels + " " +
+        out += prom_name + labels + " " +
                std::to_string(e->counter->Value()) + "\n";
         break;
       }

@@ -96,6 +96,11 @@ class Histogram {
 std::vector<std::int64_t> ExponentialBuckets(std::int64_t start, double factor,
                                              int count);
 
+// Build identity, baked in by the build system (OBIWAN_VERSION /
+// OBIWAN_BUILD_FLAGS compile definitions; "unknown" otherwise).
+std::string_view BuildVersion();
+std::string_view BuildFlags();
+
 // Default buckets for RPC latencies in nanoseconds: 1 µs .. ~8.6 s, ×2 steps.
 const std::vector<std::int64_t>& DefaultLatencyBuckets();
 
@@ -143,8 +148,12 @@ class MetricsRegistry {
   // "histogram name{labels} count=N p50=... p95=... p99=... max=...".
   std::string DumpText() const;
 
-  // Prometheus text exposition format (counters get a _total suffix if they
-  // lack one; histograms expand to _bucket/_sum/_count series).
+  // Prometheus text exposition format: # HELP/# TYPE metadata per family,
+  // counters normalized to a _total suffix, histograms expanded to native
+  // cumulative _bucket{le=...}/_sum/_count series (the percentile summaries
+  // stay in the text exporter only — external aggregation recomputes
+  // quantiles from the buckets). This is what the HTTP admin endpoint's
+  // GET /metrics serves.
   std::string DumpPrometheus() const;
 
   // Machine-readable dump used by the bench harness:
@@ -189,5 +198,10 @@ class MetricsRegistry {
   // order so handles are stable.
   std::vector<std::unique_ptr<Entry>> entries_;
 };
+
+// Register the constant obiwan_build_info{version,flags} = 1 gauge, the
+// standard Prometheus idiom for detecting restarts and mixed-version fleets
+// (join any series against it by instance). Idempotent.
+void RegisterBuildInfo(MetricsRegistry& registry);
 
 }  // namespace obiwan

@@ -121,6 +121,12 @@ SiteTelemetry::SiteTelemetry(SiteId site, MetricsRegistry& metrics) {
       &metrics.GetGauge("obiwan_notify_retry_depth", labels,
                         "Queued notifications awaiting their backoff deadline");
 
+  uptime = &metrics.GetGauge(
+      "obiwan_site_uptime_ns", labels,
+      "Time since this site was constructed (site clock); a reset to ~0 "
+      "means the site restarted");
+  RegisterBuildInfo(metrics);
+
   auto op = [&](const char* name) {
     MetricLabels op_labels = labels;
     op_labels.emplace_back("op", name);
@@ -182,6 +188,8 @@ Site::Site(SiteId id, std::unique_ptr<net::Transport> transport, Clock& clock)
       policy_(std::make_unique<NoConsistency>()),
       telemetry_(id, MetricsRegistry::Default()),
       fanout_(clock) {
+  created_at_ = clock_.Now();
+  telemetry_.uptime->Set(0);
   sinks_.SetFlight(&flight_);
   // The state provider lets flight dumps embed this site's replica-table
   // summary next to its spans; it runs at dump time on the dumping thread
@@ -204,6 +212,9 @@ Site::Site(SiteId id, std::unique_ptr<net::Transport> transport, Clock& clock)
 }
 
 Site::~Site() {
+  // First stop the admin endpoint: its handlers capture `this` and may be
+  // mid-scrape on the serving thread.
+  StopAdmin();
   Stop();
   FlightRecorder::Global().Unregister(&flight_);
   // The object graph is reference-counted (shared_ptr), so cyclic graphs —
@@ -234,6 +245,7 @@ Site::~Site() {
   telemetry_.holders_active->Set(0);
   telemetry_.holders_suspect->Set(0);
   telemetry_.notify_retry_depth->Set(0);
+  telemetry_.uptime->Set(0);
 }
 
 Status Site::Start() {
@@ -283,6 +295,14 @@ void Site::SyncGauges() {
   telemetry_.masters->Set(static_cast<std::int64_t>(masters_.size()));
   telemetry_.replicas->Set(static_cast<std::int64_t>(replicas_.size()));
   telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
+}
+
+void Site::RefreshTelemetry() {
+  std::lock_guard lock(mutex_);
+  telemetry_.uptime->Set(clock_.Now() - created_at_);
+  SyncGauges();
+  UpdateReplicationGauges();
+  SyncHolderGauges();
 }
 
 // ---------------------------------------------------------------------------

@@ -135,6 +135,12 @@ struct SiteTelemetry {
   Gauge* holders_suspect;
   Gauge* notify_retry_depth;
 
+  // obiwan_site_uptime_ns — nanoseconds since this Site was constructed, on
+  // the site's clock. A sawtooth reset to ~0 on a dashboard means the site
+  // restarted; refreshed by Site::RefreshTelemetry (admin scrapes and
+  // FleetMonitor polls).
+  Gauge* uptime;
+
   // Client-side RPC telemetry, one bundle per operation the site issues.
   struct Op {
     Histogram* latency = nullptr;  // round-trip time on the site's clock
@@ -373,6 +379,36 @@ class Site final : public rmi::Service {
   // Charged against the site's clock (virtual in simulations); zero by
   // default, so real deployments pay only the true CPU cost.
   void SetProxyExportCost(Nanos cost) { proxy_export_cost_ = cost; }
+
+  // --- admin endpoint ----------------------------------------------------------
+  // Serve the observability plane over HTTP (obs/http_admin.h): /metrics,
+  // /healthz, /inspect.json, /frontier.json|.dot, /flight. `addr` is
+  // "host:port", ":port" or "port"; port 0 picks a free one (admin_address()
+  // reports the bound port). Implemented in src/obs/http_admin.cc so
+  // obiwan_core never links the obs library — callers of ServeAdmin must
+  // link obiwan_obs (the obiwan umbrella target does).
+  struct AdminOptions {
+    // Per-request socket budget on the admin port.
+    Nanos request_deadline = 5 * kSecond;
+    // /healthz turns 503 when more than this many replicas are stale —
+    // readiness tracks whether resync is keeping up, not just liveness.
+    std::size_t max_stale_backlog = 1024;
+  };
+  Status ServeAdmin(const std::string& addr);
+  Status ServeAdmin(const std::string& addr, AdminOptions options);
+  void StopAdmin() {
+    admin_.reset();
+    admin_address_.clear();
+  }
+  // "127.0.0.1:<port>" while serving, "" otherwise.
+  const std::string& admin_address() const { return admin_address_; }
+
+  // Recompute every continuous gauge — table sizes, staleness/lease/role,
+  // holder health, uptime — from current state. The protocol paths refresh
+  // these on mutation; this hook exists for pull-based consumers (admin
+  // /metrics scrapes, FleetMonitor polls) so gauges are current even on a
+  // site that has been idle since the last mutation.
+  void RefreshTelemetry();
 
   // --- introspection -------------------------------------------------------------
 
@@ -650,6 +686,7 @@ class Site final : public rmi::Service {
 
   std::uint64_t next_object_ = 1;
   std::uint64_t next_pin_ = 1;
+  Nanos created_at_ = 0;  // clock_ reading at construction, for the uptime gauge
   Nanos proxy_export_cost_ = 0;
   Nanos proxy_lease_ = 0;
   Nanos request_deadline_ = 0;  // 0 = transport default
@@ -661,6 +698,12 @@ class Site final : public rmi::Service {
   Tracer flight_{kFlightRecorderCapacity};
   TraceSinks sinks_;
   ReplicaUpdateCallback on_replica_update_;
+
+  // The attached HttpAdminServer, type-erased so this header stays free of
+  // obs dependencies. Must be destroyed before the rest of the site (its
+  // handlers capture `this`) — ~Site resets it first.
+  std::shared_ptr<void> admin_;
+  std::string admin_address_;
 };
 
 }  // namespace obiwan::core

@@ -40,6 +40,8 @@
 #include "net/sim.h"
 #include "net/tcp.h"
 #include "net/transport.h"
+#include "obs/fleet_monitor.h"
+#include "obs/http_admin.h"
 #include "rmi/registry.h"
 #include "tx/transaction.h"
 #include "wire/codec.h"

@@ -1,0 +1,322 @@
+#include "obs/http_admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/flight_recorder.h"
+#include "common/log.h"
+#include "core/site.h"
+
+namespace obiwan::obs {
+
+namespace {
+
+// Parse "host:port", ":port" or "port" into the port number; the host part
+// is ignored (the admin socket always binds INADDR_ANY).
+Result<std::uint16_t> ParsePort(const std::string& addr) {
+  std::string_view port_str = addr;
+  if (auto colon = addr.rfind(':'); colon != std::string::npos) {
+    port_str = std::string_view(addr).substr(colon + 1);
+  }
+  unsigned value = 0;
+  auto [ptr, ec] = std::from_chars(port_str.data(),
+                                   port_str.data() + port_str.size(), value);
+  if (ec != std::errc() || ptr != port_str.data() + port_str.size() ||
+      value > 65535) {
+    return InvalidArgumentError("bad admin address '" + addr + "'");
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+// Apply the remaining request budget as a socket send/receive timeout, so a
+// stalled peer unblocks the serving thread with EAGAIN instead of wedging it.
+void SetSocketBudget(int fd, int what, Nanos remaining) {
+  if (remaining < kMilli) remaining = kMilli;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(remaining / kSecond);
+  tv.tv_usec = static_cast<suseconds_t>((remaining % kSecond) / kMicro);
+  ::setsockopt(fd, SOL_SOCKET, what, &tv, sizeof(tv));
+}
+
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default:  return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpAdminServer>> HttpAdminServer::Create(
+    const std::string& addr) {
+  return Create(addr, Options{});
+}
+
+Result<std::unique_ptr<HttpAdminServer>> HttpAdminServer::Create(
+    const std::string& addr, Options options) {
+  OBIWAN_ASSIGN_OR_RETURN(std::uint16_t port, ParsePort(addr));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("admin socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  sa.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    Status status = InternalError("admin bind " + addr + ": " +
+                                  std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status = InternalError(std::string("admin listen: ") +
+                                  std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      Status status = InternalError(std::string("admin getsockname: ") +
+                                    std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    port = ntohs(bound.sin_port);
+  }
+  return std::unique_ptr<HttpAdminServer>(
+      new HttpAdminServer(fd, port, options));
+}
+
+HttpAdminServer::HttpAdminServer(int listen_fd, std::uint16_t port,
+                                 Options options)
+    : listen_fd_(listen_fd), port_(port), options_(options) {
+  auto& registry = MetricsRegistry::Default();
+  MetricLabels labels{{"inst", std::to_string(MetricsRegistry::NextInstance())}};
+  requests_ = &registry.GetCounter("obiwan_admin_http_requests_total", labels,
+                                   "Admin HTTP requests served");
+  errors_ = &registry.GetCounter("obiwan_admin_http_errors_total", labels,
+                                 "Admin HTTP requests answered with >= 400");
+}
+
+HttpAdminServer::~HttpAdminServer() {
+  Stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void HttpAdminServer::Route(const std::string& path, HttpHandler handler) {
+  std::lock_guard lock(mutex_);
+  routes_[path] = std::move(handler);
+}
+
+Status HttpAdminServer::Start() {
+  if (running_.exchange(true)) return Status::Ok();
+  serve_thread_ = std::thread([this] { ServeLoop(); });
+  return Status::Ok();
+}
+
+void HttpAdminServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock accept(); the loop sees running_ == false and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (serve_thread_.joinable()) serve_thread_.join();
+}
+
+std::string HttpAdminServer::address() const {
+  return "127.0.0.1:" + std::to_string(port_);
+}
+
+void HttpAdminServer::ServeLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load(std::memory_order_relaxed)) break;
+      // Transient accept failure (EMFILE etc.) — keep serving.
+      continue;
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpAdminServer::HandleConnection(int fd) {
+  SetSocketBudget(fd, SO_RCVTIMEO, options_.request_deadline);
+  SetSocketBudget(fd, SO_SNDTIMEO, options_.request_deadline);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Read until the end of the request head (we ignore any body).
+  std::string head;
+  char buf[2048];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    if (head.size() > options_.max_request_bytes) break;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (head.empty()) return;  // peer connected and left; not a request
+      break;
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+
+  requests_->Inc();
+
+  HttpResponse response;
+  std::string method, target;
+  {
+    std::istringstream line(head.substr(0, head.find('\n')));
+    std::string version;
+    line >> method >> target >> version;
+  }
+  bool head_only = method == "HEAD";
+  if (method.empty() || target.empty() ||
+      head.size() > options_.max_request_bytes) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (method != "GET" && method != "HEAD") {
+    response = {405, "text/plain; charset=utf-8", "only GET is served here\n"};
+  } else {
+    if (auto query = target.find('?'); query != std::string::npos) {
+      target.resize(query);
+    }
+    HttpHandler handler;
+    {
+      std::lock_guard lock(mutex_);
+      if (auto it = routes_.find(target); it != routes_.end()) {
+        handler = it->second;
+      }
+    }
+    if (!handler) {
+      response = {404, "text/plain; charset=utf-8",
+                  "no such endpoint: " + target + "\n"};
+    } else {
+      response = handler();
+    }
+  }
+  if (response.status >= 400) errors_->Inc();
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) +
+                    "\r\nContent-Type: " + response.content_type +
+                    "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  if (!head_only) out += response.body;
+  WriteAll(fd, out.data(), out.size());
+}
+
+}  // namespace obiwan::obs
+
+// --- Site::ServeAdmin -------------------------------------------------------
+// Defined here (not in site.cc) so obiwan_core does not depend on obiwan_obs;
+// the Site header only knows an opaque shared_ptr<void>.
+
+namespace obiwan::core {
+
+Status Site::ServeAdmin(const std::string& addr) {
+  return ServeAdmin(addr, AdminOptions{});
+}
+
+Status Site::ServeAdmin(const std::string& addr, AdminOptions options) {
+  if (admin_) {
+    return FailedPreconditionError("admin endpoint already serving on " +
+                                   admin_address_);
+  }
+  obs::HttpAdminServer::Options server_options;
+  server_options.request_deadline = options.request_deadline;
+  OBIWAN_ASSIGN_OR_RETURN(
+      std::unique_ptr<obs::HttpAdminServer> server,
+      obs::HttpAdminServer::Create(addr, server_options));
+
+  server->Route("/metrics", [this] {
+    RefreshTelemetry();
+    return obs::HttpResponse{
+        200, "text/plain; version=0.0.4; charset=utf-8",
+        MetricsRegistry::Default().DumpPrometheus()};
+  });
+  const std::size_t max_backlog = options.max_stale_backlog;
+  server->Route("/healthz", [this, max_backlog] {
+    RefreshTelemetry();
+    const bool transport_up = started_ && Ping(address()).ok();
+    const std::size_t backlog = StaleReplicaIds().size();
+    const bool healthy = transport_up && backlog <= max_backlog;
+    std::ostringstream body;
+    body << "{\"status\":\"" << (healthy ? "ok" : "unhealthy")
+         << "\",\"transport\":" << (transport_up ? "true" : "false")
+         << ",\"stale_backlog\":" << backlog
+         << ",\"max_stale_backlog\":" << max_backlog << "}\n";
+    return obs::HttpResponse{healthy ? 200 : 503,
+                             "application/json; charset=utf-8", body.str()};
+  });
+  server->Route("/inspect.json", [this] {
+    return obs::HttpResponse{200, "application/json; charset=utf-8",
+                             ToJson(Inspect())};
+  });
+  server->Route("/frontier.json", [this] {
+    return obs::HttpResponse{200, "application/json; charset=utf-8",
+                             FrontierJson(Inspect())};
+  });
+  server->Route("/frontier.dot", [this] {
+    return obs::HttpResponse{200, "text/vnd.graphviz; charset=utf-8",
+                             FrontierDot(Inspect())};
+  });
+  server->Route("/flight", [this] {
+    (void)this;
+    return obs::HttpResponse{200, "application/json; charset=utf-8",
+                             FlightRecorder::Global().ChromeTraceJson()};
+  });
+  server->Route("/", [] {
+    return obs::HttpResponse{
+        200, "text/plain; charset=utf-8",
+        "obiwan admin endpoints:\n"
+        "  /metrics        Prometheus text exposition\n"
+        "  /healthz        readiness (transport + resync backlog)\n"
+        "  /inspect.json   replication-state report\n"
+        "  /frontier.json  replication frontier graph\n"
+        "  /frontier.dot   frontier graph as Graphviz DOT\n"
+        "  /flight         flight-recorder Chrome trace\n"};
+  });
+
+  OBIWAN_RETURN_IF_ERROR(server->Start());
+  admin_address_ = server->address();
+  OBIWAN_LOG(kInfo) << "site " << id_ << " admin endpoint on "
+                    << admin_address_;
+  admin_ = std::shared_ptr<void>(server.release(), [](void* p) {
+    delete static_cast<obs::HttpAdminServer*>(p);
+  });
+  return Status::Ok();
+}
+
+}  // namespace obiwan::core

@@ -1,0 +1,120 @@
+// Embedded HTTP/1.1 admin endpoint: the serving half of the observability
+// plane.
+//
+// PRs 1-4 built deep per-process telemetry — the metrics registry, causal
+// spans, the flight recorder, Site::Inspect() — but all of it was trapped
+// in-process: a real operations stack (Prometheus, curl, a dashboard) had no
+// way in. HttpAdminServer is the way in: a deliberately tiny HTTP/1.1 server
+// that serves registered routes from one bounded thread, with per-request
+// socket deadlines (the PR 3 discipline: an admin port must never wedge on a
+// stalled scraper), one request per connection, and nothing else — no TLS,
+// no keep-alive, no routing DSL. It is an *admin* port, not a web server.
+//
+// Site::ServeAdmin(addr) (declared in core/site.h, implemented here so the
+// core library does not depend on this one) attaches the standard route set
+// to any site:
+//
+//   GET /            index of the routes below
+//   GET /metrics     Prometheus text exposition (HELP/TYPE + histogram
+//                    _bucket/_sum/_count series); refreshes the site's
+//                    continuous gauges first, so staleness/lease/role/uptime
+//                    are current at every scrape
+//   GET /healthz     200 {"status":"ok",...} when the site's transport
+//                    answers a self-ping and the resync backlog is within
+//                    bounds; 503 otherwise — wire this to your orchestrator's
+//                    readiness probe
+//   GET /inspect.json    the Site::Inspect() replication-state report
+//   GET /frontier.json   replication-frontier graph (nodes/edges JSON)
+//   GET /frontier.dot    same graph as Graphviz DOT
+//   GET /flight      merged Chrome-trace dump of every flight recorder in
+//                    the process (load in Perfetto)
+//
+// The admin socket is plain TCP on loopback-reachable INADDR_ANY and is
+// independent of the site's RMI transport: a site on the simulated network
+// still serves real HTTP, which is how the fleet benches are observable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace obiwan::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// One route's handler. Runs on the admin serving thread; it may take the
+// site lock (scrapes race protocol traffic) but must not block indefinitely.
+using HttpHandler = std::function<HttpResponse()>;
+
+class HttpAdminServer {
+ public:
+  struct Options {
+    // Per-request socket budget (read the request, write the response). A
+    // scraper that stalls past this gets cut off instead of wedging the
+    // serving thread.
+    Nanos request_deadline = 5 * kSecond;
+    // Request head (request line + headers) cap; anything larger is a 400.
+    std::size_t max_request_bytes = 16 * 1024;
+  };
+
+  // `addr` is "host:port", ":port" or "port"; port 0 binds a free port (the
+  // bind happens here, so address() is final before Start). The host part is
+  // advisory — the server binds INADDR_ANY and reports 127.0.0.1.
+  static Result<std::unique_ptr<HttpAdminServer>> Create(const std::string& addr);
+  static Result<std::unique_ptr<HttpAdminServer>> Create(const std::string& addr,
+                                                         Options options);
+
+  ~HttpAdminServer();
+
+  HttpAdminServer(const HttpAdminServer&) = delete;
+  HttpAdminServer& operator=(const HttpAdminServer&) = delete;
+
+  // Register `handler` for exact path `path` (query strings are stripped
+  // before matching). Replaces any previous handler. Safe while serving.
+  void Route(const std::string& path, HttpHandler handler);
+
+  // Start the bounded serving thread (accept -> handle -> close, serially;
+  // concurrent clients queue in the kernel backlog).
+  Status Start();
+  void Stop();
+
+  // "127.0.0.1:<port>" — final after Create.
+  std::string address() const;
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t requests_served() const { return requests_->Value(); }
+
+ private:
+  HttpAdminServer(int listen_fd, std::uint16_t port, Options options);
+
+  void ServeLoop();
+  // One connection: parse the request head, dispatch, write the response.
+  void HandleConnection(int fd);
+
+  int listen_fd_;
+  std::uint16_t port_;
+  Options options_;
+  std::atomic<bool> running_{false};
+  std::thread serve_thread_;
+
+  mutable std::mutex mutex_;  // guards routes_
+  std::map<std::string, HttpHandler> routes_;
+
+  Counter* requests_;  // obiwan_admin_http_requests_total
+  Counter* errors_;    // obiwan_admin_http_errors_total (status >= 400)
+};
+
+}  // namespace obiwan::obs

@@ -39,10 +39,10 @@ run_flavour ubsan build-ubsan -DOBIWAN_SANITIZE=undefined
 echo "=== [tsan] configure ==="
 cmake -B build-tsan -S . -DOBIWAN_SANITIZE=thread
 echo "=== [tsan] build ==="
-cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test fanout_test
+cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test fanout_test obs_test
 echo "=== [tsan] test ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport|FanoutTcp)'
+    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport|FanoutTcp|AdminHttp|FleetMonitor)'
 
 # The fig4 bench must emit a schema-valid BENCH_*.json with latency
 # percentiles (skip the google-benchmark micro-benchmarks; the paper series
@@ -139,14 +139,17 @@ EOF
 # The mobility bench must report the disconnection-reconvergence experiment:
 # a put with one of N holders unreachable stays bounded by ~one notification
 # deadline (the parallel fanout claim), and the reconnecting holder
-# reconverges through the retry queue + resync daemon.
-echo "=== [bench] mobility reconvergence JSON ==="
+# reconverges through the retry queue + resync daemon. It must also report
+# the fleet-convergence experiment: >=200 simulated device sites observed by
+# a FleetMonitor through churn, with the lag distribution spiking at peak
+# and returning to zero after reconnection.
+echo "=== [bench] mobility reconvergence + fleet JSON ==="
 (cd build-ci && ./bench/bench_mobility --benchmark_filter=SchemaOnly)
 python3 - build-ci/BENCH_mobility.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-for key in ("bench", "xs", "series", "reconvergence", "metrics"):
+for key in ("bench", "xs", "series", "reconvergence", "fleet", "metrics"):
     assert key in doc, f"missing key: {key}"
 r = doc["reconvergence"]
 for key in ("holders", "disconnected", "updates_during_window",
@@ -165,6 +168,34 @@ print(f"BENCH_mobility.json: reconvergence OK (one-down overhead "
       f"{overhead_ms:.0f} ms vs deadline {r['notify_deadline_ms']:.0f} ms, "
       f"reconverge {r['reconverge_ms']:.0f} ms, "
       f"{r['resync_refreshes']} resync refreshes)")
+
+fl = doc["fleet"]
+for key in ("sites", "churned", "updates", "updates_observed",
+            "peak_lag_versions", "peak_stale_replicas", "unreachable_at_peak",
+            "bytes_per_update_peak", "converge_ms", "converge_polls",
+            "final_lag_versions_max", "final_stale_replicas", "slo_breach_s"):
+    assert key in fl, f"fleet section missing {key}"
+assert fl["sites"] >= 200, f"fleet too small: {fl['sites']} sites"
+assert fl["churned"] >= 1, "no churned devices in the fleet experiment"
+# The monitor must have seen the churn: unreachable devices at peak, a lag
+# spike covering every missed update, and stale replicas across the fleet.
+assert fl["unreachable_at_peak"] >= fl["churned"], \
+    f"churned devices not unreachable at peak: {fl}"
+assert fl["peak_lag_versions"]["max"] >= 1, "no lag spike observed"
+assert fl["peak_stale_replicas"] >= 1, "no stale replicas observed at peak"
+assert fl["updates_observed"] >= fl["updates"], \
+    f"monitor missed updates: {fl['updates_observed']} < {fl['updates']}"
+assert fl["bytes_per_update_peak"] > 0, "bytes-per-update not measured"
+# ...and the reconnection must actually reconverge, with SLO burn recorded
+# for the window the fleet spent out of bounds.
+assert fl["converge_ms"] > 0, "fleet convergence not measured"
+assert fl["final_lag_versions_max"] == 0, "fleet did not reconverge (lag)"
+assert fl["final_stale_replicas"] == 0, "fleet did not reconverge (stale)"
+assert fl["slo_breach_s"] > 0, "SLO burn never accrued during churn"
+print(f"BENCH_mobility.json: fleet OK ({fl['sites']} sites, "
+      f"{fl['churned']} churned, peak lag max {fl['peak_lag_versions']['max']}, "
+      f"converged in {fl['converge_ms']:.0f} ms, "
+      f"SLO burn {fl['slo_breach_s']:.2f} s)")
 EOF
 
 # The replication observatory, exercised over real TCP: a provider shell
@@ -230,4 +261,80 @@ print(f"observatory: inspect JSON schema OK ({len(doc['objects'])} objects, "
       f"({len(nodes)} nodes, {len(edges)} edges)")
 EOF
 
-echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace + reconvergence + observatory ==="
+# The embedded admin endpoint, served by a real shell over TCP: /metrics must
+# be well-formed Prometheus text exposition (every sample under a # TYPE,
+# counters suffixed _total, histogram buckets cumulative with +Inf == _count)
+# and /healthz must report ready while the RMI plane is up.
+echo "=== [shell] admin endpoint: /metrics exposition + /healthz ==="
+ADMIN_METRICS="$(pwd)/build-ci/admin_metrics.prom"
+ADMIN_HEALTH="$(pwd)/build-ci/admin_healthz.json"
+rm -f "$ADMIN_METRICS" "$ADMIN_HEALTH"
+{ printf 'host-registry\nbind todo admin-doc 3\n'; sleep 6; } | \
+    "$SHELL_BIN" --site 7 --port 7472 --admin 7474 >/dev/null &
+ADMIN_SERVER=$!
+sleep 1
+curl -fsS http://127.0.0.1:7474/metrics > "$ADMIN_METRICS"
+curl -fsS http://127.0.0.1:7474/healthz > "$ADMIN_HEALTH"
+curl -fsS http://127.0.0.1:7474/inspect.json | python3 -c \
+    'import json,sys; d=json.load(sys.stdin); assert d["site"] == 7, d'
+kill "$ADMIN_SERVER" 2>/dev/null || true
+wait "$ADMIN_SERVER" 2>/dev/null || true
+python3 - "$ADMIN_METRICS" "$ADMIN_HEALTH" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [l for l in f.read().splitlines() if l]
+types = {}
+families = {}  # family -> {"samples": n, "buckets": {labels: [counts]}}
+for line in lines:
+    if line.startswith("# TYPE "):
+        name, kind = line[len("# TYPE "):].split()
+        assert kind in ("counter", "gauge", "histogram"), line
+        assert name not in types, f"duplicate TYPE for {name}"
+        types[name] = kind
+        continue
+    if line.startswith("#"):
+        assert line.startswith("# HELP "), f"unknown comment: {line}"
+        continue
+    name = line.split("{")[0].split(" ")[0]
+    value = float(line.rsplit(" ", 1)[1])
+    family = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = name[: -len(suffix)] if name.endswith(suffix) else None
+        if base and types.get(base) == "histogram":
+            family = base
+    assert family in types, f"sample without TYPE: {line}"
+    if types[family] == "counter":
+        assert name.endswith("_total"), f"counter without _total: {line}"
+    fam = families.setdefault(family, {"samples": 0, "buckets": {}, "count": {}})
+    fam["samples"] += 1
+    if types[family] == "histogram":
+        labels = line.split("{", 1)[1].rsplit("}", 1)[0] if "{" in line else ""
+        base_labels = ",".join(
+            kv for kv in labels.split(",") if not kv.startswith("le="))
+        if name.endswith("_bucket"):
+            fam["buckets"].setdefault(base_labels, []).append(value)
+        elif name.endswith("_count"):
+            fam["count"][base_labels] = value
+for family, fam in families.items():
+    for labels, counts in fam["buckets"].items():
+        assert counts == sorted(counts), \
+            f"non-cumulative buckets for {family}{{{labels}}}: {counts}"
+        assert counts[-1] == fam["count"].get(labels), \
+            f"+Inf bucket != _count for {family}{{{labels}}}"
+for needed in ("obiwan_site_uptime_ns", "obiwan_build_info",
+               "obiwan_rmi_client_latency_ns",
+               "obiwan_admin_http_requests_total"):
+    assert needed in types, f"missing metric family {needed}"
+assert types["obiwan_rmi_client_latency_ns"] == "histogram"
+assert any(kind == "histogram" for kind in types.values())
+
+with open(sys.argv[2]) as f:
+    health = json.load(f)
+assert health["status"] == "ok", f"unhealthy: {health}"
+assert health["transport"] is True, f"transport down: {health}"
+assert "stale_backlog" in health and "max_stale_backlog" in health, health
+print(f"admin endpoint: exposition OK ({len(types)} families, "
+      f"{sum(f['samples'] for f in families.values())} samples), healthz OK")
+EOF
+
+echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace + reconvergence + observatory + fleet + admin ==="
