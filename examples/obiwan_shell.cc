@@ -20,7 +20,7 @@
 //           put <name> | putcluster <name> | refresh <name> | stats |
 //           inspect [addr] | frontier [path] | top [addr] [frames] |
 //           fleet [watch] <addr...> [frames] | metrics [prom] | trace |
-//           help | quit
+//           profile [json] | contend [k] | help | quit
 //
 // `--stats` dumps the process-wide metrics registry (plain text) on exit, so
 // scripted runs (`echo ... | obiwan_shell --stats`) get a machine-grepable
@@ -55,10 +55,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/contention.h"
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "net/tcp.h"
 #include "obiwan.h"
+#include "obs/profiler.h"
 
 namespace {
 
@@ -99,6 +101,7 @@ struct Shell {
 
   Tracer tracer;
   std::unique_ptr<core::Site> site;
+  std::unique_ptr<obs::Profiler> profiler;  // lazily built by `profile`
   std::map<std::string, core::RemoteRef<Note>> remotes;
   std::map<std::string, core::Ref<Note>> locals;
 
@@ -170,7 +173,31 @@ struct Shell {
           "show <name> | set <name> <text> |\nappend <name> <text> | "
           "put <name> | putcluster <name> | refresh <name> | stats |\n"
           "inspect [addr] | frontier [path] | top [addr] [frames] |\n"
-          "fleet [watch] <addr...> [frames] | metrics [prom] | trace | quit\n");
+          "fleet [watch] <addr...> [frames] | metrics [prom] | trace |\n"
+          "profile [json] | contend [k] | quit\n");
+      return true;
+    }
+    if (cmd == "profile") {
+      // One queue-depth + lock-hotness sample of this site (json for
+      // machines, the default text for humans).
+      std::string format;
+      in >> format;
+      if (!profiler) profiler = std::make_unique<obs::Profiler>(*site);
+      const obs::ProfileReport report = profiler->SampleOnce();
+      std::string out = format == "json" ? report.ToJson() + "\n"
+                                         : report.ToText();
+      std::fputs(out.c_str(), stdout);
+      return true;
+    }
+    if (cmd == "contend") {
+      // Just the lock table: which locks threads wait on, ranked.
+      std::size_t top_k = 10;
+      in >> top_k;
+      std::fputs(LockHotnessText(
+                     LockHotness(MetricsRegistry::Default(),
+                                 std::max<std::size_t>(top_k, 1)))
+                     .c_str(),
+                 stdout);
       return true;
     }
     if (cmd == "host-registry") {

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace obiwan {
 
@@ -31,6 +32,39 @@ void Histogram::Observe(std::int64_t v) {
   while (v > prev &&
          !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
   }
+  const std::int64_t threshold =
+      exemplar_threshold_.load(std::memory_order_relaxed);
+  if (threshold >= 0 && v >= threshold) MaybeCaptureExemplar(v, idx);
+}
+
+void Histogram::SetExemplarThreshold(std::int64_t threshold) {
+  exemplar_threshold_.store(threshold, std::memory_order_relaxed);
+}
+
+void Histogram::MaybeCaptureExemplar(std::int64_t v, std::size_t bucket) {
+  const TraceId trace = TraceContext::Current();
+  if (!trace.valid()) return;  // nothing to link the bucket back to
+  std::unique_lock lock(exemplar_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // best-effort: never block the hot path
+  Exemplar& slot = exemplar_ring_[exemplar_count_ % kExemplarSlots];
+  slot.value = v;
+  slot.bucket = bucket;
+  slot.trace = trace;
+  slot.span = SpanContext::Current();
+  slot.seq = ++exemplar_count_;
+}
+
+std::vector<Histogram::Exemplar> Histogram::Exemplars() const {
+  std::lock_guard lock(exemplar_mutex_);
+  const std::uint64_t kept = std::min<std::uint64_t>(exemplar_count_,
+                                                     kExemplarSlots);
+  std::vector<Exemplar> out;
+  out.reserve(kept);
+  // Oldest retained first: the ring writes slot (seq - 1) % kExemplarSlots.
+  for (std::uint64_t i = exemplar_count_ - kept; i < exemplar_count_; ++i) {
+    out.push_back(exemplar_ring_[i % kExemplarSlots]);
+  }
+  return out;
 }
 
 std::vector<std::uint64_t> Histogram::BucketCounts() const {
@@ -41,13 +75,13 @@ std::vector<std::uint64_t> Histogram::BucketCounts() const {
   return out;
 }
 
-namespace {
-
 // Shared percentile math for a live histogram and for merged bucket arrays
-// (SummarizeHistograms). `counts` has bounds.size() + 1 entries.
-double PercentileFromBuckets(const std::vector<std::int64_t>& bounds,
-                             const std::vector<std::uint64_t>& counts,
-                             std::uint64_t total, std::int64_t max, double p) {
+// (SummarizeHistograms, windowed deltas). `counts` has bounds.size() + 1
+// entries.
+double PercentileFromBucketCounts(const std::vector<std::int64_t>& bounds,
+                                  const std::vector<std::uint64_t>& counts,
+                                  std::uint64_t total, std::int64_t max,
+                                  double p) {
   if (total == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
   const double rank = p * static_cast<double>(total);
@@ -73,10 +107,8 @@ double PercentileFromBuckets(const std::vector<std::int64_t>& bounds,
   return static_cast<double>(max);
 }
 
-}  // namespace
-
 double Histogram::Percentile(double p) const {
-  return PercentileFromBuckets(bounds_, BucketCounts(), Count(), Max(), p);
+  return PercentileFromBucketCounts(bounds_, BucketCounts(), Count(), Max(), p);
 }
 
 void Histogram::Reset() {
@@ -86,6 +118,9 @@ void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  std::lock_guard lock(exemplar_mutex_);
+  exemplar_ring_.fill(Exemplar{});
+  exemplar_count_ = 0;
 }
 
 std::vector<std::int64_t> ExponentialBuckets(std::int64_t start, double factor,
@@ -160,9 +195,30 @@ std::string FormatDouble(double v) {
 
 }  // namespace
 
+namespace {
+// Published by Default() before it binds the registry's own mutex, so code
+// running inside that bind (BindLockStats) can identify the default registry
+// without re-entering the still-initializing magic static.
+std::atomic<MetricsRegistry*> g_default_live{nullptr};
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::Default() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    g_default_live.store(r, std::memory_order_release);
+    // Instrument the registry's own lock — after construction, directly on
+    // *r: the registrations go through the still-unbound mutex (plain
+    // passthrough) and never re-enter Default(), so the magic static cannot
+    // deadlock on itself. Once bound, lock telemetry is pure atomic updates
+    // on the resolved handles — no registry lock taken, no self-recursion.
+    r->mutex_.BindTo(*r, "metrics_registry");
+    return r;
+  }();
   return *registry;
+}
+
+MetricsRegistry* MetricsRegistry::DefaultIfLive() {
+  return g_default_live.load(std::memory_order_acquire);
 }
 
 std::uint64_t MetricsRegistry::NextInstance() {
@@ -358,6 +414,33 @@ std::string PromCounterName(const std::string& name) {
   return name + "_total";
 }
 
+// OpenMetrics exemplar suffix for one bucket line:
+// ` # {trace_id="trace(1:7)",span_id="42"} <value>`. Appended to the
+// `_bucket` series whose range the exemplar observation landed in, so a
+// scraper (or a human) can jump from a fat tail bucket straight to the
+// flight-recorder span with that trace id.
+std::string PromExemplarSuffix(const Histogram::Exemplar& e) {
+  std::string out = " # {trace_id=\"" +
+                    PromEscape(ToString(e.trace), /*escape_quote=*/true) + "\"";
+  if (e.span != 0) out += ",span_id=\"" + std::to_string(e.span) + "\"";
+  out += "} " + std::to_string(e.value);
+  return out;
+}
+
+// Most recent exemplar per bucket index, or empty when the histogram has
+// captured none.
+std::vector<const Histogram::Exemplar*> ExemplarPerBucket(
+    const std::vector<Histogram::Exemplar>& exemplars, std::size_t buckets) {
+  std::vector<const Histogram::Exemplar*> best(buckets, nullptr);
+  for (const Histogram::Exemplar& e : exemplars) {
+    if (e.bucket >= buckets) continue;
+    if (best[e.bucket] == nullptr || e.seq > best[e.bucket]->seq) {
+      best[e.bucket] = &e;
+    }
+  }
+  return best;
+}
+
 // The entry's labels re-rendered with escaped values (labels are already in
 // canonical sorted order from registration).
 std::string PromLabelString(const MetricLabels& labels) {
@@ -427,15 +510,23 @@ std::string MetricsRegistry::DumpPrometheus() const {
         }
         const Histogram& h = *e->histogram;
         const auto counts = h.BucketCounts();
+        const auto exemplars = h.Exemplars();
+        const auto per_bucket = ExemplarPerBucket(exemplars, counts.size());
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < h.bounds().size(); ++i) {
           cumulative += counts[i];
           out += WithLe(e->name + "_bucket", labels,
                         std::to_string(h.bounds()[i])) +
-                 " " + std::to_string(cumulative) + "\n";
+                 " " + std::to_string(cumulative);
+          if (per_bucket[i] != nullptr) out += PromExemplarSuffix(*per_bucket[i]);
+          out += "\n";
         }
         out += WithLe(e->name + "_bucket", labels, "+Inf") + " " +
-               std::to_string(h.Count()) + "\n";
+               std::to_string(h.Count());
+        if (per_bucket.back() != nullptr) {
+          out += PromExemplarSuffix(*per_bucket.back());
+        }
+        out += "\n";
         out += e->name + "_sum" + labels + " " +
                std::to_string(h.Sum()) + "\n";
         out += e->name + "_count" + labels + " " +
@@ -515,6 +606,15 @@ std::string MetricsRegistry::DumpJson() const {
           histograms += "{\"le\":" + le +
                         ",\"count\":" + std::to_string(counts[i]) + "}";
         }
+        histograms += "],\"tail_exemplars\":[";
+        const auto exemplars = h.Exemplars();
+        for (std::size_t i = 0; i < exemplars.size(); ++i) {
+          if (i != 0) histograms += ',';
+          histograms += "{\"value\":" + std::to_string(exemplars[i].value) +
+                        ",\"bucket\":" + std::to_string(exemplars[i].bucket) +
+                        ",\"trace_id\":\"" + JsonEscape(ToString(exemplars[i].trace)) +
+                        "\",\"span_id\":" + std::to_string(exemplars[i].span) + "}";
+        }
         histograms += "]}";
         break;
       }
@@ -566,11 +666,11 @@ HistogramSummary MetricsRegistry::SummarizeHistograms(
   }
   if (bounds != nullptr) {
     summary.p50 =
-        PercentileFromBuckets(*bounds, merged, summary.count, summary.max, 0.50);
+        PercentileFromBucketCounts(*bounds, merged, summary.count, summary.max, 0.50);
     summary.p95 =
-        PercentileFromBuckets(*bounds, merged, summary.count, summary.max, 0.95);
+        PercentileFromBucketCounts(*bounds, merged, summary.count, summary.max, 0.95);
     summary.p99 =
-        PercentileFromBuckets(*bounds, merged, summary.count, summary.max, 0.99);
+        PercentileFromBucketCounts(*bounds, merged, summary.count, summary.max, 0.99);
   }
   return summary;
 }
@@ -585,6 +685,55 @@ std::uint64_t MetricsRegistry::SumCounters(std::string_view name,
     total += e->counter->Value();
   }
   return total;
+}
+
+std::int64_t MetricsRegistry::SumGauges(std::string_view name,
+                                        const MetricLabels& having) const {
+  std::lock_guard lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& e : entries_) {
+    if (e->type != Type::kGauge || e->name != name) continue;
+    if (!LabelsContain(e->labels, having)) continue;
+    total += e->gauge->Value();
+  }
+  return total;
+}
+
+MergedHistogram MetricsRegistry::MergeHistograms(
+    std::string_view name, const MetricLabels& having) const {
+  std::lock_guard lock(mutex_);
+  MergedHistogram merged;
+  for (const auto& e : entries_) {
+    if (e->type != Type::kHistogram || e->name != name) continue;
+    if (!LabelsContain(e->labels, having)) continue;
+    const Histogram& h = *e->histogram;
+    if (merged.bounds.empty()) {
+      merged.bounds = h.bounds();
+      merged.counts.assign(merged.bounds.size() + 1, 0);
+    } else if (h.bounds() != merged.bounds) {
+      continue;  // incompatible series; skip rather than mis-merge
+    }
+    const auto counts = h.BucketCounts();
+    for (std::size_t i = 0; i < counts.size(); ++i) merged.counts[i] += counts[i];
+    merged.count += h.Count();
+    merged.sum += h.Sum();
+    merged.max = std::max(merged.max, h.Max());
+  }
+  return merged;
+}
+
+std::vector<std::string> MetricsRegistry::LabelValues(
+    std::string_view name, std::string_view key) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (e->name != name) continue;
+    for (const auto& [k, v] : e->labels) {
+      if (k != key) continue;
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+  }
+  return out;
 }
 
 }  // namespace obiwan

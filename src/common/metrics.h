@@ -15,6 +15,7 @@
 // walk the registry under the mutex; they never block updates.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -23,6 +24,9 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/contention.h"
+#include "common/ids.h"
 
 namespace obiwan {
 
@@ -62,10 +66,34 @@ class Gauge {
 // exact tracked maximum, so p100 == Max() always holds.
 class Histogram {
  public:
+  // Tail exemplar: one observation at or above the exemplar threshold,
+  // stamped with the TraceId/span id that was active on the observing thread
+  // — the link from a fat histogram bucket back to the flight-recorder span
+  // that produced it. Kept in a small ring (most recent kExemplarSlots);
+  // capture is best-effort (skipped when the ring lock is contended or no
+  // trace is active) so the hot path never blocks on it.
+  static constexpr std::size_t kExemplarSlots = 8;
+  struct Exemplar {
+    std::int64_t value = 0;
+    std::size_t bucket = 0;  // index into BucketCounts()
+    TraceId trace;
+    std::uint64_t span = 0;  // 0 when no span was open
+    std::uint64_t seq = 0;   // capture order; larger = more recent
+  };
+
   // `bounds` must be non-empty and strictly ascending.
   explicit Histogram(std::vector<std::int64_t> bounds);
 
   void Observe(std::int64_t v);
+
+  // Observations >= `threshold` capture an exemplar when a trace is active.
+  // Negative disables (the default — exemplars are opt-in per histogram).
+  void SetExemplarThreshold(std::int64_t threshold);
+  std::int64_t exemplar_threshold() const {
+    return exemplar_threshold_.load(std::memory_order_relaxed);
+  }
+  // Captured exemplars, most recent last. Empty when disabled or none hit.
+  std::vector<Exemplar> Exemplars() const;
 
   std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   std::int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -85,12 +113,28 @@ class Histogram {
   void Reset();
 
  private:
+  void MaybeCaptureExemplar(std::int64_t v, std::size_t bucket);
+
   std::vector<std::int64_t> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::int64_t> sum_{0};
   std::atomic<std::int64_t> max_{0};
+
+  std::atomic<std::int64_t> exemplar_threshold_{-1};  // < 0 = disabled
+  mutable std::mutex exemplar_mutex_;
+  std::array<Exemplar, kExemplarSlots> exemplar_ring_;  // guarded by ^
+  std::uint64_t exemplar_count_ = 0;                    // guarded by ^
 };
+
+// Shared percentile math over an explicit bucket-count array (`counts` has
+// bounds.size() + 1 entries, last = overflow). This is the same walk
+// Histogram::Percentile does; exported so windowed consumers (the /healthz
+// lock-wait budget) can run it over *delta* counts between two snapshots.
+double PercentileFromBucketCounts(const std::vector<std::int64_t>& bounds,
+                                  const std::vector<std::uint64_t>& counts,
+                                  std::uint64_t total, std::int64_t max,
+                                  double p);
 
 // `count` bucket bounds starting at `start`, each `factor` times the last.
 std::vector<std::int64_t> ExponentialBuckets(std::int64_t start, double factor,
@@ -116,10 +160,28 @@ struct HistogramSummary {
   double p99 = 0;
 };
 
+// Raw merged buckets of one metric across matching series — the windowed
+// consumers' building block (snapshot now, snapshot later, diff the counts,
+// run PercentileFromBucketCounts over the delta).
+struct MergedHistogram {
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1, last = overflow
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t max = 0;
+};
+
 class MetricsRegistry {
  public:
   // Process-wide registry every subsystem registers into by default.
   static MetricsRegistry& Default();
+
+  // The default registry if its construction has (at least) started, nullptr
+  // before the first Default() call. BindLockStats identifies the default
+  // registry through this instead of Default() because the default registry
+  // binds its *own* mutex mid-construction — re-entering the magic static
+  // there would throw recursive_init_error.
+  static MetricsRegistry* DefaultIfLive();
 
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
@@ -171,6 +233,20 @@ class MetricsRegistry {
   std::uint64_t SumCounters(std::string_view name,
                             const MetricLabels& having = {}) const;
 
+  // Sum of every gauge named `name` whose labels contain all of `having`.
+  std::int64_t SumGauges(std::string_view name,
+                         const MetricLabels& having = {}) const;
+
+  // Raw merged buckets (same matching/skip rules as SummarizeHistograms).
+  MergedHistogram MergeHistograms(std::string_view name,
+                                  const MetricLabels& having = {}) const;
+
+  // Distinct values of label `key` across every metric named `name`, in
+  // first-seen order — how the lock-hotness report enumerates lock sites
+  // without a side table.
+  std::vector<std::string> LabelValues(std::string_view name,
+                                       std::string_view key) const;
+
   // Monotonic process-wide sequence, used to give per-instance metrics (two
   // sites with the same SiteId in one process) distinct label sets.
   static std::uint64_t NextInstance();
@@ -193,7 +269,12 @@ class MetricsRegistry {
   Entry& Register(std::string_view name, MetricLabels labels, Type type,
                   std::string_view help);
 
-  mutable std::mutex mutex_;
+  // Instrumented (obiwan_lock_* under name "metrics_registry") for the
+  // Default() instance only — binding happens in Default() *after*
+  // construction, so registering the lock's own metrics goes through the
+  // still-unbound (passthrough) mutex and cannot recurse. Local registries
+  // keep an untracked lock.
+  mutable TrackedMutex mutex_;
   // Sorted by (name, label_str) at dump time; storage order is registration
   // order so handles are stable.
   std::vector<std::unique_ptr<Entry>> entries_;

@@ -68,7 +68,7 @@ std::string Span::ToString() const {
 }
 
 void Tracer::LockAll() const {
-  for (std::mutex& m : stripes_) m.lock();
+  for (TrackedMutex& m : stripes_) m.lock();
 }
 
 void Tracer::UnlockAll() const {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/contention.h"
 #include "common/ids.h"
 #include "common/status.h"
 
@@ -123,6 +124,10 @@ class Tracer {
       : capacity_(capacity == 0 ? 1 : capacity) {
     ring_.resize(capacity_);
     span_ring_.resize(capacity_);
+    // All rings share one "tracer_ring" lock family: stripe contention is a
+    // recording-throughput ceiling worth watching, but per-stripe series
+    // would be cardinality noise.
+    for (auto& stripe : stripes_) stripe.Configure("tracer_ring");
   }
 
   void Record(Nanos at, SiteId site, std::string_view category,
@@ -172,14 +177,14 @@ class Tracer {
   // the flight-recorder use case (post-mortem dumps of quiesced rings) never
   // observes this.
   static constexpr std::size_t kStripes = 16;
-  std::mutex& StripeFor(std::size_t slot) const {
+  TrackedMutex& StripeFor(std::size_t slot) const {
     return stripes_[slot % kStripes];
   }
   void LockAll() const;
   void UnlockAll() const;
 
   const std::size_t capacity_;
-  mutable std::array<std::mutex, kStripes> stripes_;
+  mutable std::array<TrackedMutex, kStripes> stripes_;
   std::vector<TraceEvent> ring_;
   std::vector<Span> span_ring_;
   std::atomic<std::uint64_t> total_{0};       // events ever recorded

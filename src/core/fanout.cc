@@ -18,9 +18,18 @@ std::vector<Status> FanoutPool::RunAll(std::vector<Task> tasks) {
 
   const std::size_t width = this->width();
   if (tasks.size() == 1 || width == 1) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) results[i] = tasks[i]();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      results[i] = tasks[i]();
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
     return results;
   }
+
+  // Genuine batch: serialize on the tracked mutex so the width bound holds
+  // pool-wide and writer-vs-writer fanout queueing shows up in the lock's
+  // wait histogram.
+  std::lock_guard batch(batch_mutex_);
 
   if (clock_.Jumpable()) {
     // Modeled parallelism: one availability instant per virtual worker.
@@ -32,7 +41,9 @@ std::vector<Status> FanoutPool::RunAll(std::vector<Task> tasks) {
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       auto it = std::min_element(avail.begin(), avail.end());
       clock_.JumpTo(*it);
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
       results[i] = tasks[i]();
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
       *it = clock_.Now();
     }
     clock_.JumpTo(*std::max_element(avail.begin(), avail.end()));
@@ -45,7 +56,9 @@ std::vector<Status> FanoutPool::RunAll(std::vector<Task> tasks) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= tasks.size()) return;
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
       results[i] = tasks[i]();
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
     }
   };
   const std::size_t spawned = std::min(width, tasks.size()) - 1;

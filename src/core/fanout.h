@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/contention.h"
 #include "common/status.h"
 
 namespace obiwan::core {
@@ -43,11 +44,24 @@ class FanoutPool {
   // the whole batch is done. Tasks must be independently executable: they
   // may run on other threads (real clocks) and must not assume any ordering
   // between each other.
+  //
+  // Multi-task batches serialize on one tracked "fanout" mutex, which makes
+  // the width bound pool-wide instead of per-batch (two concurrent puts no
+  // longer burst 2 x width threads) — and makes the time writers queue
+  // behind each other's fanouts a measured contention site. Single-task
+  // batches bypass the queue: a lone notification never waits for a batch.
   std::vector<Status> RunAll(std::vector<Task> tasks);
+
+  // Tasks executing right now, across all batches (queue-depth sampling).
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
  private:
   Clock& clock_;
   std::atomic<std::size_t> width_;
+  std::atomic<std::size_t> in_flight_{0};
+  TrackedMutex batch_mutex_{"fanout"};
 };
 
 }  // namespace obiwan::core

@@ -11,6 +11,13 @@ namespace obiwan::core {
 namespace {
 const std::vector<net::Address> kNoHolders;
 
+// Op-latency observations at or above this capture a trace/span exemplar
+// (see Histogram::SetExemplarThreshold). Low enough that any real network
+// round-trip qualifies, so scrapes of live deployments always carry a few
+// trace pointers; in-process simulations only cross it on genuinely slow
+// (virtual-time) calls.
+constexpr Nanos kDefaultTailExemplarThreshold = 1 * kMicro;
+
 // The single source of truth tying each SiteStats field to its registry
 // series. The constructor, Raw() and View() all walk this table, so the
 // legacy struct stays a thin adapter over the registry and a new counter is
@@ -130,9 +137,15 @@ SiteTelemetry::SiteTelemetry(SiteId site, MetricsRegistry& metrics) {
   auto op = [&](const char* name) {
     MetricLabels op_labels = labels;
     op_labels.emplace_back("op", name);
-    return Op{&metrics.GetHistogram("obiwan_rmi_client_latency_ns", op_labels,
-                                    DefaultLatencyBuckets(),
-                                    "Round-trip time of outbound requests (site clock)"),
+    Histogram& latency =
+        metrics.GetHistogram("obiwan_rmi_client_latency_ns", op_labels,
+                             DefaultLatencyBuckets(),
+                             "Round-trip time of outbound requests (site clock)");
+    // Tail observations carry an exemplar (trace + span id) by default: the
+    // request runs inside SpanScope/TraceContext when the histogram is fed,
+    // so a scrape can point at the flight-recorder trace of a slow call.
+    latency.SetExemplarThreshold(kDefaultTailExemplarThreshold);
+    return Op{&latency,
               &metrics.GetCounter("obiwan_rmi_client_errors_total", op_labels,
                                   "Outbound requests that failed"),
               name};
@@ -303,6 +316,15 @@ void Site::RefreshTelemetry() {
   SyncGauges();
   UpdateReplicationGauges();
   SyncHolderGauges();
+}
+
+void Site::SetTailExemplarThreshold(Nanos threshold) {
+  for (SiteTelemetry::Op* op :
+       {&telemetry_.op_call, &telemetry_.op_get, &telemetry_.op_put,
+        &telemetry_.op_commit, &telemetry_.op_ping, &telemetry_.op_release,
+        &telemetry_.op_renew, &telemetry_.op_notify, &telemetry_.op_inspect}) {
+    op->latency->SetExemplarThreshold(threshold);
+  }
 }
 
 // ---------------------------------------------------------------------------

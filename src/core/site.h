@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/contention.h"
 #include "common/ids.h"
 #include "common/metrics.h"
 #include "common/status.h"
@@ -393,6 +394,11 @@ class Site final : public rmi::Service {
     // /healthz turns 503 when more than this many replicas are stale —
     // readiness tracks whether resync is keeping up, not just liveness.
     std::size_t max_stale_backlog = 1024;
+    // Lock-starvation check: when > 0, /healthz turns 503 if the p99 lock
+    // wait across all tracked locks since the previous health check exceeds
+    // this budget. Off by default — enabling it makes readiness drop under
+    // heavy contention, which is a deliberate load-shedding choice.
+    Nanos lock_wait_budget = 0;
   };
   Status ServeAdmin(const std::string& addr);
   Status ServeAdmin(const std::string& addr, AdminOptions options);
@@ -471,6 +477,18 @@ class Site final : public rmi::Service {
   std::size_t master_count() const;
   std::size_t replica_count() const;
   std::size_t proxy_in_count() const;
+
+  // Holder notifications executing right now across all fanout batches
+  // (queue-depth sampling; see obs/profiler.h).
+  std::size_t notify_inflight() const { return fanout_.in_flight(); }
+
+  // Capture a trace/span exemplar on every op-latency observation at or
+  // above `threshold` (obiwan_rmi_client_latency_ns). The last few such
+  // tail observations are exposed with their trace ids on /metrics
+  // (OpenMetrics exemplars) and in the JSON dump — the bridge from "p99
+  // spiked" to the flight-recorder trace of one slow request. Negative
+  // disables capture.
+  void SetTailExemplarThreshold(Nanos threshold);
 
   // Local object (master or replica) by id, if present.
   Result<std::shared_ptr<Shareable>> FindLocal(ObjectId id) const;
@@ -664,8 +682,14 @@ class Site final : public rmi::Service {
 
   // Synchronous loopback delivery can re-enter a site from its own call
   // chain (e.g. an invalidation arriving while a put is in flight), so the
-  // site lock is recursive.
-  mutable std::recursive_mutex mutex_;
+  // site lock is recursive. Tracked under lock name "site" — this is the
+  // single mutex over every object/holder table, i.e. the exact lock the
+  // ROADMAP's sharded-table refactor exists to split, so its wait/hold
+  // telemetry is the baseline that refactor must beat. Timed on the system
+  // clock regardless of clock_: admin scrape threads take this lock
+  // concurrently with bench threads, and a shared VirtualClock is not
+  // thread-safe.
+  mutable TrackedRecursiveMutex mutex_{"site"};
 
   std::unordered_map<ObjectId, MasterEntry, ObjectIdHash> masters_;
   std::unordered_map<ObjectId, ReplicaEntry, ObjectIdHash> replicas_;

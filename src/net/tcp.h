@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/contention.h"
 #include "net/transport.h"
 
 namespace obiwan::net {
@@ -125,8 +126,10 @@ class TcpTransport final : public Transport {
   std::vector<std::thread> finished_threads_;
   std::size_t max_connections_ = kDefaultMaxConnections;
 
-  // Client-side idle pool, most recently used at the front.
-  mutable std::mutex pool_mutex_;
+  // Client-side idle pool, most recently used at the front. Tracked: every
+  // outbound request checks out / checks in through this lock, so its wait
+  // histogram shows when the pool serializes concurrent callers.
+  mutable TrackedMutex pool_mutex_{"tcp_pool"};
   std::list<std::pair<Address, int>> pool_;
   std::size_t pool_capacity_ = kDefaultPoolCapacity;
 

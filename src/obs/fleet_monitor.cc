@@ -271,9 +271,13 @@ FleetReport FleetMonitor::MergeLocked(
   std::vector<FleetHotObject> hottest;
   hottest.reserve(hot.size());
   for (auto& [key, h] : hot) hottest.push_back(std::move(h));
+  // Traffic descending, ties broken by object id ascending: unordered_map
+  // iteration order would otherwise decide which of two equal-traffic
+  // objects survives the top-K cut, and the report would flap between polls.
   std::sort(hottest.begin(), hottest.end(),
             [](const FleetHotObject& a, const FleetHotObject& b) {
-              return a.traffic > b.traffic;
+              if (a.traffic != b.traffic) return a.traffic > b.traffic;
+              return a.id < b.id;
             });
   if (hottest.size() > options_.top_k) hottest.resize(options_.top_k);
   out.hottest = std::move(hottest);

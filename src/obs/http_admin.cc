@@ -12,9 +12,11 @@
 #include <sstream>
 #include <utility>
 
+#include "common/contention.h"
 #include "common/flight_recorder.h"
 #include "common/log.h"
 #include "core/site.h"
+#include "obs/profiler.h"
 
 namespace obiwan::obs {
 
@@ -129,6 +131,8 @@ HttpAdminServer::HttpAdminServer(int listen_fd, std::uint16_t port,
                                    "Admin HTTP requests served");
   errors_ = &registry.GetCounter("obiwan_admin_http_errors_total", labels,
                                  "Admin HTTP requests answered with >= 400");
+  active_ = &registry.GetGauge("obiwan_admin_http_active", labels,
+                               "Admin HTTP connections being handled");
 }
 
 HttpAdminServer::~HttpAdminServer() {
@@ -167,7 +171,9 @@ void HttpAdminServer::ServeLoop() {
       // Transient accept failure (EMFILE etc.) — keep serving.
       continue;
     }
+    active_->Add(1);
     HandleConnection(fd);
+    active_->Add(-1);
     ::close(fd);
   }
 }
@@ -260,25 +266,59 @@ Status Site::ServeAdmin(const std::string& addr, AdminOptions options) {
       std::unique_ptr<obs::HttpAdminServer> server,
       obs::HttpAdminServer::Create(addr, server_options));
 
+  // Everything the routes capture, owned together with the server. `server`
+  // is the LAST member so it is destroyed FIRST: the serving thread joins
+  // before the profiler and lock-wait window the handlers point at go away.
+  struct AdminState {
+    std::unique_ptr<obs::Profiler> profiler;
+    std::unique_ptr<LockWaitWindow> window;
+    std::unique_ptr<obs::HttpAdminServer> server;
+  };
+  auto state = std::make_shared<AdminState>();
+  state->profiler = std::make_unique<obs::Profiler>(*this);
+  state->window = std::make_unique<LockWaitWindow>(MetricsRegistry::Default());
+  obs::Profiler* profiler = state->profiler.get();
+  LockWaitWindow* window = state->window.get();
+
   server->Route("/metrics", [this] {
     RefreshTelemetry();
+    obs::RefreshProcessGauges();
     return obs::HttpResponse{
         200, "text/plain; version=0.0.4; charset=utf-8",
         MetricsRegistry::Default().DumpPrometheus()};
   });
   const std::size_t max_backlog = options.max_stale_backlog;
-  server->Route("/healthz", [this, max_backlog] {
+  const Nanos lock_budget = options.lock_wait_budget;
+  server->Route("/healthz", [this, max_backlog, lock_budget, window] {
     RefreshTelemetry();
     const bool transport_up = started_ && Ping(address()).ok();
     const std::size_t backlog = StaleReplicaIds().size();
-    const bool healthy = transport_up && backlog <= max_backlog;
+    bool healthy = transport_up && backlog <= max_backlog;
     std::ostringstream body;
+    std::ostringstream detail;
+    if (lock_budget > 0) {
+      // Lock-starvation check: p99 lock wait since the previous health
+      // check, across every tracked lock. Readiness drops while threads
+      // queue longer than the budget — deliberate load shedding.
+      const double p99 = window->WindowP99();
+      if (p99 > static_cast<double>(lock_budget)) healthy = false;
+      detail << ",\"lock_wait_p99_ns\":" << static_cast<std::int64_t>(p99)
+             << ",\"lock_wait_budget\":" << lock_budget;
+    }
     body << "{\"status\":\"" << (healthy ? "ok" : "unhealthy")
          << "\",\"transport\":" << (transport_up ? "true" : "false")
          << ",\"stale_backlog\":" << backlog
-         << ",\"max_stale_backlog\":" << max_backlog << "}\n";
+         << ",\"max_stale_backlog\":" << max_backlog << detail.str() << "}\n";
     return obs::HttpResponse{healthy ? 200 : 503,
                              "application/json; charset=utf-8", body.str()};
+  });
+  server->Route("/profile.json", [profiler] {
+    return obs::HttpResponse{200, "application/json; charset=utf-8",
+                             profiler->SampleOnce().ToJson() + "\n"};
+  });
+  server->Route("/contention", [profiler] {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                             profiler->SampleOnce().ToText()};
   });
   server->Route("/inspect.json", [this] {
     return obs::HttpResponse{200, "application/json; charset=utf-8",
@@ -301,21 +341,22 @@ Status Site::ServeAdmin(const std::string& addr, AdminOptions options) {
     return obs::HttpResponse{
         200, "text/plain; charset=utf-8",
         "obiwan admin endpoints:\n"
-        "  /metrics        Prometheus text exposition\n"
-        "  /healthz        readiness (transport + resync backlog)\n"
+        "  /metrics        Prometheus text exposition (with exemplars)\n"
+        "  /healthz        readiness (transport + resync backlog + lock budget)\n"
         "  /inspect.json   replication-state report\n"
         "  /frontier.json  replication frontier graph\n"
         "  /frontier.dot   frontier graph as Graphviz DOT\n"
-        "  /flight         flight-recorder Chrome trace\n"};
+        "  /flight         flight-recorder Chrome trace\n"
+        "  /profile.json   queue depths + lock hotness (one fresh sample)\n"
+        "  /contention     same sample as a text report\n"};
   });
 
   OBIWAN_RETURN_IF_ERROR(server->Start());
   admin_address_ = server->address();
   OBIWAN_LOG(kInfo) << "site " << id_ << " admin endpoint on "
                     << admin_address_;
-  admin_ = std::shared_ptr<void>(server.release(), [](void* p) {
-    delete static_cast<obs::HttpAdminServer*>(p);
-  });
+  state->server = std::move(server);
+  admin_ = std::move(state);
   return Status::Ok();
 }
 

@@ -96,6 +96,10 @@ class HttpAdminServer {
   std::uint16_t port() const { return port_; }
 
   std::uint64_t requests_served() const { return requests_->Value(); }
+  // Connections being handled right now (0 or 1: the accept loop is serial;
+  // exists as a gauge so the profiler's admin_http queue covers every admin
+  // server in the process).
+  std::int64_t active_requests() const { return active_->Value(); }
 
  private:
   HttpAdminServer(int listen_fd, std::uint16_t port, Options options);
@@ -115,6 +119,7 @@ class HttpAdminServer {
 
   Counter* requests_;  // obiwan_admin_http_requests_total
   Counter* errors_;    // obiwan_admin_http_errors_total (status >= 400)
+  Gauge* active_;      // obiwan_admin_http_active (in-flight connections)
 };
 
 }  // namespace obiwan::obs

@@ -1,0 +1,118 @@
+// Queue-depth sampler + process self-telemetry: the "where is work piling
+// up" half of the contention observatory (common/contention.h is the "which
+// lock is hot" half).
+//
+// Counters say how much work happened; queue depths say how much is *waiting*
+// — the leading indicator of saturation. The Profiler snapshots every queue a
+// site owns into gauges (instantaneous depth for dashboards) and histograms
+// (depth distribution across samples, so "the retry queue spends 10% of
+// samples above 100" survives scrape aliasing):
+//
+//   obiwan_queue_depth{queue,...}          last sampled depth
+//   obiwan_queue_depth_samples{queue,...}  histogram of sampled depths
+//
+// Sampled queues: notify_retries (backoff-queued holder notifications),
+// stale_replicas (invalidated replicas awaiting resync), fanout_inflight
+// (holder notifications executing right now), tcp_pool_idle / tcp_connections
+// (client pool occupancy and live server handler threads, TCP transports
+// only) and admin_http (in-flight admin connections, process-wide).
+//
+// Mirrors the FleetMonitor/ResyncDaemon split: deterministic consumers
+// (tests, simulations, the /profile.json route) call SampleOnce() by hand;
+// real deployments call Start() for a background worker on a real clock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/contention.h"
+#include "common/metrics.h"
+#include "core/site.h"
+
+namespace obiwan::obs {
+
+// One sampled queue: its label value and the depth observed.
+struct QueueSample {
+  std::string queue;
+  std::int64_t depth = 0;
+};
+
+// A full sample: every queue depth plus the current lock-hotness ranking
+// (top lock names by total wait — the on-demand contention report).
+struct ProfileReport {
+  Nanos at = 0;  // site clock
+  std::vector<QueueSample> queues;
+  std::vector<LockSiteReport> locks;
+
+  std::string ToJson() const;
+  std::string ToText() const;
+};
+
+struct ProfilerOptions {
+  // Background sampling period (Start/Stop worker; SampleOnce ignores it).
+  Nanos interval = 1 * kSecond;
+  // Lock names kept in the hotness ranking.
+  std::size_t top_k_locks = 10;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(core::Site& site) : Profiler(site, ProfilerOptions{}) {}
+  Profiler(core::Site& site, ProfilerOptions options,
+           MetricsRegistry& registry = MetricsRegistry::Default());
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // One deterministic sweep: read every queue, feed the gauges/histograms,
+  // rank the locks, remember and return the report.
+  ProfileReport SampleOnce();
+
+  // Background worker on the system clock (queue depths of a virtual-time
+  // simulation should be sampled deterministically via SampleOnce instead).
+  void Start();
+  void Stop();
+
+  // The most recent report (empty before the first sample).
+  ProfileReport last() const;
+
+ private:
+  struct QueueSeries {
+    Gauge* depth = nullptr;
+    Histogram* samples = nullptr;
+  };
+
+  QueueSeries MakeSeries(const char* queue);
+  void Record(const QueueSeries& series, const char* queue, std::int64_t depth,
+              std::vector<QueueSample>& out);
+  void RunLoop();
+
+  core::Site& site_;
+  ProfilerOptions options_;
+  MetricsRegistry& registry_;
+
+  QueueSeries notify_retries_;
+  QueueSeries stale_replicas_;
+  QueueSeries fanout_inflight_;
+  QueueSeries tcp_pool_idle_;
+  QueueSeries tcp_connections_;
+  QueueSeries admin_http_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  ProfileReport last_;
+  bool running_ = false;
+  std::thread worker_;
+};
+
+// Refresh obiwan_process_rss_bytes / obiwan_process_open_fds /
+// obiwan_process_threads from /proc/self. Process-wide (no labels), cheap
+// enough to run per scrape; a no-op on platforms without procfs.
+void RefreshProcessGauges(MetricsRegistry& registry = MetricsRegistry::Default());
+
+}  // namespace obiwan::obs

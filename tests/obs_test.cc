@@ -119,13 +119,26 @@ void LintExposition(const std::string& text) {
       EXPECT_EQ(line.rfind("# HELP ", 0), 0u) << "unknown comment: " << line;
       continue;
     }
-    // Sample line: name must resolve to a declared family.
-    const std::string name = SampleName(line);
+    // Sample line, possibly carrying an OpenMetrics exemplar suffix:
+    //   name{labels} value # {trace_id="...",...} exemplar_value
+    std::string sample = line;
+    const std::size_t exemplar_at = line.find(" # {");
+    if (exemplar_at != std::string::npos) {
+      sample = line.substr(0, exemplar_at);
+      const std::string exemplar = line.substr(exemplar_at + 3);
+      EXPECT_TRUE(EndsWith(SampleName(sample), "_bucket"))
+          << "exemplar outside a _bucket series: " << line;
+      EXPECT_NE(exemplar.find("trace_id=\""), std::string::npos) << line;
+      const std::size_t close = exemplar.find("} ");
+      ASSERT_NE(close, std::string::npos) << line;
+      EXPECT_NO_THROW((void)std::stod(exemplar.substr(close + 2))) << line;
+    }
+    const std::string name = SampleName(sample);
     ASSERT_FALSE(name.empty()) << line;
     // Value must parse as a number.
-    const std::size_t space = line.rfind(' ');
+    const std::size_t space = sample.rfind(' ');
     ASSERT_NE(space, std::string::npos) << line;
-    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+    EXPECT_NO_THROW((void)std::stod(sample.substr(space + 1))) << line;
 
     std::string family = name;
     for (const char* suffix : {"_bucket", "_sum", "_count"}) {
@@ -444,6 +457,30 @@ TEST_F(FleetMonitorTest, BaselineIsConverged) {
   ASSERT_FALSE(report.hottest.empty());
   EXPECT_EQ(report.hottest[0].id, oid_);
   EXPECT_GE(report.hottest[0].traffic, static_cast<std::uint64_t>(kDevices));
+}
+
+TEST_F(FleetMonitorTest, HottestRankingBreaksTrafficTiesByObjectId) {
+  // Three more masters, each fetched exactly once: an equal-traffic tie the
+  // ranking must break by object id, not unordered_map iteration order.
+  std::vector<ObjectId> aux;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "aux" + std::to_string(i);
+    auto obj = std::make_shared<Node>();
+    ASSERT_TRUE(office_->Bind(name, obj).ok());
+    aux.push_back(office_->Export(obj));
+    auto remote = devices_[0]->Lookup<Node>(name);
+    ASSERT_TRUE(remote.ok());
+    auto ref = remote->Replicate(ReplicationMode::Incremental(1));
+    ASSERT_TRUE(ref.ok());
+  }
+
+  const obs::FleetReport report = monitor_->PollOnce();
+  ASSERT_EQ(report.hottest.size(), 4u);
+  EXPECT_EQ(report.hottest[0].id, oid_);  // doc: one fetch per device
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(report.hottest[1 + i].id, aux[i]) << "tie not broken by id";
+    EXPECT_EQ(report.hottest[1 + i].traffic, 1u);
+  }
 }
 
 TEST_F(FleetMonitorTest, MergesLagDistributionAcrossSites) {

@@ -34,15 +34,16 @@ run_flavour ubsan build-ubsan -DOBIWAN_SANITIZE=undefined
 # (client threads sharing one pooled TCP transport, the retry decorator's
 # counter, the server's per-connection threads), plus the update-fanout soak
 # (concurrent writers fanning pushes out on the bounded notification pool,
-# and the resync daemon's background worker) — so TSan runs those groups
-# rather than the whole (slow under TSan) suite.
+# and the resync daemon's background worker) and the contention observatory
+# (tracked mutexes, exemplar captures and scrapes racing lock traffic) — so
+# TSan runs those groups rather than the whole (slow under TSan) suite.
 echo "=== [tsan] configure ==="
 cmake -B build-tsan -S . -DOBIWAN_SANITIZE=thread
 echo "=== [tsan] build ==="
-cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test fanout_test obs_test
+cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test fanout_test obs_test contention_test
 echo "=== [tsan] test ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport|FanoutTcp|AdminHttp|FleetMonitor)'
+    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport|FanoutTcp|AdminHttp|FleetMonitor|Contention)'
 
 # The fig4 bench must emit a schema-valid BENCH_*.json with latency
 # percentiles (skip the google-benchmark micro-benchmarks; the paper series
@@ -134,6 +135,45 @@ names = [s["name"] for s in doc["series"]]
 assert "pooled" in names and "per-connect" in names, f"bad series: {names}"
 print(f"BENCH_tcp_pool.json: transport OK (connects_per_call="
       f"{t['connects_per_call']:.3f}, pool_hits={t['pool_hits']})")
+EOF
+
+# The contention bench must record the lock-wait curve the sharded-table
+# refactor will be measured against: wait share must not shrink as threads
+# grow, the top thread count must actually contend the site mutex, and the
+# lock telemetry (with at least one tail exemplar linking a fat bucket back
+# to a trace) must reach the JSON export.
+echo "=== [bench] contention JSON ==="
+(cd build-ci && ./bench/bench_contention --benchmark_filter=SchemaOnly)
+python3 - build-ci/BENCH_contention.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("bench", "xs", "series", "contention", "metrics"):
+    assert key in doc, f"missing key: {key}"
+c = doc["contention"]
+for key in ("threads", "wait_share", "wall_ms", "contended", "site_p99_us"):
+    assert key in c, f"contention section missing {key}"
+    assert len(c[key]) == len(c["threads"]), f"ragged {key}: {c[key]}"
+assert all(0.0 <= w <= 1.0 for w in c["wait_share"]), \
+    f"wait_share out of [0,1]: {c['wait_share']}"
+# Lenient on a loaded/single-core CI box: require contention to appear at
+# the top thread count and the share not to *fall* from T=1 — the refactor's
+# success criterion (a flattened curve) is judged by hand, not here.
+assert c["contended"][-1] > 0, \
+    f"no contended acquisitions at T={c['threads'][-1]}: {c['contended']}"
+assert c["wait_share"][-1] >= c["wait_share"][0], \
+    f"wait share fell with threads: {c['wait_share']}"
+hists = {h["name"] for h in doc["metrics"]["histograms"]}
+for needed in ("obiwan_lock_wait_ns", "obiwan_lock_hold_ns"):
+    assert needed in hists, f"missing lock histogram {needed}"
+counters = {ctr["name"] for ctr in doc["metrics"]["counters"]}
+for needed in ("obiwan_lock_contended_total", "obiwan_lock_acquisitions_total"):
+    assert needed in counters, f"missing lock counter {needed}"
+exemplars = sum(
+    len(h.get("tail_exemplars", [])) for h in doc["metrics"]["histograms"])
+assert exemplars >= 1, "no tail exemplars captured anywhere"
+print(f"BENCH_contention.json: contention OK (wait_share={c['wait_share']}, "
+      f"contended={c['contended']}, {exemplars} exemplars)")
 EOF
 
 # The mobility bench must report the disconnection-reconvergence experiment:
@@ -277,6 +317,12 @@ curl -fsS http://127.0.0.1:7474/metrics > "$ADMIN_METRICS"
 curl -fsS http://127.0.0.1:7474/healthz > "$ADMIN_HEALTH"
 curl -fsS http://127.0.0.1:7474/inspect.json | python3 -c \
     'import json,sys; d=json.load(sys.stdin); assert d["site"] == 7, d'
+curl -fsS http://127.0.0.1:7474/profile.json | python3 -c \
+    'import json,sys; d=json.load(sys.stdin); \
+     queues={q["queue"] for q in d["queues"]}; \
+     assert {"stale_replicas","notify_retries","fanout_inflight"} <= queues, d'
+curl -fsS http://127.0.0.1:7474/contention | grep -q "lock hotness" || {
+    echo "/contention missing lock hotness report"; exit 1; }
 kill "$ADMIN_SERVER" 2>/dev/null || true
 wait "$ADMIN_SERVER" 2>/dev/null || true
 python3 - "$ADMIN_METRICS" "$ADMIN_HEALTH" <<'EOF'
@@ -295,8 +341,18 @@ for line in lines:
     if line.startswith("#"):
         assert line.startswith("# HELP "), f"unknown comment: {line}"
         continue
-    name = line.split("{")[0].split(" ")[0]
-    value = float(line.rsplit(" ", 1)[1])
+    sample = line
+    if " # {" in line:
+        # OpenMetrics exemplar suffix: only on _bucket lines, trace-stamped,
+        # with a numeric exemplar value after the closing brace.
+        sample, exemplar = line.split(" # {", 1)
+        assert sample.split("{")[0].split(" ")[0].endswith("_bucket"), \
+            f"exemplar outside a _bucket series: {line}"
+        assert exemplar.startswith('trace_id="'), f"bad exemplar: {line}"
+        body, evalue = exemplar.rsplit("} ", 1)
+        float(evalue)
+    name = sample.split("{")[0].split(" ")[0]
+    value = float(sample.rsplit(" ", 1)[1])
     family = name
     for suffix in ("_bucket", "_sum", "_count"):
         base = name[: -len(suffix)] if name.endswith(suffix) else None
@@ -308,7 +364,7 @@ for line in lines:
     fam = families.setdefault(family, {"samples": 0, "buckets": {}, "count": {}})
     fam["samples"] += 1
     if types[family] == "histogram":
-        labels = line.split("{", 1)[1].rsplit("}", 1)[0] if "{" in line else ""
+        labels = sample.split("{", 1)[1].rsplit("}", 1)[0] if "{" in sample else ""
         base_labels = ",".join(
             kv for kv in labels.split(",") if not kv.startswith("le="))
         if name.endswith("_bucket"):
@@ -323,9 +379,14 @@ for family, fam in families.items():
             f"+Inf bucket != _count for {family}{{{labels}}}"
 for needed in ("obiwan_site_uptime_ns", "obiwan_build_info",
                "obiwan_rmi_client_latency_ns",
-               "obiwan_admin_http_requests_total"):
+               "obiwan_admin_http_requests_total",
+               "obiwan_lock_wait_ns", "obiwan_lock_hold_ns",
+               "obiwan_lock_acquisitions_total", "obiwan_queue_depth",
+               "obiwan_admin_http_active", "obiwan_process_rss_bytes",
+               "obiwan_process_threads"):
     assert needed in types, f"missing metric family {needed}"
 assert types["obiwan_rmi_client_latency_ns"] == "histogram"
+assert types["obiwan_lock_wait_ns"] == "histogram"
 assert any(kind == "histogram" for kind in types.values())
 
 with open(sys.argv[2]) as f:
@@ -337,4 +398,4 @@ print(f"admin endpoint: exposition OK ({len(types)} families, "
       f"{sum(f['samples'] for f in families.values())} samples), healthz OK")
 EOF
 
-echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace + reconvergence + observatory + fleet + admin ==="
+echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace + reconvergence + observatory + fleet + admin + contention ==="
