@@ -84,12 +84,15 @@ RunResult RunWorkload(long threads) {
     workers.emplace_back([&, t] {
       core::Ref<test::Node>& ref = refs[t];
       for (int i = 0; i < kOpsPerThread; ++i) {
-        // Local burst: every thread walks its chain under the site lock —
-        // the sharded-table scenario (application reads/writes racing the
-        // protocol paths on one mutex) the refactor targets. The whole burst
-        // is one critical section, so each hold spans several scheduler
-        // preemption points and waiters pile up behind it.
-        demander.WithSiteLock([&] {
+        // Local burst: every thread walks its chain under its own object's
+        // shard guard — the post-shard idiom for protecting application
+        // reads against concurrent push/invalidate application. Before the
+        // sharded table this was WithSiteLock and every thread serialized on
+        // one mutex; now only threads whose chains hash to the same shard
+        // ever contend. The whole burst is one critical section, so each
+        // hold spans several scheduler preemption points and waiters pile up
+        // behind it whenever the lock is actually shared.
+        demander.WithObjectLock(ref, [&] {
           std::int64_t sum = 0;
           for (int j = 0; j < kLocalBurst; ++j) {
             for (core::Ref<test::Node>* cursor = &ref;

@@ -81,31 +81,31 @@ std::string DotString(std::string_view s) {
 // ---------------------------------------------------------------------------
 
 void Site::UpdateReplicationGauges() {
-  telemetry_.objects_master->Set(static_cast<std::int64_t>(masters_.size()));
-  telemetry_.objects_replica->Set(static_cast<std::int64_t>(replicas_.size()));
+  telemetry_.objects_master->Set(
+      static_cast<std::int64_t>(table_.master_count()));
+  telemetry_.objects_replica->Set(
+      static_cast<std::int64_t>(table_.replica_count()));
+
+  const Nanos now = clock_.Now();
 
   // Frontier = distinct targets of unresolved proxy-outs: where the
-  // incremental wavefront currently stops.
-  std::unordered_set<ObjectId, ObjectIdHash> frontier;
+  // incremental wavefront currently stops. Two phases: collect candidate
+  // targets during the per-shard sweeps (where self-locking lookups are off
+  // limits), then probe presence with no shard guard held.
+  std::unordered_set<ObjectId, ObjectIdHash> candidates;
   auto scan = [&](const std::shared_ptr<Shareable>& obj) {
     for (const RefFieldInfo& rf : obj->obiwan_class().refs()) {
       RefBase& rb = rf.get(*obj);
-      if (rb.IsProxy()) {
-        ObjectId tid = rb.proxy()->target();
-        if (FindLocalUnlocked(tid) == nullptr) frontier.insert(tid);
-      }
+      if (rb.IsProxy()) candidates.insert(rb.proxy()->target());
     }
   };
-  for (const auto& [oid, entry] : masters_) scan(entry.obj);
-  for (const auto& [oid, entry] : replicas_) scan(entry.obj);
-  telemetry_.objects_frontier->Set(static_cast<std::int64_t>(frontier.size()));
-
-  const Nanos now = clock_.Now();
   std::vector<std::uint64_t> lags;
-  lags.reserve(replicas_.size());
+  lags.reserve(table_.replica_count());
   Nanos age_max = 0;
-  for (const auto& [oid, entry] : replicas_) {
-    const ReplicaEntry& e = entry;
+  table_.ForEachMaster(
+      [&](ObjectId, const MasterEntry& e) { scan(e.obj); });
+  table_.ForEachReplica([&](ObjectId, const ReplicaEntry& e) {
+    scan(e.obj);
     std::uint64_t lag = e.known_master_version > e.version
                             ? e.known_master_version - e.version
                             : (e.stale ? 1 : 0);
@@ -113,7 +113,13 @@ void Site::UpdateReplicationGauges() {
     if (e.last_sync != 0 && now > e.last_sync) {
       age_max = std::max(age_max, now - e.last_sync);
     }
+  });
+  std::int64_t frontier = 0;
+  for (ObjectId tid : candidates) {
+    if (!table_.Contains(tid)) ++frontier;
   }
+  telemetry_.objects_frontier->Set(frontier);
+
   std::uint64_t lag_max = 0, lag_p95 = 0;
   if (!lags.empty()) {
     std::sort(lags.begin(), lags.end());
@@ -126,6 +132,7 @@ void Site::UpdateReplicationGauges() {
 
   std::int64_t expiring = 0;
   if (proxy_lease_ > 0) {
+    std::lock_guard pins(pins_mutex_);
     for (const auto& [pin, entry] : proxy_ins_) {
       if (!entry.anchored && entry.expires_at != 0 &&
           entry.expires_at - now <= proxy_lease_ / 2) {
@@ -134,19 +141,37 @@ void Site::UpdateReplicationGauges() {
     }
   }
   telemetry_.leases_expiring->Set(expiring);
+
+  last_gauge_refresh_.store(now, std::memory_order_relaxed);
+}
+
+void Site::MaybeUpdateReplicationGauges() {
+  // The gauge rescan is O(objects); protocol paths call this throttled
+  // variant so a million-object site is not re-walked on every get/put.
+  // The default interval of 0 keeps the historical eager behaviour.
+  const Nanos interval = gauge_refresh_interval_.load(std::memory_order_relaxed);
+  if (interval <= 0) {
+    UpdateReplicationGauges();
+    return;
+  }
+  const Nanos last = last_gauge_refresh_.load(std::memory_order_relaxed);
+  if (last >= 0 && clock_.Now() - last < interval) return;
+  UpdateReplicationGauges();
 }
 
 void Site::EnsureGraphIds() {
   // Minting an id inserts a new master whose own refs must be visited too —
   // iterate to a fixed point (and never call EnsureId while iterating a
-  // table it can grow).
-  std::size_t known = masters_.size() + 1;  // force one pass
-  while (known != masters_.size()) {
-    known = masters_.size();
+  // shard it can grow: collect the objects first, then mint).
+  std::size_t known = table_.master_count() + 1;  // force one pass
+  while (known != table_.master_count()) {
+    known = table_.master_count();
     std::vector<std::shared_ptr<Shareable>> objects;
-    objects.reserve(masters_.size() + replicas_.size());
-    for (const auto& [oid, entry] : masters_) objects.push_back(entry.obj);
-    for (const auto& [oid, entry] : replicas_) objects.push_back(entry.obj);
+    objects.reserve(table_.master_count() + table_.replica_count());
+    table_.ForEachMaster(
+        [&](ObjectId, const MasterEntry& e) { objects.push_back(e.obj); });
+    table_.ForEachReplica(
+        [&](ObjectId, const ReplicaEntry& e) { objects.push_back(e.obj); });
     for (const auto& obj : objects) {
       for (const RefFieldInfo& rf : obj->obiwan_class().refs()) {
         RefBase& rb = rf.get(*obj);
@@ -161,12 +186,15 @@ InspectReport Site::InspectLocked() {
   report.site = id_;
   report.address = transport_->LocalAddress();
   report.now = clock_.Now();
-  report.masters = masters_.size();
-  report.replicas = replicas_.size();
-  report.proxy_ins = proxy_ins_.size();
+  report.masters = table_.master_count();
+  report.replicas = table_.replica_count();
+  {
+    std::lock_guard pins(pins_mutex_);
+    report.proxy_ins = proxy_ins_.size();
+  }
 
-  // EnsureGraphIds ran: ptr_ids_ covers every local target, so this lookup
-  // never mutates the tables mid-iteration.
+  // EnsureGraphIds ran: the pointer-identity map covers every local target,
+  // so this lookup never mutates the tables mid-iteration.
   auto edges_of = [&](const std::shared_ptr<Shareable>& obj) {
     std::vector<InspectEdge> edges;
     for (const RefFieldInfo& rf : obj->obiwan_class().refs()) {
@@ -174,9 +202,9 @@ InspectReport Site::InspectLocked() {
       if (rb.IsEmpty()) continue;
       InspectEdge edge;
       if (rb.IsLocal()) {
-        auto it = ptr_ids_.find(rb.local_raw());
-        if (it == ptr_ids_.end()) continue;
-        edge.to = it->second;
+        ObjectId tid = table_.PtrId(rb.local_raw());
+        if (!tid.valid()) continue;
+        edge.to = tid;
         edge.proxy = false;
         edge.class_name = rb.local_raw()->obiwan_class().name();
       } else {
@@ -197,9 +225,9 @@ InspectReport Site::InspectLocked() {
   };
 
   std::unordered_set<ObjectId, ObjectIdHash> frontier;
-  report.objects.reserve(masters_.size() + replicas_.size());
+  report.objects.reserve(table_.master_count() + table_.replica_count());
 
-  for (const auto& [oid, e] : masters_) {
+  table_.ForEachMaster([&](ObjectId oid, const MasterEntry& e) {
     InspectEntry row;
     row.id = oid;
     row.master = true;
@@ -215,9 +243,9 @@ InspectReport Site::InspectLocked() {
     row.holders = e.holders.size();
     row.edges = edges_of(e.obj);
     report.objects.push_back(std::move(row));
-  }
+  });
 
-  for (const auto& [oid, e] : replicas_) {
+  table_.ForEachReplica([&](ObjectId oid, const ReplicaEntry& e) {
     InspectEntry row;
     row.id = oid;
     row.master = false;
@@ -238,28 +266,32 @@ InspectReport Site::InspectLocked() {
     row.holders = e.holders.size();
     row.edges = edges_of(e.obj);
     report.objects.push_back(std::move(row));
-  }
+  });
 
   for (const InspectEntry& row : report.objects) {
     for (const InspectEdge& edge : row.edges) {
-      if (edge.proxy && FindLocalUnlocked(edge.to) == nullptr) {
+      // Contains self-locks, which no-ops under the world guard Inspect holds.
+      if (edge.proxy && !table_.Contains(edge.to)) {
         frontier.insert(edge.to);
       }
     }
   }
   report.frontier = frontier.size();
 
-  report.pins.reserve(proxy_ins_.size());
-  for (const auto& [pin, e] : proxy_ins_) {
-    InspectPin row;
-    row.pin = pin;
-    row.target = e.target;
-    row.cluster = e.cluster;
-    row.anchored = e.anchored;
-    row.members = e.members.size();
-    row.lease_remaining =
-        (e.anchored || e.expires_at == 0) ? -1 : e.expires_at - report.now;
-    report.pins.push_back(row);
+  {
+    std::lock_guard pins(pins_mutex_);
+    report.pins.reserve(proxy_ins_.size());
+    for (const auto& [pin, e] : proxy_ins_) {
+      InspectPin row;
+      row.pin = pin;
+      row.target = e.target;
+      row.cluster = e.cluster;
+      row.anchored = e.anchored;
+      row.members = e.members.size();
+      row.lease_remaining =
+          (e.anchored || e.expires_at == 0) ? -1 : e.expires_at - report.now;
+      report.pins.push_back(row);
+    }
   }
 
   // Deterministic order: the tables are hash maps, but reports must compare
@@ -272,7 +304,10 @@ InspectReport Site::InspectLocked() {
 }
 
 InspectReport Site::Inspect() {
-  std::lock_guard lock(mutex_);
+  // The world guard freezes every shard at once: the report is a consistent
+  // global snapshot, and the helpers below (EnsureId, lookups, sweeps) all
+  // no-op their own guards under it.
+  ObjectTable::WorldGuard world(table_);
   EnsureGraphIds();
   UpdateReplicationGauges();
   return InspectLocked();
@@ -299,16 +334,16 @@ std::string Site::ReplicaSummaryJson() {
   // Bounded by design: this rides inside flight-recorder dumps, which must
   // stay small enough to write during a failure.
   constexpr std::size_t kMaxRows = 64;
-  std::lock_guard lock(mutex_);
   const Nanos now = clock_.Now();
+  const std::size_t replica_total = table_.replica_count();
   std::string out = "{\"site\":" + std::to_string(id_) +
-                    ",\"masters\":" + std::to_string(masters_.size()) +
-                    ",\"replicas\":" + std::to_string(replicas_.size()) +
-                    ",\"proxy_ins\":" + std::to_string(proxy_ins_.size()) +
+                    ",\"masters\":" + std::to_string(table_.master_count()) +
+                    ",\"replicas\":" + std::to_string(replica_total) +
+                    ",\"proxy_ins\":" + std::to_string(proxy_in_count()) +
                     ",\"rows\":[";
   std::size_t emitted = 0;
-  for (const auto& [oid, e] : replicas_) {
-    if (emitted == kMaxRows) break;
+  table_.ForEachReplica([&](ObjectId oid, const ReplicaEntry& e) {
+    if (emitted == kMaxRows) return;
     if (emitted++ > 0) out += ',';
     out += "{\"id\":" + JsonString(ToString(oid)) +
            ",\"version\":" + std::to_string(e.version) +
@@ -318,9 +353,9 @@ std::string Site::ReplicaSummaryJson() {
            std::to_string(e.last_sync != 0 && now > e.last_sync ? now - e.last_sync
                                                                 : 0) +
            "}";
-  }
+  });
   out += "],\"truncated\":";
-  out += replicas_.size() > kMaxRows ? "true" : "false";
+  out += replica_total > kMaxRows ? "true" : "false";
   out += '}';
   return out;
 }

@@ -1,0 +1,302 @@
+// ObjectTable: the lock-striped sharded object table behind a Site.
+//
+// Until PR 8 every Site table (masters_, replicas_, ptr_ids_) was a
+// node-allocated unordered_map behind one recursive TrackedMutex{"site"} —
+// the serialization bench_contention measures and the ROADMAP names as "the
+// unlock for every other scale item". This container replaces those three
+// maps with:
+//
+//   - N = 64 shards keyed by ObjectIdHash, each behind its own
+//     TrackedMutex{"site.shard"} (one shared telemetry family, so the PR 7
+//     contention observatory measures the split without blowing up metric
+//     cardinality);
+//   - flat master/replica records stored in per-shard deque arenas with
+//     free lists — stable addresses, stable indices, prefetch-friendly
+//     iteration, no per-record heap node;
+//   - a striped pointer-identity map (Shareable* -> ObjectId) behind leaf
+//     TrackedMutex{"site.ptr"} stripes, kept symmetric with the record
+//     arenas *by construction*: EmplaceMaster/EmplaceReplica insert the
+//     pointer entry, EraseMaster/EraseReplica remove it, and debug builds
+//     can assert the symmetry with CheckConsistency(). (The old Site only
+//     erased ptr_ids_ on the replica-eviction path, so a recycled heap
+//     address could alias a dead object's id.)
+//   - a per-shard holder index (holder address -> object ids it holds), so
+//     dropping an unreachable holder is O(objects it holds) instead of the
+//     old O(all objects) sweep.
+//
+// Lock order (see DESIGN.md "Object table"):
+//   1. shard mutexes, always in ascending shard order (BatchGuard sorts;
+//      WorldGuard takes all of them);
+//   2. then at most one leaf lock: a ptr stripe, the site pins mutex, or
+//      the site mutex. Leaf locks never nest inside each other and no
+//      shard lock is ever acquired while a leaf lock is held.
+//
+// WorldGuard (all shards + all stripes) replaces the old recursive-mutex
+// semantics for whole-table operations (snapshot, Inspect, eviction,
+// WithSiteLock): while a thread owns the world, every ShardGuard /
+// BatchGuard / stripe guard it takes is a no-op, so site code can call
+// straight through helpers that normally lock.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/contention.h"
+#include "common/ids.h"
+#include "core/proxy.h"
+#include "core/shareable.h"
+#include "net/transport.h"
+
+namespace obiwan::core {
+
+// Flat per-object records (previously Site::MasterEntry / ReplicaEntry).
+// Stored by value in the shard arenas; addresses are stable for the record's
+// lifetime, and every field is guarded by the owning shard's mutex.
+struct MasterEntry {
+  std::shared_ptr<Shareable> obj;
+  std::uint64_t version = 1;
+  Bytes policy_state;
+  std::vector<net::Address> holders;
+  // Introspection: when the master last accepted an update (site clock;
+  // creation time until the first put) and how often it was served.
+  Nanos last_update = 0;
+  std::uint64_t gets_served = 0;
+  std::uint64_t puts_accepted = 0;
+};
+
+struct ReplicaEntry {
+  std::shared_ptr<Shareable> obj;
+  std::uint64_t version = 0;
+  Bytes policy_state;
+  ProxyDescriptor provider;  // per-object channel, or the cluster channel
+  bool in_cluster = false;
+  bool stale = false;  // write-invalidate marked this replica out of date
+  // Re-exporting makes this site a provider for the replica; track the
+  // downstream holders just like a master's.
+  std::vector<net::Address> holders;
+  // Introspection: the highest master version this site has heard of (via
+  // gets, put acks and versioned invalidations), when this replica last
+  // synchronised with its master (site clock), and its sync/put traffic.
+  std::uint64_t known_master_version = 0;
+  Nanos last_sync = 0;
+  std::uint64_t sync_count = 0;
+  std::uint64_t put_count = 0;
+};
+
+class ObjectTable {
+ public:
+  static constexpr std::size_t kShardCount = 64;
+  static constexpr std::size_t kPtrStripeCount = 64;
+
+  ObjectTable();
+  ~ObjectTable();
+
+  ObjectTable(const ObjectTable&) = delete;
+  ObjectTable& operator=(const ObjectTable&) = delete;
+
+  std::size_t ShardOf(ObjectId id) const {
+    return ObjectIdHash{}(id) & (kShardCount - 1);
+  }
+
+  // --- locking ---------------------------------------------------------------
+
+  // One shard. No-op when the calling thread owns the world.
+  class ShardGuard {
+   public:
+    ShardGuard(const ObjectTable& table, ObjectId id)
+        : ShardGuard(table, table.ShardOf(id)) {}
+    ShardGuard(const ObjectTable& table, std::size_t shard);
+    ~ShardGuard();
+    ShardGuard(const ShardGuard&) = delete;
+    ShardGuard& operator=(const ShardGuard&) = delete;
+
+   private:
+    const ObjectTable& table_;
+    std::size_t shard_;
+    bool locked_;
+  };
+
+  // The distinct shards of a batch of ids, locked in ascending shard order.
+  // No-op when the calling thread owns the world.
+  class BatchGuard {
+   public:
+    BatchGuard(const ObjectTable& table, const std::vector<ObjectId>& ids);
+    ~BatchGuard();
+    BatchGuard(const BatchGuard&) = delete;
+    BatchGuard& operator=(const BatchGuard&) = delete;
+
+   private:
+    const ObjectTable& table_;
+    std::vector<std::size_t> shards_;  // sorted, deduplicated; empty if world
+  };
+
+  // Every shard (ascending) plus every pointer stripe. Reentrant: a thread
+  // already owning the world just bumps a depth counter, which is what lets
+  // snapshot code call helpers that take their own guards — the replacement
+  // for the old recursive site mutex.
+  class WorldGuard {
+   public:
+    explicit WorldGuard(const ObjectTable& table);
+    ~WorldGuard();
+    WorldGuard(const WorldGuard&) = delete;
+    WorldGuard& operator=(const WorldGuard&) = delete;
+
+   private:
+    const ObjectTable& table_;
+    bool owner_;  // outermost guard on this thread
+  };
+
+  bool WorldHeldByThisThread() const {
+    return world_owner_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+
+  // --- records (caller holds the covering shard guard or the world) ----------
+
+  MasterEntry* Master(ObjectId id);
+  const MasterEntry* Master(ObjectId id) const;
+  ReplicaEntry* Replica(ObjectId id);
+  const ReplicaEntry* Replica(ObjectId id) const;
+
+  // The local object for `id` regardless of role, or null.
+  std::shared_ptr<Shareable> Find(ObjectId id) const;
+
+  // Insert a record. Returns the stored record and whether this call
+  // inserted it (false = a record of either role already existed; the
+  // existing one is returned if it has the same role, else null). Also
+  // registers the object's pointer in the identity map and its holders in
+  // the holder index.
+  std::pair<MasterEntry*, bool> EmplaceMaster(ObjectId id, MasterEntry record);
+  std::pair<ReplicaEntry*, bool> EmplaceReplica(ObjectId id, ReplicaEntry record);
+
+  // Remove a record together with its pointer-identity entry and holder-index
+  // rows — the symmetry the old ptr_ids_ map lacked on master teardown paths.
+  bool EraseMaster(ObjectId id);
+  bool EraseReplica(ObjectId id);
+
+  // --- self-locking lookups (no shard guard may be held, or hold the world) --
+
+  std::shared_ptr<Shareable> FindLocked(ObjectId id) const;
+  bool Contains(ObjectId id) const;
+  bool ContainsMaster(ObjectId id) const;
+  bool ContainsReplica(ObjectId id) const;
+
+  // --- pointer identity (leaf stripe locks; safe under shard guards) ---------
+
+  // Known id for `ptr`, or the invalid id.
+  ObjectId PtrId(const Shareable* ptr) const;
+  // Atomically: return the existing id for `ptr`, or bind `candidate` to it
+  // and return `candidate`. The caller that wins the race is responsible for
+  // emplacing the matching record while still holding candidate's shard
+  // guard, so observers that look the id up block until the record exists.
+  ObjectId PtrIdOrInsert(const Shareable* ptr, ObjectId candidate);
+
+  // --- holder index (caller holds the shard guard of `id` or the world) ------
+
+  // Add/remove `addr` on the record's holders list and the shard's holder
+  // index together (no-op if absent/present accordingly). Return whether the
+  // membership changed.
+  bool LinkHolder(ObjectId id, const net::Address& addr);
+  bool UnlinkHolder(ObjectId id, const net::Address& addr);
+
+  // Remove `addr` from every holders list, via the holder index —
+  // O(objects held), not O(all objects). Locks shard by shard unless the
+  // caller owns the world. Returns the number of lists it was removed from.
+  std::size_t RemoveHolderEverywhere(const net::Address& addr);
+  // Is `addr` on any record's holders list?
+  bool HolderAnywhere(const net::Address& addr) const;
+
+  // --- iteration -------------------------------------------------------------
+
+  // Visit every live record. Unless the caller owns the world, each shard is
+  // locked for the duration of its records' callbacks (a per-shard-consistent
+  // sweep, not a global snapshot). The callback runs under the shard's guard:
+  // it may use the leaf-lock helpers (PtrId) but must not take other shard
+  // guards or self-locking lookups.
+  void ForEachMaster(const std::function<void(ObjectId, MasterEntry&)>& fn);
+  void ForEachMaster(
+      const std::function<void(ObjectId, const MasterEntry&)>& fn) const;
+  void ForEachReplica(const std::function<void(ObjectId, ReplicaEntry&)>& fn);
+  void ForEachReplica(
+      const std::function<void(ObjectId, const ReplicaEntry&)>& fn) const;
+
+  std::size_t master_count() const {
+    return master_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t replica_count() const {
+    return replica_count_.load(std::memory_order_relaxed);
+  }
+
+  // Drop everything (records, pointer map, holder index). Caller owns the
+  // world or is otherwise single-threaded (snapshot-restore failure path).
+  void Clear();
+
+  // Debug invariant check (call with the world held): every live record has
+  // exactly one pointer-map entry and vice versa, holder index matches the
+  // holders lists, and the counts add up. Returns false on violation (and
+  // asserts in debug builds at the call sites that use it).
+  bool CheckConsistency() const;
+
+ private:
+  struct Slot {
+    bool master = false;
+    std::uint32_t index = 0;
+  };
+
+  struct Shard {
+    mutable TrackedMutex mutex{"site.shard"};
+    // Arena storage: records stay at a stable address for their lifetime;
+    // erased slots go on the free list and are reused in place.
+    std::deque<MasterEntry> masters;
+    std::deque<ReplicaEntry> replicas;
+    std::vector<std::uint32_t> master_free;
+    std::vector<std::uint32_t> replica_free;
+    std::unordered_map<ObjectId, Slot, ObjectIdHash> index;
+    // Live ids per arena slot, for iteration without a map walk. Invalid id
+    // marks a freed slot.
+    std::vector<ObjectId> master_ids;
+    std::vector<ObjectId> replica_ids;
+    // holder address -> ids of records whose holders list contains it.
+    std::unordered_map<net::Address,
+                       std::unordered_set<ObjectId, ObjectIdHash>>
+        holders_by_addr;
+  };
+
+  struct PtrStripe {
+    mutable TrackedMutex mutex{"site.ptr"};
+    std::unordered_map<const Shareable*, ObjectId> ids;
+  };
+
+  std::size_t StripeOf(const Shareable* ptr) const {
+    return std::hash<const void*>{}(ptr) & (kPtrStripeCount - 1);
+  }
+
+  Shard& ShardFor(ObjectId id) { return shards_[ShardOf(id)]; }
+  const Shard& ShardFor(ObjectId id) const { return shards_[ShardOf(id)]; }
+
+  void ErasePtr(const Shareable* ptr, ObjectId expect);
+  void LinkHolderInShard(Shard& shard, ObjectId id, const net::Address& addr);
+
+  std::array<Shard, kShardCount> shards_;
+  std::array<PtrStripe, kPtrStripeCount> stripes_;
+
+  std::atomic<std::size_t> master_count_{0};
+  std::atomic<std::size_t> replica_count_{0};
+
+  // World ownership: the thread id that holds every shard + stripe, plus its
+  // reentrancy depth. Guards consult this to no-op under the world.
+  std::atomic<std::thread::id> world_owner_{};
+  std::size_t world_depth_ = 0;  // touched only by the owning thread
+};
+
+}  // namespace obiwan::core

@@ -9,8 +9,6 @@
 namespace obiwan::core {
 
 namespace {
-const std::vector<net::Address> kNoHolders;
-
 // Op-latency observations at or above this capture a trace/span exemplar
 // (see Histogram::SetExemplarThreshold). Low enough that any real network
 // round-trip qualifies, so scrapes of live deployments always carry a few
@@ -241,8 +239,10 @@ Site::~Site() {
       rf.get(obj).Reset();
     }
   };
-  for (auto& [oid, entry] : masters_) unlink(*entry.obj);
-  for (auto& [oid, entry] : replicas_) unlink(*entry.obj);
+  table_.ForEachMaster(
+      [&](ObjectId, MasterEntry& entry) { unlink(*entry.obj); });
+  table_.ForEachReplica(
+      [&](ObjectId, ReplicaEntry& entry) { unlink(*entry.obj); });
   // The registry outlives the site; zero the live-table gauges so this
   // instance's series does not freeze at its last value.
   telemetry_.masters->Set(0);
@@ -305,17 +305,22 @@ Result<Bytes> Site::TimedRequest(const SiteTelemetry::Op& op,
 }
 
 void Site::SyncGauges() {
-  telemetry_.masters->Set(static_cast<std::int64_t>(masters_.size()));
-  telemetry_.replicas->Set(static_cast<std::int64_t>(replicas_.size()));
-  telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
+  telemetry_.masters->Set(static_cast<std::int64_t>(table_.master_count()));
+  telemetry_.replicas->Set(static_cast<std::int64_t>(table_.replica_count()));
+  std::size_t pins;
+  {
+    std::lock_guard lock(pins_mutex_);
+    pins = proxy_ins_.size();
+  }
+  telemetry_.proxy_ins->Set(static_cast<std::int64_t>(pins));
 }
 
 void Site::RefreshTelemetry() {
-  std::lock_guard lock(mutex_);
   telemetry_.uptime->Set(clock_.Now() - created_at_);
   SyncGauges();
   UpdateReplicationGauges();
-  SyncHolderGauges();
+  std::lock_guard lock(mutex_);
+  SyncHolderGaugesLocked();
 }
 
 void Site::SetTailExemplarThreshold(Nanos threshold) {
@@ -347,9 +352,9 @@ Status Site::Bind(const std::string& name, const std::shared_ptr<Shareable>& obj
   }
   rmi::BoundObject bo;
   {
-    std::lock_guard lock(mutex_);
     ObjectId oid = EnsureId(obj);
-    ProxyId pin = NewProxyIn(oid);
+    std::lock_guard lock(pins_mutex_);
+    ProxyId pin = NewProxyInLocked(oid, nullptr);
     // A bound name is advertised indefinitely; its pin must not be swept by
     // the lease collector while the registry still points at it.
     auto& entry = proxy_ins_.at(pin);
@@ -366,9 +371,9 @@ Status Site::Rebind(const std::string& name, const std::shared_ptr<Shareable>& o
   }
   rmi::BoundObject bo;
   {
-    std::lock_guard lock(mutex_);
     ObjectId oid = EnsureId(obj);
-    ProxyId pin = NewProxyIn(oid);
+    std::lock_guard lock(pins_mutex_);
+    ProxyId pin = NewProxyInLocked(oid, nullptr);
     auto& entry = proxy_ins_.at(pin);
     entry.anchored = true;
     entry.expires_at = 0;
@@ -389,26 +394,37 @@ Status Site::Unbind(const std::string& name) {
 // ---------------------------------------------------------------------------
 
 ObjectId Site::Export(const std::shared_ptr<Shareable>& obj) {
-  std::lock_guard lock(mutex_);
   return EnsureId(obj);
 }
 
 ObjectId Site::EnsureId(const std::shared_ptr<Shareable>& obj) {
-  auto it = ptr_ids_.find(obj.get());
-  if (it != ptr_ids_.end()) return it->second;
-  ObjectId oid{id_, next_object_++};
-  masters_.emplace(oid, MasterEntry{obj, /*version=*/1, {}, {},
-                                    /*last_update=*/clock_.Now()});
-  ptr_ids_.emplace(obj.get(), oid);
-  telemetry_.masters->Set(static_cast<std::int64_t>(masters_.size()));
+  // Fast path: the pointer-identity stripes resolve known objects (masters
+  // and replicas alike) without touching any shard.
+  ObjectId existing = table_.PtrId(obj.get());
+  if (existing.valid()) return existing;
+  // Mint a candidate id, take its shard, then race for the pointer binding.
+  // The winner emplaces the master record while still holding the shard
+  // guard, so a loser that looks the returned id up blocks until the record
+  // exists; a lost race wastes the minted id, which is harmless (ids are
+  // never required to be dense). Must not be called with another shard
+  // guard held (the world is fine: guards no-op under it).
+  ObjectId oid{id_, next_object_.fetch_add(1, std::memory_order_relaxed)};
+  ObjectTable::ShardGuard guard(table_, oid);
+  ObjectId winner = table_.PtrIdOrInsert(obj.get(), oid);
+  if (winner != oid) return winner;
+  MasterEntry entry;
+  entry.obj = obj;
+  entry.last_update = clock_.Now();
+  table_.EmplaceMaster(oid, std::move(entry));
+  telemetry_.masters->Set(static_cast<std::int64_t>(table_.master_count()));
   return oid;
 }
 
 Result<std::uint64_t> Site::MasterVersion(ObjectId id) const {
-  std::lock_guard lock(mutex_);
-  auto it = masters_.find(id);
-  if (it == masters_.end()) return NotFoundError("not a master here: " + ToString(id));
-  return it->second.version;
+  ObjectTable::ShardGuard guard(table_, id);
+  const MasterEntry* entry = table_.Master(id);
+  if (entry == nullptr) return NotFoundError("not a master here: " + ToString(id));
+  return entry->version;
 }
 
 void Site::TouchPin(ProxyInEntry& entry) {
@@ -418,6 +434,11 @@ void Site::TouchPin(ProxyInEntry& entry) {
 }
 
 ProxyId Site::NewProxyIn(ObjectId target, const net::Address* user) {
+  std::lock_guard lock(pins_mutex_);
+  return NewProxyInLocked(target, user);
+}
+
+ProxyId Site::NewProxyInLocked(ObjectId target, const net::Address* user) {
   auto register_user = [&](ProxyInEntry& entry) {
     if (user != nullptr && std::find(entry.users.begin(), entry.users.end(),
                                      *user) == entry.users.end()) {
@@ -447,6 +468,7 @@ ProxyId Site::NewProxyIn(ObjectId target, const net::Address* user) {
 
 ProxyId Site::NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members,
                                 const net::Address* user) {
+  std::lock_guard lock(pins_mutex_);
   ProxyId pin{id_, next_pin_++};
   auto [it, inserted] = proxy_ins_.emplace(
       pin, ProxyInEntry{root, std::move(members), /*cluster=*/true, 0});
@@ -460,23 +482,25 @@ ProxyId Site::NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members,
 }
 
 std::size_t Site::CollectExpiredProxyIns() {
-  std::lock_guard lock(mutex_);
-  if (proxy_lease_ <= 0) return 0;
-  const Nanos now = clock_.Now();
   std::size_t collected = 0;
-  for (auto it = proxy_ins_.begin(); it != proxy_ins_.end();) {
-    if (it->second.expires_at != 0 && it->second.expires_at <= now) {
-      if (auto tit = pin_by_target_.find(it->second.target);
-          tit != pin_by_target_.end() && tit->second == it->first) {
-        pin_by_target_.erase(tit);
+  {
+    std::lock_guard lock(pins_mutex_);
+    if (proxy_lease_ <= 0) return 0;
+    const Nanos now = clock_.Now();
+    for (auto it = proxy_ins_.begin(); it != proxy_ins_.end();) {
+      if (it->second.expires_at != 0 && it->second.expires_at <= now) {
+        if (auto tit = pin_by_target_.find(it->second.target);
+            tit != pin_by_target_.end() && tit->second == it->first) {
+          pin_by_target_.erase(tit);
+        }
+        it = proxy_ins_.erase(it);
+        ++collected;
+      } else {
+        ++it;
       }
-      it = proxy_ins_.erase(it);
-      ++collected;
-    } else {
-      ++it;
     }
+    telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
   }
-  telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
   UpdateReplicationGauges();
   return collected;
 }
@@ -487,46 +511,40 @@ ProxyDescriptor Site::DescriptorFor(ProxyId pin, ObjectId target,
                          std::move(class_name)};
 }
 
+// Caller holds the covering shard guard (or the world).
 std::shared_ptr<Shareable> Site::FindLocalUnlocked(ObjectId id) const {
-  if (auto it = masters_.find(id); it != masters_.end()) return it->second.obj;
-  if (auto it = replicas_.find(id); it != replicas_.end()) return it->second.obj;
-  return nullptr;
+  return table_.Find(id);
 }
 
 Result<std::shared_ptr<Shareable>> Site::FindLocal(ObjectId id) const {
-  std::lock_guard lock(mutex_);
-  std::shared_ptr<Shareable> obj = FindLocalUnlocked(id);
+  std::shared_ptr<Shareable> obj = table_.FindLocked(id);
   if (obj == nullptr) return NotFoundError("object not present: " + ToString(id));
   return obj;
 }
 
+// Caller holds the shard guard of `id` (or the world) for as long as the
+// returned pointers are used.
 Result<Site::MetaRef> Site::FindMeta(ObjectId id) {
-  if (auto it = masters_.find(id); it != masters_.end()) {
-    MasterEntry& e = it->second;
-    return MetaRef{e.obj, &e.version, &e.policy_state, &e.holders};
+  if (MasterEntry* e = table_.Master(id)) {
+    return MetaRef{e->obj, &e->version, &e->policy_state, &e->holders};
   }
-  if (auto it = replicas_.find(id); it != replicas_.end()) {
-    ReplicaEntry& e = it->second;
-    return MetaRef{e.obj, &e.version, &e.policy_state, &e.holders};
+  if (ReplicaEntry* e = table_.Replica(id)) {
+    return MetaRef{e->obj, &e->version, &e->policy_state, &e->holders};
   }
   return NotFoundError("object not present: " + ToString(id));
 }
 
-std::size_t Site::master_count() const {
-  std::lock_guard lock(mutex_);
-  return masters_.size();
-}
-std::size_t Site::replica_count() const {
-  std::lock_guard lock(mutex_);
-  return replicas_.size();
-}
+std::size_t Site::master_count() const { return table_.master_count(); }
+std::size_t Site::replica_count() const { return table_.replica_count(); }
 std::size_t Site::proxy_in_count() const {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(pins_mutex_);
   return proxy_ins_.size();
 }
 
 void Site::SetConsistencyPolicy(std::unique_ptr<ConsistencyPolicy> policy) {
-  std::lock_guard lock(mutex_);
+  // Policy hooks run under shard guards; holding the world excludes them
+  // all, so the swap is safe even against in-flight protocol traffic.
+  ObjectTable::WorldGuard guard(table_);
   if (policy != nullptr) policy_ = std::move(policy);
 }
 
@@ -538,16 +556,24 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
   SpanScope span(&sinks_, clock_, id_, "serve.get",
                  "root " + ToString(req.root) + " for " + from,
                  TraceContext::Current());
-  std::lock_guard lock(mutex_);
   telemetry_.gets_served->Inc();
   Trace("get", "from " + from + ", root " + ToString(req.root) +
                     (req.refresh ? " (refresh)" : ""));
 
-  auto pit = proxy_ins_.find(req.pin);
-  if (pit == proxy_ins_.end()) {
-    return NotFoundError("unknown proxy-in at provider");
+  // Pin check + lease touch under the pins mutex only; the batch walk below
+  // takes shard guards, which must never nest inside a leaf lock.
+  bool pin_cluster = false;
+  std::vector<ObjectId> pin_members;
+  {
+    std::lock_guard pins(pins_mutex_);
+    auto pit = proxy_ins_.find(req.pin);
+    if (pit == proxy_ins_.end()) {
+      return NotFoundError("unknown proxy-in at provider");
+    }
+    TouchPin(pit->second);
+    pin_cluster = pit->second.cluster;
+    if (pin_cluster) pin_members = pit->second.members;
   }
-  TouchPin(pit->second);
 
   // --- select the batch -----------------------------------------------------
   std::vector<ObjectId> batch_ids;
@@ -563,18 +589,18 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
   if (req.refresh) {
     // Refresh returns current state of what the pin covers: the whole
     // cluster for a cluster pin, the requested root otherwise.
-    if (pit->second.cluster) {
-      for (ObjectId member : pit->second.members) {
-        if (auto obj = FindLocalUnlocked(member)) add(member, std::move(obj));
+    if (pin_cluster) {
+      for (ObjectId member : pin_members) {
+        if (auto obj = table_.FindLocked(member)) add(member, std::move(obj));
       }
     } else {
-      auto obj = FindLocalUnlocked(req.root);
+      auto obj = table_.FindLocked(req.root);
       if (obj == nullptr) return NotFoundError("refresh root not present");
       add(req.root, std::move(obj));
     }
     if (batch_ids.empty()) return NotFoundError("nothing left to refresh");
   } else {
-    std::shared_ptr<Shareable> root = FindLocalUnlocked(req.root);
+    std::shared_ptr<Shareable> root = table_.FindLocked(req.root);
     if (root == nullptr) return NotFoundError("get root not present");
 
     const bool by_count = req.mode.kind == ReplicationMode::Kind::kIncremental ||
@@ -584,6 +610,8 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
 
     // Breadth-first expansion from the root; boundaries are refs that are
     // unresolved proxies here (forwarded) or nodes beyond the batch budget.
+    // Each node's children are read under its own shard guard and their ids
+    // assigned after it is released (EnsureId may lock other shards).
     std::deque<std::pair<ObjectId, std::uint32_t>> queue;
     queue.emplace_back(EnsureId(root), 0);
     while (!queue.empty()) {
@@ -591,16 +619,25 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
       queue.pop_front();
       if (in_batch.contains(oid)) continue;
       if (limit != 0 && batch_ids.size() >= limit) break;
-      std::shared_ptr<Shareable> obj = FindLocalUnlocked(oid);
-      if (obj == nullptr) continue;
-      add(oid, obj);
-      if (req.mode.kind == ReplicationMode::Kind::kClusterDepth &&
-          depth >= req.mode.depth) {
-        continue;  // frontier of the depth-bounded cluster
+      std::shared_ptr<Shareable> obj;
+      std::vector<std::shared_ptr<Shareable>> children;
+      {
+        ObjectTable::ShardGuard guard(table_, oid);
+        obj = table_.Find(oid);
+        if (obj == nullptr) continue;
+        const bool at_frontier =
+            req.mode.kind == ReplicationMode::Kind::kClusterDepth &&
+            depth >= req.mode.depth;  // depth-bounded cluster boundary
+        if (!at_frontier) {
+          for (const RefFieldInfo& rf : obj->obiwan_class().refs()) {
+            RefBase& rb = rf.get(*obj);
+            if (rb.IsLocal()) children.push_back(rb.local());
+          }
+        }
       }
-      for (const RefFieldInfo& rf : obj->obiwan_class().refs()) {
-        RefBase& rb = rf.get(*obj);
-        if (rb.IsLocal()) queue.emplace_back(EnsureId(rb.local()), depth + 1);
+      add(oid, std::move(obj));
+      for (auto& child : children) {
+        queue.emplace_back(EnsureId(child), depth + 1);
       }
     }
   }
@@ -616,45 +653,87 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
         batch_ids};
   }
 
+  // Per-reference snapshot taken under the object's shard guard; boundary
+  // resolution (EnsureId / NewProxyIn) happens after the guard is released.
+  struct RefSnap {
+    enum class Kind { kNull, kLocal, kProxy } kind = Kind::kNull;
+    std::shared_ptr<Shareable> local;
+    ProxyDescriptor proxy;
+  };
+
   reply.objects.reserve(batch_ids.size());
   for (std::size_t i = 0; i < batch_ids.size(); ++i) {
     ObjectId oid = batch_ids[i];
     const std::shared_ptr<Shareable>& obj = batch_objs[i];
     const ClassInfo& ci = obj->obiwan_class();
 
-    OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(oid));
-
     ObjectRecord rec;
     rec.id = oid;
     rec.class_name = ci.name();
-    rec.version = *meta.version;
-    rec.policy_data = policy_->MakeGetData(
-        MasterView{oid, *meta.version, *meta.policy_state,
-                   meta.holders != nullptr ? *meta.holders : kNoHolders},
-        from);
 
-    wire::Writer fields;
-    ci.EncodeFields(*obj, fields);
-    rec.fields = std::move(fields).Take();
+    std::vector<RefSnap> ref_snaps;
+    ref_snaps.reserve(ci.refs().size());
+    {
+      // One consistent snapshot per object: fields, version, policy data and
+      // ref targets all read under the record's shard guard. Holder
+      // registration rides the same guard with the site mutex nested inside
+      // (shard -> site is the legal lock order), so registering can never
+      // interleave with a concurrent DropHolder sweep, which holds both.
+      ObjectTable::ShardGuard guard(table_, oid);
+      OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(oid));
+      rec.version = *meta.version;
+      rec.policy_data = policy_->MakeGetData(
+          MasterView{oid, *meta.version, *meta.policy_state, *meta.holders},
+          from);
 
-    rec.refs.reserve(ci.refs().size());
-    for (const RefFieldInfo& rf : ci.refs()) {
-      RefBase& rb = rf.get(*obj);
-      if (rb.IsEmpty()) {
-        rec.refs.push_back(RefEntry::Null());
-      } else if (rb.IsLocal()) {
-        ObjectId tid = EnsureId(rb.local());
-        if (in_batch.contains(tid)) {
-          rec.refs.push_back(RefEntry::Inline(tid));
-        } else {
-          rec.refs.push_back(RefEntry::Proxy(DescriptorFor(
-              NewProxyIn(tid, &from), tid,
-              rb.local_raw()->obiwan_class().name())));
+      wire::Writer fields;
+      ci.EncodeFields(*obj, fields);
+      rec.fields = std::move(fields).Take();
+
+      for (const RefFieldInfo& rf : ci.refs()) {
+        RefBase& rb = rf.get(*obj);
+        RefSnap snap;
+        if (rb.IsLocal()) {
+          snap.kind = RefSnap::Kind::kLocal;
+          snap.local = rb.local();
+        } else if (rb.IsProxy()) {
+          // An unresolved proxy here: forward its descriptor so the demander
+          // faults straight to the original provider (replica chains).
+          snap.kind = RefSnap::Kind::kProxy;
+          snap.proxy = rb.proxy()->descriptor();
         }
-      } else {
-        // An unresolved proxy here: forward its descriptor so the demander
-        // faults straight to the original provider (replica chains).
-        rec.refs.push_back(RefEntry::Proxy(rb.proxy()->descriptor()));
+        ref_snaps.push_back(std::move(snap));
+      }
+
+      table_.LinkHolder(oid, from);
+      if (MasterEntry* master = table_.Master(oid)) ++master->gets_served;
+      {
+        // A (re-)registering holder starts healthy: a get proves the device
+        // is back, even if it was dropped as unreachable earlier.
+        std::lock_guard health(mutex_);
+        holder_health_[from].consecutive_failures = 0;
+      }
+    }
+
+    rec.refs.reserve(ref_snaps.size());
+    for (RefSnap& snap : ref_snaps) {
+      switch (snap.kind) {
+        case RefSnap::Kind::kNull:
+          rec.refs.push_back(RefEntry::Null());
+          break;
+        case RefSnap::Kind::kLocal: {
+          ObjectId tid = EnsureId(snap.local);
+          if (in_batch.contains(tid)) {
+            rec.refs.push_back(RefEntry::Inline(tid));
+          } else {
+            rec.refs.push_back(RefEntry::Proxy(DescriptorFor(
+                NewProxyIn(tid, &from), tid, snap.local->obiwan_class().name())));
+          }
+          break;
+        }
+        case RefSnap::Kind::kProxy:
+          rec.refs.push_back(RefEntry::Proxy(std::move(snap.proxy)));
+          break;
       }
     }
 
@@ -664,25 +743,15 @@ Result<GetReply> Site::ServeGet(const net::Address& from, const GetRequest& req)
       rec.provider = DescriptorFor(NewProxyIn(oid, &from), oid, rec.class_name);
     }
 
-    if (meta.holders != nullptr) {
-      auto& holders = *meta.holders;
-      if (std::find(holders.begin(), holders.end(), from) == holders.end()) {
-        holders.push_back(from);
-      }
-      // A (re-)registering holder starts healthy: a get proves the device is
-      // back, even if it was dropped as unreachable earlier.
-      holder_health_[from].consecutive_failures = 0;
-    }
-    if (auto mit = masters_.find(oid); mit != masters_.end()) {
-      ++mit->second.gets_served;
-    }
-
     telemetry_.objects_served->Inc();
     reply.objects.push_back(std::move(rec));
   }
 
-  UpdateReplicationGauges();
-  SyncHolderGauges();
+  MaybeUpdateReplicationGauges();
+  {
+    std::lock_guard lock(mutex_);
+    SyncHolderGaugesLocked();
+  }
   return reply;
 }
 
@@ -695,59 +764,48 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
                  std::to_string(req.items.size()) + " item(s) from " + from +
                      (req.transactional ? " (tx)" : ""),
                  TraceContext::Current());
-  // Notifications (invalidations / pushes) are built under the lock but sent
-  // after releasing it — network I/O under the site lock deadlocks when the
-  // recipient is served by another thread of this process.
+  // Notifications (invalidations / pushes) are built under the batch's shard
+  // guards but sent after releasing them — network I/O under an object lock
+  // deadlocks when the recipient is served by another thread of this process.
   std::vector<OutboundNotify> outbound;
 
-  std::unique_lock lock(mutex_);
   telemetry_.puts_served->Inc();
   Trace("put", "from " + from + ", " + std::to_string(req.items.size()) +
                     " item(s)" + (req.transactional ? " (tx)" : ""));
 
-  if (auto pit = proxy_ins_.find(req.pin); pit != proxy_ins_.end()) {
+  {
+    std::lock_guard pins(pins_mutex_);
+    auto pit = proxy_ins_.find(req.pin);
+    if (pit == proxy_ins_.end()) {
+      return NotFoundError("unknown proxy-in at provider");
+    }
     TouchPin(pit->second);
-  } else {
-    return NotFoundError("unknown proxy-in at provider");
   }
   if (req.items.empty()) return InvalidArgumentError("empty put");
 
-  // Validate everything before applying anything, so a multi-object put
-  // (cluster or transaction) is all-or-nothing.
-  struct Target {
-    MetaRef meta;
-    const PutItem* item;
-    const ClassInfo* ci;
-  };
-  std::vector<Target> targets;
-  targets.reserve(req.items.size());
+  // Pre-resolve every referenced target before taking the batch guard: ref
+  // targets live in arbitrary shards outside it, and no shard guard may be
+  // acquired while one is held.
+  std::unordered_map<ObjectId, std::shared_ptr<Shareable>, ObjectIdHash>
+      ref_targets;
+  std::vector<ObjectId> batch_ids;
+  batch_ids.reserve(req.items.size());
   for (const PutItem& item : req.items) {
-    OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(item.id));
-    const ClassInfo& ci = meta.obj->obiwan_class();
-    if (req.transactional && item.base_version != *meta.version) {
-      return ConflictError("transaction conflict on " + ToString(item.id) +
-                           ": expected version " + std::to_string(item.base_version) +
-                           ", master at " + std::to_string(*meta.version));
-    }
-    if (item.read_only) {
-      if (!req.transactional) {
-        return InvalidArgumentError("read-only item outside a transaction");
+    batch_ids.push_back(item.id);
+    for (const RefEntry& entry : item.refs) {
+      ObjectId tid;
+      if (entry.tag == RefEntry::Tag::kInline) {
+        tid = entry.target;
+      } else if (entry.tag == RefEntry::Tag::kProxy) {
+        tid = entry.proxy.target;
       }
-      targets.push_back(Target{std::move(meta), &item, &ci});
-      continue;
+      if (tid.valid() && !ref_targets.contains(tid)) {
+        ref_targets.emplace(tid, table_.FindLocked(tid));
+      }
     }
-    if (item.refs.size() != ci.refs().size()) {
-      return DataLossError("put ref schema mismatch for " + ToString(item.id));
-    }
-    OBIWAN_RETURN_IF_ERROR(policy_->ValidatePut(
-        MasterView{item.id, *meta.version, *meta.policy_state,
-                   meta.holders != nullptr ? *meta.holders : kNoHolders},
-        PutView{from, item.id, item.base_version, AsView(item.policy_data)}));
-    targets.push_back(Target{std::move(meta), &item, &ci});
   }
 
   PutReply reply;
-  reply.new_versions.reserve(targets.size());
   struct NotifyGroup {
     ObjectId id;
     std::uint64_t version;  // master version the holders are now behind
@@ -755,64 +813,104 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
   };
   std::vector<NotifyGroup> groups;
 
-  for (Target& t : targets) {
-    if (t.item->read_only) {
-      reply.new_versions.push_back(*t.meta.version);
-      continue;
-    }
-    wire::Reader fields(AsView(t.item->fields));
-    OBIWAN_RETURN_IF_ERROR(t.ci->DecodeFields(*t.meta.obj, fields));
+  {
+    // All item shards locked together (ascending order): a multi-object put
+    // (cluster or transaction) validates and applies as one atomic unit.
+    ObjectTable::BatchGuard guard(table_, batch_ids);
 
-    const auto& ref_infos = t.ci->refs();
-    for (std::size_t j = 0; j < ref_infos.size(); ++j) {
-      RefBase& rb = ref_infos[j].get(*t.meta.obj);
-      const RefEntry& entry = t.item->refs[j];
-      switch (entry.tag) {
-        case RefEntry::Tag::kNull:
-          rb.Reset();
-          break;
-        case RefEntry::Tag::kInline: {
-          if (auto local = FindLocalUnlocked(entry.target)) {
-            rb.BindLocal(entry.target, std::move(local));
-          }
-          // Unresolvable id: the replica references an object this provider
-          // has never seen and supplied no channel for; keep the old ref.
-          break;
+    // Validate everything before applying anything, so the batch is
+    // all-or-nothing.
+    struct Target {
+      MetaRef meta;
+      const PutItem* item;
+      const ClassInfo* ci;
+    };
+    std::vector<Target> targets;
+    targets.reserve(req.items.size());
+    for (const PutItem& item : req.items) {
+      OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(item.id));
+      const ClassInfo& ci = meta.obj->obiwan_class();
+      if (req.transactional && item.base_version != *meta.version) {
+        return ConflictError("transaction conflict on " + ToString(item.id) +
+                             ": expected version " + std::to_string(item.base_version) +
+                             ", master at " + std::to_string(*meta.version));
+      }
+      if (item.read_only) {
+        if (!req.transactional) {
+          return InvalidArgumentError("read-only item outside a transaction");
         }
-        case RefEntry::Tag::kProxy: {
-          if (auto local = FindLocalUnlocked(entry.proxy.target)) {
-            rb.BindLocal(entry.proxy.target, std::move(local));
-          } else {
-            rb.BindProxy(std::make_shared<ProxyOut>(this, entry.proxy,
-                                                    ReplicationMode::Incremental()));
-            telemetry_.proxy_outs_created->Inc();
+        targets.push_back(Target{std::move(meta), &item, &ci});
+        continue;
+      }
+      if (item.refs.size() != ci.refs().size()) {
+        return DataLossError("put ref schema mismatch for " + ToString(item.id));
+      }
+      OBIWAN_RETURN_IF_ERROR(policy_->ValidatePut(
+          MasterView{item.id, *meta.version, *meta.policy_state, *meta.holders},
+          PutView{from, item.id, item.base_version, AsView(item.policy_data)}));
+      targets.push_back(Target{std::move(meta), &item, &ci});
+    }
+
+    reply.new_versions.reserve(targets.size());
+    for (Target& t : targets) {
+      if (t.item->read_only) {
+        reply.new_versions.push_back(*t.meta.version);
+        continue;
+      }
+      wire::Reader fields(AsView(t.item->fields));
+      OBIWAN_RETURN_IF_ERROR(t.ci->DecodeFields(*t.meta.obj, fields));
+
+      const auto& ref_infos = t.ci->refs();
+      for (std::size_t j = 0; j < ref_infos.size(); ++j) {
+        RefBase& rb = ref_infos[j].get(*t.meta.obj);
+        const RefEntry& entry = t.item->refs[j];
+        switch (entry.tag) {
+          case RefEntry::Tag::kNull:
+            rb.Reset();
+            break;
+          case RefEntry::Tag::kInline: {
+            if (auto local = ref_targets[entry.target]) {
+              rb.BindLocal(entry.target, std::move(local));
+            }
+            // Unresolvable id: the replica references an object this provider
+            // has never seen and supplied no channel for; keep the old ref.
+            break;
           }
-          break;
+          case RefEntry::Tag::kProxy: {
+            if (auto local = ref_targets[entry.proxy.target]) {
+              rb.BindLocal(entry.proxy.target, std::move(local));
+            } else {
+              rb.BindProxy(std::make_shared<ProxyOut>(this, entry.proxy,
+                                                      ReplicationMode::Incremental()));
+              telemetry_.proxy_outs_created->Inc();
+            }
+            break;
+          }
         }
       }
-    }
 
-    ++*t.meta.version;
-    reply.new_versions.push_back(*t.meta.version);
-    if (auto mit = masters_.find(t.item->id); mit != masters_.end()) {
-      ++mit->second.puts_accepted;
-      mit->second.last_update = clock_.Now();
-    } else if (auto rit = replicas_.find(t.item->id); rit != replicas_.end()) {
-      // A re-exported replica accepted a downstream put: it is now ahead of
-      // what it last synchronised from its own master.
-      rit->second.known_master_version =
-          std::max(rit->second.known_master_version, *t.meta.version);
-    }
+      ++*t.meta.version;
+      reply.new_versions.push_back(*t.meta.version);
+      if (MasterEntry* master = table_.Master(t.item->id)) {
+        ++master->puts_accepted;
+        master->last_update = clock_.Now();
+      } else if (ReplicaEntry* replica = table_.Replica(t.item->id)) {
+        // A re-exported replica accepted a downstream put: it is now ahead of
+        // what it last synchronised from its own master.
+        replica->known_master_version =
+            std::max(replica->known_master_version, *t.meta.version);
+      }
 
-    NotifyGroup group{t.item->id, *t.meta.version, {}};
-    for (net::Address addr : policy_->AfterPut(
-             MasterView{t.item->id, *t.meta.version, *t.meta.policy_state,
-                        t.meta.holders != nullptr ? *t.meta.holders : kNoHolders},
-             PutView{from, t.item->id, t.item->base_version,
-                     AsView(t.item->policy_data)})) {
-      if (addr != from) group.recipients.push_back(std::move(addr));
+      NotifyGroup group{t.item->id, *t.meta.version, {}};
+      for (net::Address addr : policy_->AfterPut(
+               MasterView{t.item->id, *t.meta.version, *t.meta.policy_state,
+                          *t.meta.holders},
+               PutView{from, t.item->id, t.item->base_version,
+                       AsView(t.item->policy_data)})) {
+        if (addr != from) group.recipients.push_back(std::move(addr));
+      }
+      if (!group.recipients.empty()) groups.push_back(std::move(group));
     }
-    if (!group.recipients.empty()) groups.push_back(std::move(group));
   }
 
   // Build each notification body *once per object* — under an
@@ -820,7 +918,8 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
   // invalidation — and share the wrapped frame across the object's holders.
   // An unreachable holder is retried with backoff and eventually dropped
   // (DispatchNotifications); its next put is still caught by the policy's
-  // version check.
+  // version check. BuildPushRecord takes its own shard guard, so the batch
+  // guard above is already released.
   const bool push = policy_->PushUpdatesOnPut();
   for (NotifyGroup& group : groups) {
     wire::Writer body;
@@ -840,10 +939,12 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
                                         group.id, push, group.version});
     }
   }
-  CollectDueRetriesLocked(outbound);
-  UpdateReplicationGauges();
+  {
+    std::lock_guard lock(mutex_);
+    CollectDueRetriesLocked(outbound);
+  }
+  MaybeUpdateReplicationGauges();
 
-  lock.unlock();
   DispatchNotifications(std::move(outbound));
 
   return reply;
@@ -851,39 +952,73 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
 
 Result<ObjectRecord> Site::BuildPushRecord(
     ObjectId id, const std::vector<net::Address>& recipients) {
-  OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(id));
-  const ClassInfo& ci = meta.obj->obiwan_class();
-
   ObjectRecord rec;
   rec.id = id;
-  rec.class_name = ci.name();
-  rec.version = *meta.version;
 
-  wire::Writer fields;
-  ci.EncodeFields(*meta.obj, fields);
-  rec.fields = std::move(fields).Take();
+  // Snapshot fields + ref targets under the record's shard guard, then
+  // resolve boundary refs (EnsureId / NewProxyIn touch other shards and the
+  // pins mutex) with the guard released.
+  struct RefSnap {
+    enum class Kind { kNull, kLocal, kProxy } kind = Kind::kNull;
+    std::shared_ptr<Shareable> local;
+    ProxyDescriptor proxy;
+  };
+  std::vector<RefSnap> ref_snaps;
+  {
+    ObjectTable::ShardGuard guard(table_, id);
+    OBIWAN_ASSIGN_OR_RETURN(MetaRef meta, FindMeta(id));
+    const ClassInfo& ci = meta.obj->obiwan_class();
+    rec.class_name = ci.name();
+    rec.version = *meta.version;
 
-  for (const RefFieldInfo& rf : ci.refs()) {
-    RefBase& rb = rf.get(*meta.obj);
-    if (rb.IsEmpty()) {
-      rec.refs.push_back(RefEntry::Null());
-    } else if (rb.IsLocal()) {
-      ObjectId tid = EnsureId(rb.local());
-      // One shared pin per target (NewProxyIn reuses through the index);
-      // every recipient of this record can fault through it, so they all
-      // become its users.
-      ProxyId pin = NewProxyIn(tid);
-      ProxyInEntry& entry = proxy_ins_.at(pin);
-      for (const net::Address& addr : recipients) {
-        if (std::find(entry.users.begin(), entry.users.end(), addr) ==
-            entry.users.end()) {
-          entry.users.push_back(addr);
-        }
+    wire::Writer fields;
+    ci.EncodeFields(*meta.obj, fields);
+    rec.fields = std::move(fields).Take();
+
+    ref_snaps.reserve(ci.refs().size());
+    for (const RefFieldInfo& rf : ci.refs()) {
+      RefBase& rb = rf.get(*meta.obj);
+      RefSnap snap;
+      if (rb.IsLocal()) {
+        snap.kind = RefSnap::Kind::kLocal;
+        snap.local = rb.local();
+      } else if (rb.IsProxy()) {
+        snap.kind = RefSnap::Kind::kProxy;
+        snap.proxy = rb.proxy()->descriptor();
       }
-      rec.refs.push_back(RefEntry::Proxy(
-          DescriptorFor(pin, tid, rb.local_raw()->obiwan_class().name())));
-    } else {
-      rec.refs.push_back(RefEntry::Proxy(rb.proxy()->descriptor()));
+      ref_snaps.push_back(std::move(snap));
+    }
+  }
+
+  rec.refs.reserve(ref_snaps.size());
+  for (RefSnap& snap : ref_snaps) {
+    switch (snap.kind) {
+      case RefSnap::Kind::kNull:
+        rec.refs.push_back(RefEntry::Null());
+        break;
+      case RefSnap::Kind::kLocal: {
+        ObjectId tid = EnsureId(snap.local);
+        // One shared pin per target (NewProxyIn reuses through the index);
+        // every recipient of this record can fault through it, so they all
+        // become its users.
+        ProxyId pin = NewProxyIn(tid);
+        {
+          std::lock_guard pins(pins_mutex_);
+          ProxyInEntry& entry = proxy_ins_.at(pin);
+          for (const net::Address& addr : recipients) {
+            if (std::find(entry.users.begin(), entry.users.end(), addr) ==
+                entry.users.end()) {
+              entry.users.push_back(addr);
+            }
+          }
+        }
+        rec.refs.push_back(RefEntry::Proxy(
+            DescriptorFor(pin, tid, snap.local->obiwan_class().name())));
+        break;
+      }
+      case RefSnap::Kind::kProxy:
+        rec.refs.push_back(RefEntry::Proxy(std::move(snap.proxy)));
+        break;
     }
   }
   return rec;
@@ -894,45 +1029,55 @@ Status Site::MarkMasterUpdated(ObjectId id) {
   // its version and notify holders exactly as an accepted put would, so
   // remote replicas become observably stale.
   std::vector<OutboundNotify> outbound;
+  std::uint64_t version = 0;
+  std::vector<net::Address> holders;
   {
-    std::lock_guard lock(mutex_);
-    auto it = masters_.find(id);
-    if (it == masters_.end()) {
+    ObjectTable::ShardGuard guard(table_, id);
+    MasterEntry* e = table_.Master(id);
+    if (e == nullptr) {
       return NotFoundError("not a master here: " + ToString(id));
     }
-    MasterEntry& e = it->second;
-    ++e.version;
-    e.last_update = clock_.Now();
-    Trace("update", ToString(id) + " now at version " + std::to_string(e.version));
+    ++e->version;
+    e->last_update = clock_.Now();
+    version = e->version;
+    holders = e->holders;  // snapshot; notify outside the guard
+  }
+  Trace("update", ToString(id) + " now at version " + std::to_string(version));
 
-    const bool push = policy_->PushUpdatesOnPut();
-    if (!e.holders.empty()) {
-      wire::Writer body;
-      bool built = true;
-      if (push) {
-        Result<ObjectRecord> record = BuildPushRecord(id, e.holders);
-        if (record.ok()) {
-          wire::Encode(body, *record);
-        } else {
-          built = false;
-        }
+  // BuildPushRecord takes the same shard's guard, so this runs after the
+  // bump above is released. A racing second bump just makes the pushed
+  // record carry an even newer version — the demander's monotonic apply
+  // guard handles that.
+  const bool push = policy_->PushUpdatesOnPut();
+  if (!holders.empty()) {
+    wire::Writer body;
+    bool built = true;
+    if (push) {
+      Result<ObjectRecord> record = BuildPushRecord(id, holders);
+      if (record.ok()) {
+        wire::Encode(body, *record);
       } else {
-        wire::Encode(body, InvalidateRequest{{id}, {e.version}});
+        built = false;
       }
-      if (built) {
-        const std::size_t payload = body.size();
-        auto frame = std::make_shared<const Bytes>(rmi::WrapRequest(
-            push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
-            body, TraceContext::Current(), DeadlineBudget()));
-        for (const net::Address& addr : e.holders) {
-          outbound.push_back(
-              OutboundNotify{addr, frame, payload, id, push, e.version});
-        }
+    } else {
+      wire::Encode(body, InvalidateRequest{{id}, {version}});
+    }
+    if (built) {
+      const std::size_t payload = body.size();
+      auto frame = std::make_shared<const Bytes>(rmi::WrapRequest(
+          push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
+          body, TraceContext::Current(), DeadlineBudget()));
+      for (const net::Address& addr : holders) {
+        outbound.push_back(
+            OutboundNotify{addr, frame, payload, id, push, version});
       }
     }
-    CollectDueRetriesLocked(outbound);
-    UpdateReplicationGauges();
   }
+  {
+    std::lock_guard lock(mutex_);
+    CollectDueRetriesLocked(outbound);
+  }
+  MaybeUpdateReplicationGauges();
   DispatchNotifications(std::move(outbound));
   return Status::Ok();
 }
@@ -965,25 +1110,35 @@ void Site::DispatchNotifications(std::vector<OutboundNotify> batch) {
   }
   std::vector<Status> statuses = fanout_.RunAll(std::move(tasks));
 
-  std::lock_guard lock(mutex_);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    OutboundNotify& note = batch[i];
-    if (statuses[i].ok()) {
-      telemetry_.invalidations_sent->Inc();
-      // Symmetric with the receiver's Handle(kPush), which counts the wire
-      // body: payload bytes, not the envelope.
-      if (note.push) telemetry_.replication_bytes_out->Inc(note.payload_bytes);
-      if (auto hit = holder_health_.find(note.addr);
-          hit != holder_health_.end()) {
-        hit->second.consecutive_failures = 0;
+  // Holders that crossed the failure threshold are dropped *after* the site
+  // mutex is released: DropHolder takes the table's world guard, and shard
+  // locks must never be acquired under the site mutex (it is a leaf).
+  std::vector<net::Address> drops;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      OutboundNotify& note = batch[i];
+      if (statuses[i].ok()) {
+        telemetry_.invalidations_sent->Inc();
+        // Symmetric with the receiver's Handle(kPush), which counts the wire
+        // body: payload bytes, not the envelope.
+        if (note.push) telemetry_.replication_bytes_out->Inc(note.payload_bytes);
+        if (auto hit = holder_health_.find(note.addr);
+            hit != holder_health_.end()) {
+          hit->second.consecutive_failures = 0;
+        }
+      } else {
+        OBIWAN_LOG(kDebug) << "notification to " << note.addr
+                           << " failed: " << statuses[i];
+        net::Address addr = note.addr;
+        if (HandleNotifyFailureLocked(std::move(note))) {
+          drops.push_back(std::move(addr));
+        }
       }
-    } else {
-      OBIWAN_LOG(kDebug) << "notification to " << note.addr
-                         << " failed: " << statuses[i];
-      HandleNotifyFailureLocked(std::move(note));
     }
+    SyncHolderGaugesLocked();
   }
-  SyncHolderGauges();
+  for (const net::Address& addr : drops) DropHolder(addr);
 }
 
 void Site::CollectDueRetriesLocked(std::vector<OutboundNotify>& out) {
@@ -1002,25 +1157,26 @@ void Site::CollectDueRetriesLocked(std::vector<OutboundNotify>& out) {
       static_cast<std::int64_t>(notify_retries_.size()));
 }
 
-void Site::HandleNotifyFailureLocked(OutboundNotify note) {
+bool Site::HandleNotifyFailureLocked(OutboundNotify note) {
   auto hit = holder_health_.find(note.addr);
   if (hit == holder_health_.end()) {
     // The holder was dropped or released while this batch was in flight.
-    return;
+    return false;
   }
   ++hit->second.consecutive_failures;
   if (holder_failure_threshold_ != 0 &&
       hit->second.consecutive_failures >= holder_failure_threshold_) {
-    DropHolderLocked(note.addr);
-    return;
+    return true;  // caller drops the holder once the site mutex is released
   }
-  if (note.attempt >= notify_retry_policy_.max_attempts) return;
-  Nanos backoff = notify_retry_policy_.initial_backoff;
-  for (std::uint32_t a = 1;
-       a < note.attempt && backoff < notify_retry_policy_.max_backoff; ++a) {
-    backoff *= 2;
-  }
-  backoff = std::min(backoff, notify_retry_policy_.max_backoff);
+  if (note.attempt >= notify_retry_policy_.max_attempts) return false;
+  // Carry the previous backoff forward instead of re-deriving the schedule
+  // from attempt zero: the old loop re-read the policy's initial_backoff on
+  // every requeue, so a policy change mid-flight silently reset (or blew up)
+  // an in-flight notification's schedule.
+  note.backoff = note.backoff == 0
+                     ? notify_retry_policy_.initial_backoff
+                     : std::min(note.backoff * 2, notify_retry_policy_.max_backoff);
+  const Nanos backoff = std::min(note.backoff, notify_retry_policy_.max_backoff);
   ++note.attempt;
   const Nanos next_attempt = clock_.Now() + backoff;
 
@@ -1031,7 +1187,7 @@ void Site::HandleNotifyFailureLocked(OutboundNotify note) {
       if (note.version >= pending.note.version) {
         pending = PendingNotify{std::move(note), next_attempt, backoff};
       }
-      return;
+      return false;
     }
   }
   // Bound the queue per holder: drop the entry closest to resend (oldest).
@@ -1051,12 +1207,26 @@ void Site::HandleNotifyFailureLocked(OutboundNotify note) {
     if (oldest != notify_retries_.end()) notify_retries_.erase(oldest);
   }
   notify_retries_.push_back(PendingNotify{std::move(note), next_attempt, backoff});
+  return false;
 }
 
-void Site::DropHolderLocked(const net::Address& addr) {
-  holder_health_.erase(addr);
-  for (auto& [oid, e] : masters_) std::erase(e.holders, addr);
-  for (auto& [oid, e] : replicas_) std::erase(e.holders, addr);
+void Site::DropHolder(const net::Address& addr) {
+  // Atomic with respect to re-registration: the world guard excludes every
+  // ServeGet holder registration (which runs under a shard guard with the
+  // health reset nested inside it), and the site mutex covers the health and
+  // retry state. Re-check the threshold under both before acting — a get
+  // that raced in after the failing batch healed the holder, and dropping it
+  // now would erase a live registration.
+  ObjectTable::WorldGuard world(table_);
+  std::lock_guard lock(mutex_);
+  auto hit = holder_health_.find(addr);
+  if (hit == holder_health_.end()) return;
+  if (holder_failure_threshold_ == 0 ||
+      hit->second.consecutive_failures < holder_failure_threshold_) {
+    return;  // re-registered (healed) since the drop was decided
+  }
+  holder_health_.erase(hit);
+  table_.RemoveHolderEverywhere(addr);
   std::erase_if(notify_retries_, [&](const PendingNotify& pending) {
     return pending.note.addr == addr;
   });
@@ -1064,7 +1234,7 @@ void Site::DropHolderLocked(const net::Address& addr) {
   Trace("holder", addr + " dropped after repeated notification failures");
 }
 
-void Site::SyncHolderGauges() {
+void Site::SyncHolderGaugesLocked() {
   std::int64_t active = 0;
   std::int64_t suspect = 0;
   for (const auto& [addr, health] : holder_health_) {
@@ -1076,6 +1246,7 @@ void Site::SyncHolderGauges() {
       static_cast<std::int64_t>(notify_retries_.size()));
 }
 
+// Caller holds pins_mutex_.
 bool Site::HolderStillPinnedLocked(const net::Address& addr,
                                    ObjectId oid) const {
   for (const auto& [pin, entry] : proxy_ins_) {
@@ -1092,24 +1263,19 @@ bool Site::HolderStillPinnedLocked(const net::Address& addr,
   return false;
 }
 
-bool Site::HolderAnywhereLocked(const net::Address& addr) const {
-  for (const auto& [pin, entry] : proxy_ins_) {
-    if (std::find(entry.users.begin(), entry.users.end(), addr) !=
-        entry.users.end()) {
-      return true;
+bool Site::HolderAnywhere(const net::Address& addr) const {
+  {
+    std::lock_guard pins(pins_mutex_);
+    for (const auto& [pin, entry] : proxy_ins_) {
+      if (std::find(entry.users.begin(), entry.users.end(), addr) !=
+          entry.users.end()) {
+        return true;
+      }
     }
   }
-  for (const auto& [oid, e] : masters_) {
-    if (std::find(e.holders.begin(), e.holders.end(), addr) != e.holders.end()) {
-      return true;
-    }
-  }
-  for (const auto& [oid, e] : replicas_) {
-    if (std::find(e.holders.begin(), e.holders.end(), addr) != e.holders.end()) {
-      return true;
-    }
-  }
-  return false;
+  // Pins mutex released before the table scan: the holder index walk takes
+  // shard guards, which must never nest inside a leaf lock.
+  return table_.HolderAnywhere(addr);
 }
 
 std::size_t Site::PumpNotifyRetries() {
@@ -1131,29 +1297,36 @@ std::size_t Site::pending_notify_retries() const {
 Status Site::ServePush(const ObjectRecord& record) {
   SpanScope span(&sinks_, clock_, id_, "serve.push", ToString(record.id),
                  TraceContext::Current());
-  ReplicaUpdateCallback callback;
   {
-    std::lock_guard lock(mutex_);
-    auto rit = replicas_.find(record.id);
-    if (rit == replicas_.end()) {
+    // Early filter only — the authoritative check is Materialize's monotonic
+    // apply guard, which re-reads the version under the same shard guard it
+    // decodes under (a late push racing a newer sync must not regress the
+    // replica).
+    ObjectTable::ShardGuard guard(table_, record.id);
+    ReplicaEntry* rec = table_.Replica(record.id);
+    if (rec == nullptr) {
       // No longer holding this replica; nothing to update.
       return Status::Ok();
     }
-    if (record.version < rit->second.version) {
+    if (record.version < rec->version) {
       // A late or retried push from before our last sync — applying it
       // would regress the replica. The sender's state is already covered.
       return Status::Ok();
     }
-    GetReply reply;
-    reply.objects.push_back(record);
-    ProxyDescriptor via;
-    via.target = record.id;
-    OBIWAN_ASSIGN_OR_RETURN(
-        auto obj, Materialize(via, reply, ReplicationMode::Incremental(),
-                              /*refresh=*/true, record.id));
-    (void)obj;
-    telemetry_.invalidations_received->Inc();  // counted as an update notification
-    Trace("push", ToString(record.id) + " updated in place");
+  }
+  GetReply reply;
+  reply.objects.push_back(record);
+  ProxyDescriptor via;
+  via.target = record.id;
+  OBIWAN_ASSIGN_OR_RETURN(
+      auto obj, Materialize(via, reply, ReplicationMode::Incremental(),
+                            /*refresh=*/true, record.id));
+  (void)obj;
+  telemetry_.invalidations_received->Inc();  // counted as an update notification
+  Trace("push", ToString(record.id) + " updated in place");
+  ReplicaUpdateCallback callback;
+  {
+    std::lock_guard lock(mutex_);
     callback = on_replica_update_;
   }
   if (callback) callback(record.id, /*stale=*/false);
@@ -1161,7 +1334,7 @@ Status Site::ServePush(const ObjectRecord& record) {
 }
 
 Status Site::ServeRenew(ProxyId pin) {
-  std::lock_guard lock(mutex_);
+  std::lock_guard pins(pins_mutex_);
   auto it = proxy_ins_.find(pin);
   if (it == proxy_ins_.end()) return NotFoundError("unknown proxy-in");
   TouchPin(it->second);
@@ -1187,29 +1360,29 @@ Status Site::ServeInvalidate(const InvalidateRequest& req) {
                  std::to_string(req.ids.size()) + " id(s)",
                  TraceContext::Current());
   std::vector<ObjectId> invalidated;
+  for (std::size_t i = 0; i < req.ids.size(); ++i) {
+    ObjectId oid = req.ids[i];
+    ObjectTable::ShardGuard guard(table_, oid);
+    ReplicaEntry* e = table_.Replica(oid);
+    if (e == nullptr) continue;
+    e->stale = true;
+    if (i < req.versions.size()) {
+      e->known_master_version =
+          std::max(e->known_master_version, req.versions[i]);
+    } else {
+      // Unversioned invalidation (older peer): the master moved at least
+      // one version past what we hold.
+      e->known_master_version =
+          std::max(e->known_master_version, e->version + 1);
+    }
+    telemetry_.invalidations_received->Inc();
+    Trace("invalidate", ToString(oid) + " marked stale");
+    invalidated.push_back(oid);
+  }
+  MaybeUpdateReplicationGauges();
   ReplicaUpdateCallback callback;
   {
     std::lock_guard lock(mutex_);
-    for (std::size_t i = 0; i < req.ids.size(); ++i) {
-      ObjectId oid = req.ids[i];
-      if (auto it = replicas_.find(oid); it != replicas_.end()) {
-        ReplicaEntry& e = it->second;
-        e.stale = true;
-        if (i < req.versions.size()) {
-          e.known_master_version =
-              std::max(e.known_master_version, req.versions[i]);
-        } else {
-          // Unversioned invalidation (older peer): the master moved at least
-          // one version past what we hold.
-          e.known_master_version =
-              std::max(e.known_master_version, e.version + 1);
-        }
-        telemetry_.invalidations_received->Inc();
-        Trace("invalidate", ToString(oid) + " marked stale");
-        invalidated.push_back(oid);
-      }
-    }
-    UpdateReplicationGauges();
     callback = on_replica_update_;
   }
   if (callback) {
@@ -1219,37 +1392,46 @@ Status Site::ServeInvalidate(const InvalidateRequest& req) {
 }
 
 Status Site::ServeRelease(const net::Address& from, ProxyId pin) {
-  std::lock_guard lock(mutex_);
-  auto it = proxy_ins_.find(pin);
-  if (it == proxy_ins_.end()) return NotFoundError("unknown proxy-in");
-  ProxyInEntry& entry = it->second;
-  std::erase(entry.users, from);
-  if (!entry.users.empty()) {
-    // Other demanders still fault/put through this pin; only the releasing
-    // site's interest is gone.
-    return Status::Ok();
+  // Pin bookkeeping and the "still pinned elsewhere?" decision happen in one
+  // pins-mutex critical section, so a concurrent get re-pinning the same
+  // object either lands before the decision (and keeps the holder) or after
+  // the unlink below (and re-registers it via its own shard guard).
+  std::vector<ObjectId> unlink;
+  {
+    std::lock_guard pins(pins_mutex_);
+    auto it = proxy_ins_.find(pin);
+    if (it == proxy_ins_.end()) return NotFoundError("unknown proxy-in");
+    ProxyInEntry& entry = it->second;
+    std::erase(entry.users, from);
+    if (!entry.users.empty()) {
+      // Other demanders still fault/put through this pin; only the releasing
+      // site's interest is gone.
+      return Status::Ok();
+    }
+    const std::vector<ObjectId> affected =
+        entry.cluster ? entry.members : std::vector<ObjectId>{entry.target};
+    if (auto tit = pin_by_target_.find(entry.target);
+        tit != pin_by_target_.end() && tit->second == pin) {
+      pin_by_target_.erase(tit);
+    }
+    proxy_ins_.erase(it);
+    telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
+    for (ObjectId oid : affected) {
+      if (!HolderStillPinnedLocked(from, oid)) unlink.push_back(oid);
+    }
   }
-  const std::vector<ObjectId> affected =
-      entry.cluster ? entry.members : std::vector<ObjectId>{entry.target};
-  if (auto tit = pin_by_target_.find(entry.target);
-      tit != pin_by_target_.end() && tit->second == pin) {
-    pin_by_target_.erase(tit);
-  }
-  proxy_ins_.erase(it);
-  telemetry_.proxy_ins->Set(static_cast<std::int64_t>(proxy_ins_.size()));
   // If that was the demander's last pin covering an object, it can no longer
   // fault or put it — stop sending it invalidations/pushes.
-  for (ObjectId oid : affected) {
-    if (HolderStillPinnedLocked(from, oid)) continue;
-    if (auto mit = masters_.find(oid); mit != masters_.end()) {
-      std::erase(mit->second.holders, from);
-    }
-    if (auto rit = replicas_.find(oid); rit != replicas_.end()) {
-      std::erase(rit->second.holders, from);
-    }
+  for (ObjectId oid : unlink) {
+    ObjectTable::ShardGuard guard(table_, oid);
+    table_.UnlinkHolder(oid, from);
   }
-  if (!HolderAnywhereLocked(from)) holder_health_.erase(from);
-  SyncHolderGauges();
+  const bool anywhere = HolderAnywhere(from);
+  {
+    std::lock_guard lock(mutex_);
+    if (!anywhere) holder_health_.erase(from);
+    SyncHolderGaugesLocked();
+  }
   return Status::Ok();
 }
 
@@ -1261,13 +1443,9 @@ Result<Bytes> Site::ServeCall(const rmi::CallRequest& call) {
   SpanScope span(&sinks_, clock_, id_, "serve.call",
                  call.method + " on " + ToString(call.target),
                  TraceContext::Current());
-  std::shared_ptr<Shareable> obj;
-  {
-    std::lock_guard lock(mutex_);
-    telemetry_.calls_served->Inc();
-    Trace("call", call.method + " on " + ToString(call.target));
-    obj = FindLocalUnlocked(call.target);
-  }
+  telemetry_.calls_served->Inc();
+  Trace("call", call.method + " on " + ToString(call.target));
+  std::shared_ptr<Shareable> obj = table_.FindLocked(call.target);
   if (obj == nullptr) {
     return NotFoundError("call target not present: " + ToString(call.target));
   }
@@ -1298,20 +1476,17 @@ Result<std::shared_ptr<Shareable>> Site::DemandThrough(
   // span below (and everything under it) then records as its child —
   // fault → get → rpc → dispatch → serve.get in the exported timeline.
   std::optional<SpanScope> fault_span;
-  {
-    std::lock_guard lock(mutex_);
-    if (!refresh && shortcut_local) {
-      // Identity preservation: a replica (or our own master) short-circuits
-      // the fault without touching the network.
-      if (auto local = FindLocalUnlocked(root)) return local;
-      telemetry_.object_faults->Inc();
-      Trace("fault", ToString(root) + " via " + descriptor.provider);
-      fault_span.emplace(&sinks_, clock_, id_, "fault",
-                         ToString(root) + " via " + descriptor.provider,
-                         TraceContext::Current());
-    }
-    telemetry_.gets_sent->Inc();
+  if (!refresh && shortcut_local) {
+    // Identity preservation: a replica (or our own master) short-circuits
+    // the fault without touching the network.
+    if (auto local = table_.FindLocked(root)) return local;
+    telemetry_.object_faults->Inc();
+    Trace("fault", ToString(root) + " via " + descriptor.provider);
+    fault_span.emplace(&sinks_, clock_, id_, "fault",
+                       ToString(root) + " via " + descriptor.provider,
+                       TraceContext::Current());
   }
+  telemetry_.gets_sent->Inc();
   SpanScope get_span(&sinks_, clock_, id_, "get",
                      ToString(root) + (refresh ? " (refresh)" : "") + " from " +
                          descriptor.provider,
@@ -1331,8 +1506,7 @@ Result<std::shared_ptr<Shareable>> Site::DemandThrough(
   if (!reply_result.ok()) {
     // The provider is unreachable: held replicas keep ageing, and the gauges
     // must show it even though nothing was materialized.
-    std::lock_guard lock(mutex_);
-    UpdateReplicationGauges();
+    MaybeUpdateReplicationGauges();
     return reply_result.status();
   }
   Bytes reply_bytes = std::move(*reply_result);
@@ -1351,7 +1525,6 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
   SpanScope span(&sinks_, clock_, id_, "materialize",
                  std::to_string(reply.objects.size()) + " object(s)",
                  TraceContext::Current());
-  std::lock_guard lock(mutex_);
   if (reply.objects.empty()) return DataLossError("empty replication batch");
 
   const ProxyDescriptor* cluster_provider =
@@ -1360,47 +1533,56 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
   std::unordered_map<ObjectId, std::shared_ptr<Shareable>, ObjectIdHash> present;
   std::vector<bool> fresh(reply.objects.size(), false);
 
-  // Pass 1: instantiate new replicas / reconcile existing ones.
+  // Pass 1: instantiate new replicas / reconcile existing ones, each record
+  // under its own shard guard.
   for (std::size_t i = 0; i < reply.objects.size(); ++i) {
     const ObjectRecord& rec = reply.objects[i];
 
-    if (auto mit = masters_.find(rec.id); mit != masters_.end()) {
+    // New instances decode before taking the guard: the object is private
+    // until EmplaceReplica publishes it.
+    OBIWAN_ASSIGN_OR_RETURN(const ClassInfo* ci,
+                            ClassRegistry::Instance().Find(rec.class_name));
+
+    ObjectTable::ShardGuard guard(table_, rec.id);
+
+    if (MasterEntry* master = table_.Master(rec.id)) {
       // Our own object came back around a chain; the master is
       // authoritative — never overwrite it from a get.
-      present.emplace(rec.id, mit->second.obj);
+      present.emplace(rec.id, master->obj);
       continue;
     }
 
-    if (auto rit = replicas_.find(rec.id); rit != replicas_.end()) {
-      ReplicaEntry& e = rit->second;
-      present.emplace(rec.id, e.obj);
-      if (refresh) {
-        if (e.obj->obiwan_class().refs().size() != rec.refs.size()) {
+    if (ReplicaEntry* e = table_.Replica(rec.id)) {
+      present.emplace(rec.id, e->obj);
+      // Monotonic apply guard: a late or retried push/refresh from before
+      // our last sync must not regress the replica. (ServePush's early
+      // check is only a filter; this one runs under the shard guard the
+      // decode runs under, so the race is actually closed.)
+      if (refresh && rec.version >= e->version) {
+        if (e->obj->obiwan_class().refs().size() != rec.refs.size()) {
           return DataLossError("refresh ref schema mismatch for class " +
                                rec.class_name);
         }
         wire::Reader fields(AsView(rec.fields));
-        OBIWAN_RETURN_IF_ERROR(e.obj->obiwan_class().DecodeFields(*e.obj, fields));
-        e.version = rec.version;
-        e.stale = false;
-        e.known_master_version = std::max(e.known_master_version, rec.version);
-        e.last_sync = clock_.Now();
-        ++e.sync_count;
-        policy_->OnReplicaData(ReplicaView{rec.id, e.version, e.policy_state},
+        OBIWAN_RETURN_IF_ERROR(e->obj->obiwan_class().DecodeFields(*e->obj, fields));
+        e->version = rec.version;
+        e->stale = false;
+        e->known_master_version = std::max(e->known_master_version, rec.version);
+        e->last_sync = clock_.Now();
+        ++e->sync_count;
+        policy_->OnReplicaData(ReplicaView{rec.id, e->version, e->policy_state},
                                AsView(rec.policy_data));
         fresh[i] = true;
       }
       // A per-object channel upgrades a replica that had none (or only the
       // shared cluster channel) to individually updatable.
-      if (rec.provider.valid() && (!e.provider.valid() || e.in_cluster)) {
-        e.provider = rec.provider;
-        e.in_cluster = false;
+      if (rec.provider.valid() && (!e->provider.valid() || e->in_cluster)) {
+        e->provider = rec.provider;
+        e->in_cluster = false;
       }
       continue;
     }
 
-    OBIWAN_ASSIGN_OR_RETURN(const ClassInfo* ci,
-                            ClassRegistry::Instance().Find(rec.class_name));
     if (ci->refs().size() != rec.refs.size()) {
       return DataLossError("ref schema mismatch for class " + rec.class_name);
     }
@@ -1420,22 +1602,55 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
       entry.provider = *cluster_provider;
       entry.in_cluster = true;
     }
-    auto [rit, inserted] = replicas_.emplace(rec.id, std::move(entry));
-    (void)inserted;
-    ptr_ids_.emplace(obj.get(), rec.id);
+    auto [stored, inserted] = table_.EmplaceReplica(rec.id, std::move(entry));
+    if (!inserted) {
+      // Lost a materialize race within this guard's shard epoch (or the id
+      // turned out to be mastered here): the winner's object is the one
+      // every reference must alias.
+      if (stored != nullptr) {
+        present.emplace(rec.id, stored->obj);
+      } else if (MasterEntry* master = table_.Master(rec.id)) {
+        present.emplace(rec.id, master->obj);
+      }
+      continue;
+    }
     policy_->OnReplicaData(
-        ReplicaView{rec.id, rit->second.version, rit->second.policy_state},
+        ReplicaView{rec.id, stored->version, stored->policy_state},
         AsView(rec.policy_data));
     present.emplace(rec.id, std::move(obj));
     fresh[i] = true;
     telemetry_.replicas_created->Inc();
   }
-  telemetry_.replicas->Set(static_cast<std::int64_t>(replicas_.size()));
-  UpdateReplicationGauges();
+  telemetry_.replicas->Set(static_cast<std::int64_t>(table_.replica_count()));
+  MaybeUpdateReplicationGauges();
 
   if (reply.cluster) {
+    std::lock_guard pins(pins_mutex_);
     cluster_members_[reply.cluster->provider.pin] = reply.cluster->members;
   }
+
+  // Pre-resolve swizzle targets outside any shard guard: pass 2 binds refs
+  // under each record's guard, where self-locking lookups are off limits.
+  std::unordered_map<ObjectId, std::shared_ptr<Shareable>, ObjectIdHash> resolved;
+  for (std::size_t i = 0; i < reply.objects.size(); ++i) {
+    if (!fresh[i]) continue;
+    for (const RefEntry& entry : reply.objects[i].refs) {
+      ObjectId tid;
+      if (entry.tag == RefEntry::Tag::kInline) {
+        tid = entry.target;
+      } else if (entry.tag == RefEntry::Tag::kProxy) {
+        tid = entry.proxy.target;
+      }
+      if (tid.valid() && !present.contains(tid) && !resolved.contains(tid)) {
+        resolved.emplace(tid, table_.FindLocked(tid));
+      }
+    }
+  }
+  auto lookup = [&](ObjectId tid) -> std::shared_ptr<Shareable> {
+    if (auto it = present.find(tid); it != present.end()) return it->second;
+    if (auto it = resolved.find(tid); it != resolved.end()) return it->second;
+    return nullptr;
+  };
 
   // Pass 2: swizzle references of fresh records. Existing replicas touched
   // by a non-refresh get keep their topology (they may carry local edits).
@@ -1443,6 +1658,7 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
     if (!fresh[i]) continue;
     const ObjectRecord& rec = reply.objects[i];
     std::shared_ptr<Shareable>& obj = present.at(rec.id);
+    ObjectTable::ShardGuard guard(table_, rec.id);
     const auto& ref_infos = obj->obiwan_class().refs();
     for (std::size_t j = 0; j < ref_infos.size(); ++j) {
       RefBase& rb = ref_infos[j].get(*obj);
@@ -1452,12 +1668,7 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
           rb.Reset();
           break;
         case RefEntry::Tag::kInline: {
-          std::shared_ptr<Shareable> target;
-          if (auto it = present.find(entry.target); it != present.end()) {
-            target = it->second;
-          } else {
-            target = FindLocalUnlocked(entry.target);
-          }
+          std::shared_ptr<Shareable> target = lookup(entry.target);
           if (target == nullptr) {
             return DataLossError("dangling inline reference in batch");
           }
@@ -1465,7 +1676,7 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
           break;
         }
         case RefEntry::Tag::kProxy: {
-          if (auto local = FindLocalUnlocked(entry.proxy.target)) {
+          if (auto local = lookup(entry.proxy.target)) {
             // Already replicated here earlier: bind directly, no fault.
             rb.BindLocal(entry.proxy.target, std::move(local));
           } else {
@@ -1491,44 +1702,72 @@ Result<std::shared_ptr<Shareable>> Site::Materialize(const ProxyDescriptor& via,
 // ---------------------------------------------------------------------------
 
 Result<PutItem> Site::BuildPutItem(ObjectId id, bool read_only) {
-  std::lock_guard lock(mutex_);
-  auto rit = replicas_.find(id);
-  if (rit == replicas_.end()) {
-    return FailedPreconditionError("not a replica here: " + ToString(id));
-  }
-  ReplicaEntry& e = rit->second;
-  const ClassInfo& ci = e.obj->obiwan_class();
-
   PutItem item;
   item.id = id;
-  item.base_version = e.version;
   item.read_only = read_only;
-  if (read_only) return item;  // validation-only: no state travels
-  item.policy_data =
-      policy_->MakePutData(ReplicaView{id, e.version, e.policy_state}, clock_);
 
-  wire::Writer fields;
-  ci.EncodeFields(*e.obj, fields);
-  item.fields = std::move(fields).Take();
+  // Snapshot fields + ref targets under the replica's shard guard; resolve
+  // boundary refs (EnsureId / ContainsMaster / NewProxyIn touch other shards
+  // and the pins mutex) with the guard released.
+  struct RefSnap {
+    enum class Kind { kNull, kLocal, kProxyTarget } kind = Kind::kNull;
+    std::shared_ptr<Shareable> local;
+    ObjectId proxy_target;
+  };
+  std::vector<RefSnap> ref_snaps;
+  {
+    ObjectTable::ShardGuard guard(table_, id);
+    ReplicaEntry* e = table_.Replica(id);
+    if (e == nullptr) {
+      return FailedPreconditionError("not a replica here: " + ToString(id));
+    }
+    item.base_version = e->version;
+    if (read_only) return item;  // validation-only: no state travels
+    item.policy_data =
+        policy_->MakePutData(ReplicaView{id, e->version, e->policy_state}, clock_);
 
-  item.refs.reserve(ci.refs().size());
-  for (const RefFieldInfo& rf : ci.refs()) {
-    RefBase& rb = rf.get(*e.obj);
-    if (rb.IsEmpty()) {
-      item.refs.push_back(RefEntry::Null());
-    } else if (rb.IsProxy()) {
-      // Never resolved here; the provider still holds (or can reach) it.
-      item.refs.push_back(RefEntry::Inline(rb.proxy()->target()));
-    } else {
-      ObjectId tid = EnsureId(rb.local());
-      if (masters_.contains(tid)) {
-        // The replica grew an edge to an object *we* master: hand the
-        // provider a proxy descriptor pointing back at us, making the new
-        // object reachable from the master graph.
-        item.refs.push_back(RefEntry::Proxy(DescriptorFor(
-            NewProxyIn(tid), tid, rb.local_raw()->obiwan_class().name())));
-      } else {
-        item.refs.push_back(RefEntry::Inline(tid));
+    const ClassInfo& ci = e->obj->obiwan_class();
+    wire::Writer fields;
+    ci.EncodeFields(*e->obj, fields);
+    item.fields = std::move(fields).Take();
+
+    ref_snaps.reserve(ci.refs().size());
+    for (const RefFieldInfo& rf : ci.refs()) {
+      RefBase& rb = rf.get(*e->obj);
+      RefSnap snap;
+      if (rb.IsLocal()) {
+        snap.kind = RefSnap::Kind::kLocal;
+        snap.local = rb.local();
+      } else if (rb.IsProxy()) {
+        snap.kind = RefSnap::Kind::kProxyTarget;
+        snap.proxy_target = rb.proxy()->target();
+      }
+      ref_snaps.push_back(std::move(snap));
+    }
+  }
+
+  item.refs.reserve(ref_snaps.size());
+  for (RefSnap& snap : ref_snaps) {
+    switch (snap.kind) {
+      case RefSnap::Kind::kNull:
+        item.refs.push_back(RefEntry::Null());
+        break;
+      case RefSnap::Kind::kProxyTarget:
+        // Never resolved here; the provider still holds (or can reach) it.
+        item.refs.push_back(RefEntry::Inline(snap.proxy_target));
+        break;
+      case RefSnap::Kind::kLocal: {
+        ObjectId tid = EnsureId(snap.local);
+        if (table_.ContainsMaster(tid)) {
+          // The replica grew an edge to an object *we* master: hand the
+          // provider a proxy descriptor pointing back at us, making the new
+          // object reachable from the master graph.
+          item.refs.push_back(RefEntry::Proxy(DescriptorFor(
+              NewProxyIn(tid), tid, snap.local->obiwan_class().name())));
+        } else {
+          item.refs.push_back(RefEntry::Inline(tid));
+        }
+        break;
       }
     }
   }
@@ -1574,21 +1813,20 @@ Status Site::PutItems(const ProxyDescriptor& provider,
     return DataLossError("put reply version count mismatch");
   }
 
-  std::lock_guard lock(mutex_);
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (ids[i].second) continue;  // read-only items do not advance
-    if (auto it = replicas_.find(ids[i].first); it != replicas_.end()) {
-      ReplicaEntry& e = it->second;
-      e.version = reply.new_versions[i];
-      e.stale = false;
+    ObjectTable::ShardGuard guard(table_, ids[i].first);
+    if (ReplicaEntry* e = table_.Replica(ids[i].first)) {
+      e->version = reply.new_versions[i];
+      e->stale = false;
       // An accepted put is a synchronisation: we now hold exactly the master
       // state our write produced.
-      e.known_master_version = std::max(e.known_master_version, e.version);
-      e.last_sync = clock_.Now();
-      ++e.put_count;
+      e->known_master_version = std::max(e->known_master_version, e->version);
+      e->last_sync = clock_.Now();
+      ++e->put_count;
     }
   }
-  UpdateReplicationGauges();
+  MaybeUpdateReplicationGauges();
   return Status::Ok();
 }
 
@@ -1620,96 +1858,101 @@ Status Site::CommitReplicas(const std::vector<ObjectId>& reads,
 }
 
 Status Site::Put(RefBase& ref) {
-  ProxyDescriptor provider;
-  ObjectId oid;
-  {
-    std::lock_guard lock(mutex_);
-    if (!ref.IsLocal()) {
-      return FailedPreconditionError("put requires a resolved local replica");
-    }
-    oid = ref.id();
+  if (!ref.IsLocal()) {
+    return FailedPreconditionError("put requires a resolved local replica");
+  }
+  ObjectId oid = ref.id();
+  if (!oid.valid()) {
+    oid = table_.PtrId(ref.local_raw());
     if (!oid.valid()) {
-      if (auto it = ptr_ids_.find(ref.local_raw()); it != ptr_ids_.end()) {
-        oid = it->second;
-      } else {
-        return FailedPreconditionError("object was never replicated or exported");
-      }
+      return FailedPreconditionError("object was never replicated or exported");
     }
-    if (masters_.contains(oid)) {
+  }
+  ProxyDescriptor provider;
+  {
+    ObjectTable::ShardGuard guard(table_, oid);
+    if (table_.Master(oid) != nullptr) {
       return FailedPreconditionError("object is mastered here; nothing to put");
     }
-    auto rit = replicas_.find(oid);
-    if (rit == replicas_.end()) {
+    ReplicaEntry* e = table_.Replica(oid);
+    if (e == nullptr) {
       return FailedPreconditionError("not a replica here: " + ToString(oid));
     }
-    if (rit->second.in_cluster) {
+    if (e->in_cluster) {
       // §4.3: cluster members share a single proxy pair and "can not be
       // individually updated".
       return FailedPreconditionError(
           "replica belongs to a cluster; use PutCluster");
     }
-    if (!rit->second.provider.valid()) {
+    if (!e->provider.valid()) {
       return FailedPreconditionError("replica has no provider channel");
     }
-    provider = rit->second.provider;
+    provider = e->provider;
   }
   return PutItems(provider, {{oid, false}}, /*transactional=*/false);
 }
 
 Status Site::PutCluster(RefBase& ref) {
+  if (!ref.IsLocal()) {
+    return FailedPreconditionError("put requires a resolved local replica");
+  }
   ProxyDescriptor provider;
-  std::vector<ObjectId> members;
   {
-    std::lock_guard lock(mutex_);
-    if (!ref.IsLocal()) {
-      return FailedPreconditionError("put requires a resolved local replica");
-    }
-    auto rit = replicas_.find(ref.id());
-    if (rit == replicas_.end()) {
+    ObjectTable::ShardGuard guard(table_, ref.id());
+    ReplicaEntry* e = table_.Replica(ref.id());
+    if (e == nullptr) {
       return FailedPreconditionError("not a replica here: " + ToString(ref.id()));
     }
-    if (!rit->second.provider.valid()) {
+    if (!e->provider.valid()) {
       return FailedPreconditionError("replica has no provider channel");
     }
-    provider = rit->second.provider;
+    provider = e->provider;
+  }
+  std::vector<ObjectId> members;
+  bool degenerate = false;
+  {
+    std::lock_guard pins(pins_mutex_);
     auto cit = cluster_members_.find(provider.pin);
     if (cit != cluster_members_.end()) {
-      for (ObjectId member : cit->second) {
-        if (replicas_.contains(member)) members.push_back(member);
-      }
+      members = cit->second;
     } else {
-      members.push_back(ref.id());  // degenerate cluster of one
+      degenerate = true;
     }
   }
   std::vector<std::pair<ObjectId, bool>> items;
-  items.reserve(members.size());
-  for (ObjectId member : members) items.emplace_back(member, false);
+  if (degenerate) {
+    items.emplace_back(ref.id(), false);  // degenerate cluster of one
+  } else {
+    items.reserve(members.size());
+    for (ObjectId member : members) {
+      if (table_.ContainsReplica(member)) items.emplace_back(member, false);
+    }
+  }
   return PutItems(provider, items, /*transactional=*/false);
 }
 
 std::vector<ObjectId> Site::StaleReplicaIds() const {
-  std::lock_guard lock(mutex_);
   std::vector<ObjectId> ids;
-  for (const auto& [oid, e] : replicas_) {
+  table_.ForEachReplica([&](ObjectId oid, const ReplicaEntry& e) {
     if (e.stale) ids.push_back(oid);
-  }
+  });
   return ids;
 }
 
 Status Site::RefreshReplica(ObjectId id) {
   ProxyDescriptor provider;
   {
-    std::lock_guard lock(mutex_);
-    auto rit = replicas_.find(id);
-    if (rit == replicas_.end()) {
+    ObjectTable::ShardGuard guard(table_, id);
+    ReplicaEntry* e = table_.Replica(id);
+    if (e == nullptr) {
       // kNotFound tells the resync daemon the replica is gone (evicted or
       // restored away) and the entry can be forgotten, not retried.
       return NotFoundError("not a replica here: " + ToString(id));
     }
-    if (!rit->second.provider.valid()) {
+    if (!e->provider.valid()) {
       return FailedPreconditionError("replica has no provider channel");
     }
-    provider = rit->second.provider;
+    provider = e->provider;
   }
   return DemandThrough(provider, id, ReplicationMode::Incremental(),
                        /*refresh=*/true)
@@ -1717,22 +1960,21 @@ Status Site::RefreshReplica(ObjectId id) {
 }
 
 Status Site::Refresh(RefBase& ref) {
+  if (!ref.IsLocal()) {
+    return FailedPreconditionError("refresh requires a resolved local replica");
+  }
+  ObjectId oid = ref.id();
   ProxyDescriptor provider;
-  ObjectId oid;
   {
-    std::lock_guard lock(mutex_);
-    if (!ref.IsLocal()) {
-      return FailedPreconditionError("refresh requires a resolved local replica");
-    }
-    oid = ref.id();
-    auto rit = replicas_.find(oid);
-    if (rit == replicas_.end()) {
+    ObjectTable::ShardGuard guard(table_, oid);
+    ReplicaEntry* e = table_.Replica(oid);
+    if (e == nullptr) {
       return FailedPreconditionError("not a replica here: " + ToString(oid));
     }
-    if (!rit->second.provider.valid()) {
+    if (!e->provider.valid()) {
       return FailedPreconditionError("replica has no provider channel");
     }
-    provider = rit->second.provider;
+    provider = e->provider;
   }
   return DemandThrough(provider, oid, ReplicationMode::Incremental(),
                        /*refresh=*/true)
@@ -1765,57 +2007,58 @@ Status Site::PrefetchAll(RefBase& ref) {
 }
 
 std::size_t Site::EvictIdleReplicas() {
-  std::lock_guard lock(mutex_);
-  // Iterate until a fixed point: evicting one replica can strand another
-  // (a list tail only referenced by the evicted node's ref field).
+  // The fixed-point sweep needs a frozen view of every shard at once:
+  // evicting one replica can strand another (a list tail only referenced by
+  // the evicted node's ref field), possibly in a different shard.
+  ObjectTable::WorldGuard world(table_);
   std::size_t evicted = 0;
   bool progress = true;
   while (progress) {
     progress = false;
-    for (auto it = replicas_.begin(); it != replicas_.end();) {
+    std::vector<ObjectId> idle;
+    table_.ForEachReplica([&](ObjectId oid, ReplicaEntry& e) {
       // use_count()==1 means the replica table holds the only shared_ptr:
       // no application Ref, no reference field of any live object, and no
       // in-flight batch holds it.
-      if (it->second.obj.use_count() == 1) {
-        ptr_ids_.erase(it->second.obj.get());
-        it = replicas_.erase(it);
+      if (e.obj.use_count() == 1) idle.push_back(oid);
+    });
+    for (ObjectId oid : idle) {
+      if (table_.EraseReplica(oid)) {
         ++evicted;
         progress = true;
-      } else {
-        ++it;
       }
     }
   }
-  telemetry_.replicas->Set(static_cast<std::int64_t>(replicas_.size()));
+  telemetry_.replicas->Set(static_cast<std::int64_t>(table_.replica_count()));
   UpdateReplicationGauges();
   return evicted;
 }
 
 bool Site::IsStale(const RefBase& ref) const {
-  std::lock_guard lock(mutex_);
-  auto it = replicas_.find(ref.id());
-  return it != replicas_.end() && it->second.stale;
+  ObjectTable::ShardGuard guard(table_, ref.id());
+  const ReplicaEntry* e = table_.Replica(ref.id());
+  return e != nullptr && e->stale;
 }
 
 Result<std::uint64_t> Site::ReplicaVersion(const RefBase& ref) const {
-  std::lock_guard lock(mutex_);
-  auto it = replicas_.find(ref.id());
-  if (it == replicas_.end()) {
+  ObjectTable::ShardGuard guard(table_, ref.id());
+  const ReplicaEntry* e = table_.Replica(ref.id());
+  if (e == nullptr) {
     return NotFoundError("not a replica here: " + ToString(ref.id()));
   }
-  return it->second.version;
+  return e->version;
 }
 
 Result<ProxyDescriptor> Site::ReplicaProvider(ObjectId id) const {
-  std::lock_guard lock(mutex_);
-  auto it = replicas_.find(id);
-  if (it == replicas_.end()) {
+  ObjectTable::ShardGuard guard(table_, id);
+  const ReplicaEntry* e = table_.Replica(id);
+  if (e == nullptr) {
     return NotFoundError("not a replica here: " + ToString(id));
   }
-  if (!it->second.provider.valid()) {
+  if (!e->provider.valid()) {
     return FailedPreconditionError("replica has no provider channel");
   }
-  return it->second.provider;
+  return e->provider;
 }
 
 Result<PutReply> Site::SendCommit(const net::Address& provider, ProxyId pin,

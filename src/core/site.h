@@ -7,22 +7,27 @@
 // protocol, and the RMI dispatch plane.
 //
 // Provider side (site S2 in Figure 1):
-//   - masters_     : objects this site created, with version + policy state
-//   - proxy_ins_   : proxy-in handles through which demanders fetch/put
-//   - ServeGet     : graph traversal + serialization of a replica batch
-//   - ServePut     : applying replica state back onto masters
+//   - table_ (masters): objects this site created, with version + policy state
+//   - proxy_ins_      : proxy-in handles through which demanders fetch/put
+//   - ServeGet        : graph traversal + serialization of a replica batch
+//   - ServePut        : applying replica state back onto masters
 //
 // Demander side (site S1):
-//   - replicas_    : local replicas keyed by their master's ObjectId —
+//   - table_ (replicas): local replicas keyed by their master's ObjectId —
 //                    the identity map that guarantees one replica per master
 //   - Materialize  : instantiate records, swizzle references, create
 //                    proxy-outs at graph boundaries
 //   - DemandThrough: the object-fault path used by ProxyOut
 //
+// Both halves live in one lock-striped ObjectTable (core/object_table.h);
+// the site mutex is a small non-recursive leaf guarding holder health and
+// the notify retry queue only.
+//
 // A site is usually both at once: it re-exports replicas it holds, so chains
 // of sites (PDA <- laptop <- office PC) work without special cases.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -43,6 +48,7 @@
 #include "core/inspect.h"
 #include "core/messages.h"
 #include "core/mode.h"
+#include "core/object_table.h"
 #include "core/proxy.h"
 #include "core/ref.h"
 #include "core/shareable.h"
@@ -416,6 +422,16 @@ class Site final : public rmi::Service {
   // site that has been idle since the last mutation.
   void RefreshTelemetry();
 
+  // Throttle the O(objects) replication-gauge rescan the protocol paths
+  // (fault/put/push/invalidate) trigger after every mutation: with a
+  // non-zero interval, at most one rescan per interval runs on those paths
+  // (admin scrapes and Inspect still recompute eagerly). 0 — the default —
+  // keeps the old always-rescan behaviour. Large sites and benches set
+  // this so gauge maintenance stays O(1) per operation.
+  void SetGaugeRefreshInterval(Nanos interval) {
+    gauge_refresh_interval_.store(interval, std::memory_order_relaxed);
+  }
+
   // --- introspection -------------------------------------------------------------
 
   SiteStats stats() const { return telemetry_.View(); }
@@ -464,13 +480,35 @@ class Site final : public rmi::Service {
     return previous;
   }
 
-  // Runs `fn` under the site lock and returns its result. Local mutations of
-  // a replica whose provider pushes full updates (`core::PushUpdates`) race
-  // with push application on transport threads unless made through here; the
-  // lock is recursive, so site calls (Put, Refresh) remain legal inside `fn`.
+  // Runs `fn` with every object-table shard held (the "world" lock) and
+  // returns its result. Local mutations of a replica whose provider pushes
+  // full updates (`core::PushUpdates`) race with push application on
+  // transport threads unless made through here (or WithObjectLock). The
+  // world guard is reentrant per thread and shard guards no-op under it, so
+  // site calls (Put, Refresh) remain legal inside `fn` — the replacement
+  // for the old recursive site mutex. Prefer WithObjectLock: the world
+  // guard serializes against every shard.
   template <typename Fn>
   auto WithSiteLock(Fn&& fn) {
-    std::lock_guard lock(mutex_);
+    ObjectTable::WorldGuard guard(table_);
+    return std::forward<Fn>(fn)();
+  }
+
+  // Runs `fn` under the single shard guarding `ref`'s target record — the
+  // sharded-table fast path for protecting local mutations of one object
+  // (and of objects only this thread touches) against concurrent push/
+  // invalidate application. `fn` must not call back into site operations
+  // that lock other shards.
+  template <typename Fn>
+  auto WithObjectLock(const RefBase& ref, Fn&& fn) {
+    ObjectId id = ref.id();
+    if (!id.valid() && ref.IsLocal()) id = table_.PtrId(ref.local_raw());
+    ObjectTable::ShardGuard guard(table_, id);
+    return std::forward<Fn>(fn)();
+  }
+  template <typename Fn>
+  auto WithObjectLock(ObjectId id, Fn&& fn) {
+    ObjectTable::ShardGuard guard(table_, id);
     return std::forward<Fn>(fn)();
   }
 
@@ -499,17 +537,8 @@ class Site final : public rmi::Service {
                        wire::Reader& body) override;
 
  private:
-  struct MasterEntry {
-    std::shared_ptr<Shareable> obj;
-    std::uint64_t version = 1;
-    Bytes policy_state;
-    std::vector<net::Address> holders;
-    // Introspection: when the master last accepted an update (site clock;
-    // creation time until the first put) and how often it was served.
-    Nanos last_update = 0;
-    std::uint64_t gets_served = 0;
-    std::uint64_t puts_accepted = 0;
-  };
+  // MasterEntry / ReplicaEntry moved to core/object_table.h: they are the
+  // flat records the sharded table stores in its per-shard arenas.
 
   struct ProxyInEntry {
     ObjectId target;                // demand root at creation time
@@ -523,25 +552,6 @@ class Site final : public rmi::Service {
     std::vector<net::Address> users;
   };
 
-  struct ReplicaEntry {
-    std::shared_ptr<Shareable> obj;
-    std::uint64_t version = 0;
-    Bytes policy_state;
-    ProxyDescriptor provider;  // per-object channel, or the cluster channel
-    bool in_cluster = false;
-    bool stale = false;  // write-invalidate marked this replica out of date
-    // Re-exporting makes this site a provider for the replica; track the
-    // downstream holders just like a master's.
-    std::vector<net::Address> holders;
-    // Introspection: the highest master version this site has heard of (via
-    // gets, put acks and versioned invalidations), when this replica last
-    // synchronised with its master (site clock), and its sync/put traffic.
-    std::uint64_t known_master_version = 0;
-    Nanos last_sync = 0;
-    std::uint64_t sync_count = 0;
-    std::uint64_t put_count = 0;
-  };
-
   // Assign an ObjectId to a local object if it does not have one, making it
   // a master of this site. Replicas keep their master's id.
   ObjectId EnsureId(const std::shared_ptr<Shareable>& obj);
@@ -549,18 +559,23 @@ class Site final : public rmi::Service {
   // `user`, when given, is registered on the pin (see ProxyInEntry::users).
   // Per-target pins are reused through pin_by_target_, so repeated gets and
   // push-record builds share one pin instead of minting one per call.
+  // NewProxyIn locks the pins mutex itself; the Locked variant is for
+  // callers already holding it.
   ProxyId NewProxyIn(ObjectId target, const net::Address* user = nullptr);
+  ProxyId NewProxyInLocked(ObjectId target, const net::Address* user);
   ProxyId NewClusterProxyIn(ObjectId root, std::vector<ObjectId> members,
                             const net::Address* user = nullptr);
   ProxyDescriptor DescriptorFor(ProxyId pin, ObjectId target,
                                 std::string class_name) const;
 
   // Uniform provider-side metadata for masters and re-exported replicas.
+  // The pointers alias the record inside the object table: the caller must
+  // hold the shard guard of `id` (or the world) for as long as it uses them.
   struct MetaRef {
     std::shared_ptr<Shareable> obj;
     std::uint64_t* version;
     Bytes* policy_state;
-    std::vector<net::Address>* holders;  // null for replicas
+    std::vector<net::Address>* holders;
   };
   Result<MetaRef> FindMeta(ObjectId id);
 
@@ -586,21 +601,25 @@ class Site final : public rmi::Service {
   Nanos DeadlineBudget() const;
 
   // Refresh the masters/replicas/proxy-ins gauges from the table sizes.
-  // Call with the site lock held after any table mutation.
+  // Self-locking (pins mutex for the proxy-in count); call with no pins
+  // lock held.
   void SyncGauges();
 
   // Recompute the staleness/topology gauges (obiwan_objects{role},
   // obiwan_replica_staleness_versions max/p95, staleness age, expiring
-  // leases) from the tables. O(objects + refs); called with the lock held
-  // from the fault/put/push/invalidate paths and from Inspect, not per
-  // proxy creation.
+  // leases) from the tables. O(objects + refs), locking shard by shard —
+  // call with no shard guard or leaf lock held (or with the world, from
+  // Inspect/snapshot paths). The Maybe variant is the protocol-path hook:
+  // it honours SetGaugeRefreshInterval and skips the scan while the
+  // previous refresh is newer than the interval.
   void UpdateReplicationGauges();
+  void MaybeUpdateReplicationGauges();
 
-  // Inspect() body; call with the site lock held.
+  // Inspect() body; call with the world held.
   InspectReport InspectLocked();
 
   // Assign ids to every locally referenced object (fixed point), so reports
-  // and snapshots cover the complete edge set. Lock held.
+  // and snapshots cover the complete edge set. World held.
   void EnsureGraphIds();
 
   // Snapshot restore body; the public wrapper clears all tables on failure.
@@ -623,6 +642,11 @@ class Site final : public rmi::Service {
     bool push = false;
     std::uint64_t version = 0;
     std::uint32_t attempt = 1;
+    // Backoff the *previous* requeue waited, carried forward so the next
+    // one doubles it and clamps once — not re-derived from attempt 0 every
+    // pump (O(attempts) per requeue and wrong after SetNotifyRetryPolicy
+    // mutates the policy mid-flight). 0 = not yet queued.
+    Nanos backoff = 0;
   };
   struct PendingNotify {
     OutboundNotify note;
@@ -634,19 +658,33 @@ class Site final : public rmi::Service {
   };
 
   // Send a batch through the fanout pool, then apply the outcome under the
-  // lock: successes reset holder health and count bytes/invalidations;
+  // site mutex: successes reset holder health and count bytes/invalidations;
   // failures advance health toward the drop threshold or queue a retry.
+  // Holders that crossed the threshold are dropped after the mutex is
+  // released (DropHolder needs the world lock, which must never be acquired
+  // under the site mutex).
   void DispatchNotifications(std::vector<OutboundNotify> batch);
   // Move retry-queue entries whose backoff deadline passed into `out`.
+  // Site mutex held.
   void CollectDueRetriesLocked(std::vector<OutboundNotify>& out);
-  void HandleNotifyFailureLocked(OutboundNotify note);
-  // Remove `addr` from every holders list and purge its queued retries.
-  void DropHolderLocked(const net::Address& addr);
-  void SyncHolderGauges();
+  // Returns true when `note`'s holder just crossed the failure threshold
+  // and should be dropped. Site mutex held.
+  bool HandleNotifyFailureLocked(OutboundNotify note);
+  // Drop an unreachable holder: remove `addr` from every holders list (via
+  // the per-shard holder index) and purge its queued retries. Takes the
+  // world lock and the site mutex together, re-checks the failure count
+  // under both, and aborts if the holder re-registered (a get resets its
+  // health) in the window since the threshold was observed — the drop and
+  // the sweep are atomic with respect to re-registration.
+  void DropHolder(const net::Address& addr);
+  // Site mutex held.
+  void SyncHolderGaugesLocked();
 
-  // Does `addr` still hold a pin covering `oid` / any pin at all?
+  // Does `addr` still hold a pin covering `oid`? Pins mutex held.
   bool HolderStillPinnedLocked(const net::Address& addr, ObjectId oid) const;
-  bool HolderAnywhereLocked(const net::Address& addr) const;
+  // Is `addr` registered anywhere (any pin user or holders list)?
+  // Self-locking (pins mutex, then shard-by-shard holder index).
+  bool HolderAnywhere(const net::Address& addr) const;
 
   // Provider side.
   Result<GetReply> ServeGet(const net::Address& from, const GetRequest& req);
@@ -680,20 +718,27 @@ class Site final : public rmi::Service {
   std::unique_ptr<ConsistencyPolicy> policy_;
   bool started_ = false;
 
-  // Synchronous loopback delivery can re-enter a site from its own call
-  // chain (e.g. an invalidation arriving while a put is in flight), so the
-  // site lock is recursive. Tracked under lock name "site" — this is the
-  // single mutex over every object/holder table, i.e. the exact lock the
-  // ROADMAP's sharded-table refactor exists to split, so its wait/hold
-  // telemetry is the baseline that refactor must beat. Timed on the system
-  // clock regardless of clock_: admin scrape threads take this lock
-  // concurrently with bench threads, and a shared VirtualClock is not
-  // thread-safe.
-  mutable TrackedRecursiveMutex mutex_{"site"};
+  // The sharded object table: masters, replicas, the pointer-identity map
+  // and the per-shard holder index, each shard behind its own
+  // TrackedMutex{"site.shard"} (see core/object_table.h for the layout and
+  // the full lock-order rules). What used to be the single recursive
+  // TrackedRecursiveMutex{"site"} over every table — the serialization
+  // bench_contention's committed baseline measures — is now split three
+  // ways: the table's shard locks, the pins mutex below, and a shrunken
+  // non-recursive site mutex over cross-shard holder state only.
+  mutable ObjectTable table_;
 
-  std::unordered_map<ObjectId, MasterEntry, ObjectIdHash> masters_;
-  std::unordered_map<ObjectId, ReplicaEntry, ObjectIdHash> replicas_;
-  std::unordered_map<const Shareable*, ObjectId> ptr_ids_;
+  // Cross-shard state: holder health, the notification retry queue, the
+  // replica-update callback and the retry/threshold knobs. Non-recursive,
+  // still tracked under lock name "site". Lock order: a shard guard (or the
+  // world) may be held when acquiring this mutex, never the reverse; no
+  // shard lock and no pins lock may be acquired while holding it.
+  mutable TrackedMutex mutex_{"site"};
+
+  // Provider-side pins: proxy_ins_, the per-target index and demander-side
+  // cluster membership. A leaf lock like mutex_: never acquire a shard lock
+  // or another leaf lock under it.
+  mutable TrackedMutex pins_mutex_{"site.pins"};
   std::unordered_map<ProxyId, ProxyInEntry, ProxyIdHash> proxy_ins_;
   // Per-target index over non-cluster proxy_ins_, so repeated gets and push
   // records reuse a pin in O(1) instead of scanning the table.
@@ -702,15 +747,17 @@ class Site final : public rmi::Service {
   std::unordered_map<ProxyId, std::vector<ObjectId>, ProxyIdHash> cluster_members_;
 
   // Holder lifecycle: consecutive-failure tally per registered holder and
-  // the bounded per-holder retry queue (see NotifyRetryPolicy).
+  // the bounded per-holder retry queue (see NotifyRetryPolicy). Under mutex_.
   std::unordered_map<net::Address, HolderHealth> holder_health_;
   std::vector<PendingNotify> notify_retries_;
   std::uint32_t holder_failure_threshold_ = 3;
   NotifyRetryPolicy notify_retry_policy_;
 
-  std::uint64_t next_object_ = 1;
-  std::uint64_t next_pin_ = 1;
+  std::atomic<std::uint64_t> next_object_{1};
+  std::uint64_t next_pin_ = 1;  // under pins_mutex_
   Nanos created_at_ = 0;  // clock_ reading at construction, for the uptime gauge
+  std::atomic<Nanos> gauge_refresh_interval_{0};
+  std::atomic<Nanos> last_gauge_refresh_{-1};
   Nanos proxy_export_cost_ = 0;
   Nanos proxy_lease_ = 0;
   Nanos request_deadline_ = 0;  // 0 = transport default

@@ -20,12 +20,18 @@ enum class RefTag : std::uint8_t { kNull = 0, kLocal = 1, kProxy = 2 };
 }  // namespace
 
 Result<Bytes> Site::SaveSnapshot() {
-  std::lock_guard lock(mutex_);
+  // The world guard freezes every shard: the snapshot is a consistent global
+  // cut, and every helper below (EnsureId, lookups, sweeps) no-ops its own
+  // guards under it — the role the recursive site mutex used to play.
+  ObjectTable::WorldGuard world(table_);
   wire::Writer w;
   w.U32(kSnapshotMagic);
   w.Varint(id_);
-  w.Varint(next_object_);
-  w.Varint(next_pin_);
+  w.Varint(next_object_.load(std::memory_order_relaxed));
+  {
+    std::lock_guard pins(pins_mutex_);
+    w.Varint(next_pin_);
+  }
 
   // Serialize one object's refs; assigns ids to local targets as needed.
   auto encode_refs = [&](Shareable& obj) {
@@ -49,13 +55,16 @@ Result<Bytes> Site::SaveSnapshot() {
   // table is complete before anything is written.
   EnsureGraphIds();
 
+  // Collect ids first, then serialize via lookups: encode_refs may call
+  // EnsureId, which must not run while a shard's slot vector is mid-sweep.
   std::vector<ObjectId> master_ids;
-  master_ids.reserve(masters_.size());
-  for (const auto& [oid, entry] : masters_) master_ids.push_back(oid);
+  master_ids.reserve(table_.master_count());
+  table_.ForEachMaster(
+      [&](ObjectId oid, const MasterEntry&) { master_ids.push_back(oid); });
 
   w.Varint(master_ids.size());
   for (ObjectId oid : master_ids) {
-    const MasterEntry& entry = masters_.at(oid);
+    const MasterEntry& entry = *table_.Master(oid);
     wire::Encode(w, oid);
     w.String(entry.obj->obiwan_class().name());
     w.Varint(entry.version);
@@ -70,8 +79,14 @@ Result<Bytes> Site::SaveSnapshot() {
     encode_refs(*entry.obj);
   }
 
-  w.Varint(replicas_.size());
-  for (auto& [oid, entry] : replicas_) {
+  std::vector<ObjectId> replica_ids;
+  replica_ids.reserve(table_.replica_count());
+  table_.ForEachReplica(
+      [&](ObjectId oid, const ReplicaEntry&) { replica_ids.push_back(oid); });
+
+  w.Varint(replica_ids.size());
+  for (ObjectId oid : replica_ids) {
+    const ReplicaEntry& entry = *table_.Replica(oid);
     wire::Encode(w, oid);
     w.String(entry.obj->obiwan_class().name());
     w.Varint(entry.version);
@@ -91,55 +106,70 @@ Result<Bytes> Site::SaveSnapshot() {
     encode_refs(*entry.obj);
   }
 
-  w.Varint(proxy_ins_.size());
-  for (const auto& [pin, entry] : proxy_ins_) {
-    wire::Encode(w, pin);
-    wire::Encode(w, entry.target);
-    wire::Encode(w, entry.members);
-    w.Bool(entry.cluster);
-    w.Bool(entry.anchored);
-    wire::Encode(w, entry.users);
-  }
+  {
+    std::lock_guard pins(pins_mutex_);
+    w.Varint(proxy_ins_.size());
+    for (const auto& [pin, entry] : proxy_ins_) {
+      wire::Encode(w, pin);
+      wire::Encode(w, entry.target);
+      wire::Encode(w, entry.members);
+      w.Bool(entry.cluster);
+      w.Bool(entry.anchored);
+      wire::Encode(w, entry.users);
+    }
 
-  w.Varint(cluster_members_.size());
-  for (const auto& [pin, members] : cluster_members_) {
-    wire::Encode(w, pin);
-    wire::Encode(w, members);
+    w.Varint(cluster_members_.size());
+    for (const auto& [pin, members] : cluster_members_) {
+      wire::Encode(w, pin);
+      wire::Encode(w, members);
+    }
   }
 
   return std::move(w).Take();
 }
 
 Status Site::LoadSnapshot(BytesView snapshot) {
-  std::lock_guard lock(mutex_);
-  if (!masters_.empty() || !replicas_.empty() || !proxy_ins_.empty()) {
-    return FailedPreconditionError("LoadSnapshot requires an empty site");
+  ObjectTable::WorldGuard world(table_);
+  {
+    std::lock_guard pins(pins_mutex_);
+    if (table_.master_count() != 0 || table_.replica_count() != 0 ||
+        !proxy_ins_.empty()) {
+      return FailedPreconditionError("LoadSnapshot requires an empty site");
+    }
   }
   Status status = LoadSnapshotLocked(snapshot);
   if (!status.ok()) {
     // Never leave a half-restored site behind a failed load.
-    masters_.clear();
-    replicas_.clear();
-    ptr_ids_.clear();
-    proxy_ins_.clear();
-    pin_by_target_.clear();
-    cluster_members_.clear();
-    holder_health_.clear();
-    notify_retries_.clear();
-    next_object_ = 1;
-    next_pin_ = 1;
+    table_.Clear();
+    {
+      std::lock_guard pins(pins_mutex_);
+      proxy_ins_.clear();
+      pin_by_target_.clear();
+      cluster_members_.clear();
+      next_pin_ = 1;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      holder_health_.clear();
+      notify_retries_.clear();
+    }
+    next_object_.store(1, std::memory_order_relaxed);
   } else {
     // Every restored holder starts healthy; failures re-accumulate live.
-    for (const auto& [oid, entry] : masters_) {
+    std::lock_guard lock(mutex_);
+    table_.ForEachMaster([&](ObjectId, const MasterEntry& entry) {
       for (const net::Address& addr : entry.holders) holder_health_[addr];
-    }
-    for (const auto& [oid, entry] : replicas_) {
+    });
+    table_.ForEachReplica([&](ObjectId, const ReplicaEntry& entry) {
       for (const net::Address& addr : entry.holders) holder_health_[addr];
-    }
+    });
   }
   SyncGauges();
   UpdateReplicationGauges();
-  SyncHolderGauges();
+  {
+    std::lock_guard lock(mutex_);
+    SyncHolderGaugesLocked();
+  }
   return status;
 }
 
@@ -154,8 +184,11 @@ Status Site::LoadSnapshotLocked(BytesView snapshot) {
         "snapshot belongs to site " + std::to_string(snapshot_site) +
         ", this site is " + std::to_string(id_));
   }
-  next_object_ = r.Varint();
-  next_pin_ = r.Varint();
+  next_object_.store(r.Varint(), std::memory_order_relaxed);
+  {
+    std::lock_guard pins(pins_mutex_);
+    next_pin_ = r.Varint();
+  }
 
   struct PendingRef {
     RefBase* ref;
@@ -194,14 +227,16 @@ Status Site::LoadSnapshotLocked(BytesView snapshot) {
       pending.push_back(p);
     }
     OBIWAN_RETURN_IF_ERROR(r.status());
-    ptr_ids_.emplace(obj.get(), oid);
+    // No manual pointer-map insert: EmplaceMaster/EmplaceReplica register
+    // the pointer identity (and the holder index) themselves.
     return obj;
   };
 
   // Duplicate ids would make the table emplace drop the second object while
   // `pending` still points into it — corrupt input must be rejected here.
   auto fresh_id = [&](ObjectId oid) {
-    return oid.valid() && !masters_.contains(oid) && !replicas_.contains(oid);
+    return oid.valid() && table_.Master(oid) == nullptr &&
+           table_.Replica(oid) == nullptr;
   };
 
   std::uint64_t master_count = r.Varint();
@@ -220,7 +255,7 @@ Status Site::LoadSnapshotLocked(BytesView snapshot) {
     entry.gets_served = r.Varint();
     entry.puts_accepted = r.Varint();
     OBIWAN_ASSIGN_OR_RETURN(entry.obj, decode_object(class_name, oid));
-    masters_.emplace(oid, std::move(entry));
+    table_.EmplaceMaster(oid, std::move(entry));
   }
 
   std::uint64_t replica_count = r.Varint();
@@ -243,27 +278,30 @@ Status Site::LoadSnapshotLocked(BytesView snapshot) {
     entry.sync_count = r.Varint();
     entry.put_count = r.Varint();
     OBIWAN_ASSIGN_OR_RETURN(entry.obj, decode_object(class_name, oid));
-    replicas_.emplace(oid, std::move(entry));
+    table_.EmplaceReplica(oid, std::move(entry));
   }
 
-  std::uint64_t pin_count = r.Varint();
-  for (std::uint64_t i = 0; i < pin_count && r.ok(); ++i) {
-    auto pin = wire::Decode<ProxyId>(r);
-    ProxyInEntry entry;
-    entry.target = wire::Decode<ObjectId>(r);
-    entry.members = wire::Decode<std::vector<ObjectId>>(r);
-    entry.cluster = r.Bool();
-    entry.anchored = r.Bool();
-    entry.users = wire::Decode<std::vector<net::Address>>(r);
-    TouchPin(entry);  // restart the lease clock after restore
-    if (!entry.cluster) pin_by_target_.emplace(entry.target, pin);
-    proxy_ins_.emplace(pin, std::move(entry));
-  }
+  {
+    std::lock_guard pins(pins_mutex_);
+    std::uint64_t pin_count = r.Varint();
+    for (std::uint64_t i = 0; i < pin_count && r.ok(); ++i) {
+      auto pin = wire::Decode<ProxyId>(r);
+      ProxyInEntry entry;
+      entry.target = wire::Decode<ObjectId>(r);
+      entry.members = wire::Decode<std::vector<ObjectId>>(r);
+      entry.cluster = r.Bool();
+      entry.anchored = r.Bool();
+      entry.users = wire::Decode<std::vector<net::Address>>(r);
+      TouchPin(entry);  // restart the lease clock after restore
+      if (!entry.cluster) pin_by_target_.emplace(entry.target, pin);
+      proxy_ins_.emplace(pin, std::move(entry));
+    }
 
-  std::uint64_t cluster_count = r.Varint();
-  for (std::uint64_t i = 0; i < cluster_count && r.ok(); ++i) {
-    auto pin = wire::Decode<ProxyId>(r);
-    cluster_members_[pin] = wire::Decode<std::vector<ObjectId>>(r);
+    std::uint64_t cluster_count = r.Varint();
+    for (std::uint64_t i = 0; i < cluster_count && r.ok(); ++i) {
+      auto pin = wire::Decode<ProxyId>(r);
+      cluster_members_[pin] = wire::Decode<std::vector<ObjectId>>(r);
+    }
   }
 
   OBIWAN_RETURN_IF_ERROR(r.status());
@@ -276,7 +314,7 @@ Status Site::LoadSnapshotLocked(BytesView snapshot) {
         p.ref->Reset();
         break;
       case RefTag::kLocal: {
-        std::shared_ptr<Shareable> target = FindLocalUnlocked(p.target);
+        std::shared_ptr<Shareable> target = table_.Find(p.target);
         if (target == nullptr) {
           return DataLossError("snapshot refers to missing object " +
                                ToString(p.target));
@@ -285,7 +323,7 @@ Status Site::LoadSnapshotLocked(BytesView snapshot) {
         break;
       }
       case RefTag::kProxy: {
-        if (auto local = FindLocalUnlocked(p.proxy.target)) {
+        if (auto local = table_.Find(p.proxy.target)) {
           p.ref->BindLocal(p.proxy.target, std::move(local));
         } else {
           p.ref->BindProxy(

@@ -395,6 +395,56 @@ TEST_F(FanoutSimTest, RepeatedPushesKeepPinTableStable) {
   EXPECT_EQ(hub_->stats().proxy_ins_created, created_after_first);
 }
 
+// 3. (PR 8) Retry backoff must carry forward across requeues. The old code
+// re-derived the exponential schedule from the policy's initial_backoff on
+// every requeue — O(attempts) per failure, and a SetNotifyRetryPolicy call
+// mid-flight silently rewrote the schedule of already-queued notifications.
+// Now the queued entry carries its own backoff and just doubles it.
+TEST_F(FanoutSimTest, RetryBackoffCarriesForwardAcrossPolicyMutation) {
+  hub_->SetConsistencyPolicy(std::make_unique<consistency::WriteInvalidate>());
+  hub_->SetHolderFailureThreshold(0);  // isolate the schedule from drops
+  hub_->SetNotifyRetryPolicy({.initial_backoff = 100 * kMilli,
+                              .max_backoff = 10 * kSecond,
+                              .max_attempts = 8});
+  auto obj = std::make_shared<Node>();
+  ASSERT_TRUE(hub_->Bind("obj", obj).ok());
+
+  AddSite("laptop", 2);
+  AddSite("pda", 3);
+  auto laptop_ref = Replicate("laptop", "obj");
+  auto pda_ref = Replicate("pda", "obj");
+
+  // First failure: queued with the 100 ms initial backoff.
+  network_->SetEndpointUp("pda", false);
+  laptop_ref.get()->SetValue(7);
+  ASSERT_TRUE(site("laptop").Put(laptop_ref).ok());
+  ASSERT_EQ(hub_->pending_notify_retries(), 1u);
+
+  // Shrink the policy while the notification is in flight. The queued
+  // entry's schedule must not be affected: its next backoff is
+  // 2 × 100 ms, not the new initial.
+  hub_->SetNotifyRetryPolicy({.initial_backoff = 1 * kMilli,
+                              .max_backoff = 10 * kSecond,
+                              .max_attempts = 8});
+
+  clock_.Sleep(110 * kMilli);
+  EXPECT_EQ(hub_->PumpNotifyRetries(), 1u);  // second failure, requeued
+  ASSERT_EQ(hub_->pending_notify_retries(), 1u);
+
+  // 50 ms < the carried-forward 200 ms: nothing is due. The old
+  // re-derivation made this entry due after 2 x the *new* 1 ms initial.
+  clock_.Sleep(50 * kMilli);
+  EXPECT_EQ(hub_->PumpNotifyRetries(), 0u)
+      << "requeue re-derived its backoff from the mutated policy";
+
+  // Past 200 ms the retry goes out and (pda back up) delivers.
+  network_->SetEndpointUp("pda", true);
+  clock_.Sleep(160 * kMilli);
+  EXPECT_EQ(hub_->PumpNotifyRetries(), 1u);
+  EXPECT_TRUE(site("pda").IsStale(pda_ref));
+  EXPECT_EQ(hub_->pending_notify_retries(), 0u);
+}
+
 // A retried (frozen) push from an old version must never regress a replica
 // that has since seen newer state.
 TEST_F(FanoutSimTest, StalePushIsIgnored) {
@@ -488,6 +538,75 @@ TEST(FanoutTcp, ConcurrentPutsFanOutToAllHolders) {
   EXPECT_EQ(*v2, *version);
 
   for (auto& site : demanders) site->Stop();
+  provider.Stop();
+}
+
+// 2. (PR 8) Dropping an unreachable holder must be atomic with respect to
+// re-registration. The old code decided to drop inside the failure loop and
+// erased health before sweeping the holders lists; a get that re-registered
+// the holder in between was silently wiped, leaving a live demander that
+// never heard another update. Now the drop re-checks the failure count
+// under the world guard + site mutex and aborts if a get healed the holder
+// meanwhile. Threshold 1 + a request deadline that is already expired makes
+// every notification fail, so drops race the re-registration loop as hard
+// as possible; TSan (tools/ci.sh) checks the locking, the final sequence
+// checks the holder is functional after a real drop.
+TEST(FanoutTcp, DropRacesReRegistrationWithoutWipingLiveHolder) {
+  auto provider_transport = net::TcpTransport::Create(0);
+  ASSERT_TRUE(provider_transport.ok());
+  core::Site provider(1, std::move(*provider_transport));
+  ASSERT_TRUE(provider.Start().ok());
+  provider.HostRegistry();
+  provider.SetConsistencyPolicy(
+      std::make_unique<consistency::WriteInvalidate>());
+  provider.SetHolderFailureThreshold(1);  // any failure is a drop decision
+
+  auto obj = std::make_shared<Node>();
+  ASSERT_TRUE(provider.Bind("obj", obj).ok());
+  const ObjectId oid = provider.Export(obj);
+
+  auto demander_transport = net::TcpTransport::Create(0);
+  ASSERT_TRUE(demander_transport.ok());
+  core::Site demander(2, std::move(*demander_transport));
+  ASSERT_TRUE(demander.Start().ok());
+  demander.UseRegistry(provider.address());
+  auto remote = demander.Lookup<Node>("obj");
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  auto ref = remote->Replicate(ReplicationMode::Incremental(1));
+  ASSERT_TRUE(ref.ok()) << ref.status();
+
+  // An already-expired outgoing deadline makes every notification from the
+  // provider fail before it touches the wire.
+  provider.SetRequestDeadline(1);
+
+  std::thread dropper([&] {
+    for (int i = 0; i < 24; ++i) {
+      (void)provider.MarkMasterUpdated(oid);  // fail -> drop decision
+    }
+  });
+  std::thread registrar([&] {
+    for (int i = 0; i < 24; ++i) {
+      (void)demander.Refresh(*ref);  // get -> re-register + heal
+    }
+  });
+  dropper.join();
+  registrar.join();
+
+  EXPECT_GE(provider.stats().holders_dropped, 1u);
+  EXPECT_EQ(provider.pending_notify_retries(), 0u)
+      << "drop left retries behind";
+
+  // Back to a sane deadline: one refresh re-registers, and the next update
+  // must actually reach the holder — a drop that swept a re-registered
+  // holder's rows would leave this invalidation undelivered.
+  provider.SetRequestDeadline(0);
+  ASSERT_TRUE(demander.Refresh(*ref).ok());
+  ASSERT_TRUE(provider.MarkMasterUpdated(oid).ok());
+  EXPECT_TRUE(demander.IsStale(*ref));
+  ASSERT_TRUE(demander.Refresh(*ref).ok());
+  EXPECT_EQ(*demander.ReplicaVersion(*ref), *provider.MasterVersion(oid));
+
+  demander.Stop();
   provider.Stop();
 }
 

@@ -34,16 +34,18 @@ run_flavour ubsan build-ubsan -DOBIWAN_SANITIZE=undefined
 # (client threads sharing one pooled TCP transport, the retry decorator's
 # counter, the server's per-connection threads), plus the update-fanout soak
 # (concurrent writers fanning pushes out on the bounded notification pool,
-# and the resync daemon's background worker) and the contention observatory
-# (tracked mutexes, exemplar captures and scrapes racing lock traffic) — so
-# TSan runs those groups rather than the whole (slow under TSan) suite.
+# and the resync daemon's background worker), the contention observatory
+# (tracked mutexes, exemplar captures and scrapes racing lock traffic) and
+# the sharded object table (shard/world guards racing protocol paths,
+# holder drops racing re-registration) — so TSan runs those groups rather
+# than the whole (slow under TSan) suite.
 echo "=== [tsan] configure ==="
 cmake -B build-tsan -S . -DOBIWAN_SANITIZE=thread
 echo "=== [tsan] build ==="
-cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test fanout_test obs_test contention_test
+cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test fanout_test obs_test contention_test object_table_test
 echo "=== [tsan] test ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport|FanoutTcp|AdminHttp|FleetMonitor|Contention)'
+    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport|FanoutTcp|AdminHttp|FleetMonitor|Contention|ObjectTable)'
 
 # The fig4 bench must emit a schema-valid BENCH_*.json with latency
 # percentiles (skip the google-benchmark micro-benchmarks; the paper series
@@ -137,17 +139,19 @@ print(f"BENCH_tcp_pool.json: transport OK (connects_per_call="
       f"{t['connects_per_call']:.3f}, pool_hits={t['pool_hits']})")
 EOF
 
-# The contention bench must record the lock-wait curve the sharded-table
-# refactor will be measured against: wait share must not shrink as threads
-# grow, the top thread count must actually contend the site mutex, and the
-# lock telemetry (with at least one tail exemplar linking a fat bucket back
-# to a trace) must reach the JSON export.
+# The contention bench is the sharded-table refactor's success gate: the
+# wait share at the top thread count must sit at or below the committed
+# pre-shard baseline (bench/BASELINE_contention.json, captured on the PR 7
+# single-mutex site), and the lock telemetry (with at least one tail
+# exemplar linking a fat bucket back to a trace) must reach the JSON export.
 echo "=== [bench] contention JSON ==="
 (cd build-ci && ./bench/bench_contention --benchmark_filter=SchemaOnly)
-python3 - build-ci/BENCH_contention.json <<'EOF'
+python3 - build-ci/BENCH_contention.json bench/BASELINE_contention.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)["contention"]
 for key in ("bench", "xs", "series", "contention", "metrics"):
     assert key in doc, f"missing key: {key}"
 c = doc["contention"]
@@ -156,13 +160,17 @@ for key in ("threads", "wait_share", "wall_ms", "contended", "site_p99_us"):
     assert len(c[key]) == len(c["threads"]), f"ragged {key}: {c[key]}"
 assert all(0.0 <= w <= 1.0 for w in c["wait_share"]), \
     f"wait_share out of [0,1]: {c['wait_share']}"
-# Lenient on a loaded/single-core CI box: require contention to appear at
-# the top thread count and the share not to *fall* from T=1 — the refactor's
-# success criterion (a flattened curve) is judged by hand, not here.
-assert c["contended"][-1] > 0, \
-    f"no contended acquisitions at T={c['threads'][-1]}: {c['contended']}"
-assert c["wait_share"][-1] >= c["wait_share"][0], \
-    f"wait share fell with threads: {c['wait_share']}"
+# The refactor's acceptance: the top-thread-count wait share must not
+# regress past the committed single-mutex baseline. (A small epsilon
+# absorbs scheduler noise on a loaded single-core CI box; the sharded
+# table typically lands far below the baseline, near zero.)
+assert c["threads"] == baseline["threads"], \
+    f"thread grid changed: {c['threads']} vs baseline {baseline['threads']}"
+budget = baseline["wait_share"][-1] * 1.10
+assert c["wait_share"][-1] <= budget, \
+    f"wait share regressed past the pre-shard baseline: " \
+    f"{c['wait_share'][-1]:.6f} > {budget:.6f} " \
+    f"(baseline {baseline['wait_share'][-1]:.6f})"
 hists = {h["name"] for h in doc["metrics"]["histograms"]}
 for needed in ("obiwan_lock_wait_ns", "obiwan_lock_hold_ns"):
     assert needed in hists, f"missing lock histogram {needed}"
@@ -172,8 +180,40 @@ for needed in ("obiwan_lock_contended_total", "obiwan_lock_acquisitions_total"):
 exemplars = sum(
     len(h.get("tail_exemplars", [])) for h in doc["metrics"]["histograms"])
 assert exemplars >= 1, "no tail exemplars captured anywhere"
-print(f"BENCH_contention.json: contention OK (wait_share={c['wait_share']}, "
-      f"contended={c['contended']}, {exemplars} exemplars)")
+print(f"BENCH_contention.json: contention OK (wait_share={c['wait_share']} "
+      f"vs baseline {baseline['wait_share']}, {exemplars} exemplars)")
+EOF
+
+# The scale bench records what the sharded table buys: throughput must not
+# fall as demander threads are added (disjoint chains hit disjoint shards;
+# refresh round trips overlap), and the object-count series must stay alive
+# up to 16k resident replicas (sharded O(1) lookups + throttled gauge
+# rescans keep the per-op cost flat).
+echo "=== [bench] scale JSON ==="
+(cd build-ci && ./bench/bench_scale --benchmark_filter=SchemaOnly)
+python3 - build-ci/BENCH_scale.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("bench", "xs", "series", "scale", "metrics"):
+    assert key in doc, f"missing key: {key}"
+s = doc["scale"]
+for key in ("threads", "thr_kops", "objects", "obj_thr_kops"):
+    assert key in s, f"scale section missing {key}"
+assert len(s["thr_kops"]) == len(s["threads"]), f"ragged thr_kops: {s}"
+assert len(s["obj_thr_kops"]) == len(s["objects"]), f"ragged obj_thr_kops: {s}"
+assert all(t > 0 for t in s["thr_kops"]), f"dead thread series: {s['thr_kops']}"
+assert all(t > 0 for t in s["obj_thr_kops"]), \
+    f"dead object series: {s['obj_thr_kops']}"
+# Adding threads must not collapse throughput. On a single-core CI box the
+# CPU-bound share of the op mix cannot scale, so the curve drifts down with
+# scheduler overhead (~0.75x at T=8 observed); 0.6 leaves noise headroom
+# while still catching serialization collapse (threads convoying on one
+# lock, futex storms). On real multi-core hardware the ratio exceeds 1.
+assert s["thr_kops"][-1] >= 0.6 * s["thr_kops"][0], \
+    f"throughput collapsed with threads: {s['thr_kops']}"
+print(f"BENCH_scale.json: scale OK (thr_kops={s['thr_kops']}, "
+      f"obj_thr_kops={s['obj_thr_kops']})")
 EOF
 
 # The mobility bench must report the disconnection-reconvergence experiment:
