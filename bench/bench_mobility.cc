@@ -25,8 +25,12 @@
 // after reconnection. Emitted as the "fleet" BENCH JSON section.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "core/resync.h"
 #include "harness.h"
+#include "obs/journey.h"
 
 namespace obiwan::bench {
 namespace {
@@ -222,8 +226,11 @@ std::string Reconvergence() {
 // reconnection the provider's retry queue plus per-device refreshes drain the
 // staleness. A FleetMonitor polls every site over the kInspect plane
 // throughout — this experiment is as much a test of the monitor's merge math
-// at scale as of the protocol. Returns the "fleet" BENCH JSON section.
-std::string FleetConvergence() {
+// at scale as of the protocol. Returns the "fleet" and "journey" BENCH JSON
+// sections: a journey tracker on the master measures per-update convergence
+// on the same run, so the polled estimate's aliasing error is quantified
+// against ground truth.
+std::pair<std::string, std::string> FleetConvergence() {
   constexpr int kSites = 220;
   constexpr int kChurned = 30;
   constexpr int kUpdates = 5;
@@ -244,6 +251,12 @@ std::string FleetConvergence() {
                                .max_backoff = 1 * kSecond,
                                .max_attempts = 64,
                                .per_holder_queue = 16});
+
+  // Ground truth for the cross-check: every put on the master mints a
+  // journey; its convergence stamp is the actual last-holder-ack time, free
+  // of the monitor's poll-period aliasing.
+  obs::JourneyTracker journeys(clock, office.id());
+  office.SetJourneySink(&journeys);
 
   auto doc = std::make_shared<test::Node>();
   doc->payload.resize(256);
@@ -321,6 +334,8 @@ std::string FleetConvergence() {
     if (all_current) break;
   }
   const double converge_ms = converge.ElapsedMs();
+  const Nanos polled_current_at = clock.Now();  // first poll that saw lag 0
+  office.SetJourneySink(nullptr);
 
   std::printf("\n=== fleet convergence (%d devices, %d churned, %d updates) ===\n",
               kSites, kChurned, kUpdates);
@@ -354,7 +369,67 @@ std::string FleetConvergence() {
   out += ",\"final_stale_replicas\":" + std::to_string(report.stale_replicas);
   out += ",\"slo_breach_s\":" + JsonNumber(report.slo_breach_seconds);
   out += "}";
-  return out;
+
+  // --- journey cross-check -------------------------------------------------
+  // The monitor's convergence estimate comes from 500 ms polls; the journey
+  // tracker stamped the actual last-holder ack. Older updates' invalidations
+  // were superseded by version in the per-holder retry queue, so the newest
+  // journey is the one that fully converged — compare its measured
+  // convergence against the polled estimate over the same put-commit
+  // baseline and report the difference as the aliasing error.
+  std::vector<double> conv_ms;
+  std::vector<double> ttfr_ms;
+  obs::JourneyView measured{};
+  for (const obs::JourneyView& j : journeys.Recent(kUpdates + 2)) {
+    if (!j.complete || j.convergence < 0) continue;
+    if (measured.convergence < 0) measured = j;  // Recent is newest-first
+    conv_ms.push_back(static_cast<double>(j.convergence) / kMilli);
+    ttfr_ms.push_back(static_cast<double>(j.ttfr) / kMilli);
+  }
+  auto pct = [](std::vector<double> v, double p) {
+    if (v.empty()) return -1.0;
+    std::sort(v.begin(), v.end());
+    return v[static_cast<std::size_t>(p * static_cast<double>(v.size() - 1) +
+                                      0.5)];
+  };
+  const bool have_measured = measured.convergence >= 0;
+  const double measured_ms =
+      have_measured ? static_cast<double>(measured.convergence) / kMilli : -1;
+  const double polled_ms =
+      have_measured
+          ? static_cast<double>(polled_current_at - measured.put_commit) /
+                kMilli
+          : -1;
+  const obs::JourneyAlert alert = journeys.EvaluateAlerts();
+
+  std::printf("journeys minted %llu, completed %llu, notifies superseded %llu\n",
+              static_cast<unsigned long long>(journeys.minted()),
+              static_cast<unsigned long long>(journeys.completed()),
+              static_cast<unsigned long long>(office.stats().notify_superseded));
+  if (have_measured) {
+    std::printf("convergence: journey-measured %.1f ms vs polled %.1f ms "
+                "(aliasing error %.1f ms) | burn alert %s\n",
+                measured_ms, polled_ms, polled_ms - measured_ms,
+                alert.firing ? "FIRING" : "ok");
+  }
+
+  std::string journey = "\"journey\":{";
+  journey += "\"minted\":" + std::to_string(journeys.minted());
+  journey += ",\"completed\":" + std::to_string(journeys.completed());
+  journey += ",\"superseded_notifies\":" +
+             std::to_string(office.stats().notify_superseded);
+  journey += ",\"ttfr_ms_p95\":" + JsonNumber(pct(ttfr_ms, 0.95));
+  journey += ",\"convergence_ms_p95\":" + JsonNumber(pct(conv_ms, 0.95));
+  journey += ",\"measured_convergence_ms\":" + JsonNumber(measured_ms);
+  journey += ",\"polled_convergence_ms\":" + JsonNumber(polled_ms);
+  journey += ",\"aliasing_error_ms\":" +
+             JsonNumber(have_measured ? polled_ms - measured_ms : -1);
+  journey += ",\"poll_interval_ms\":500";
+  journey += ",\"alert_firing\":";
+  journey += alert.firing ? "true" : "false";
+  journey += ",\"fast_burn_rate\":" + JsonNumber(alert.fast.burn_rate);
+  journey += "}";
+  return {out, journey};
 }
 
 void PaperSeries() {
@@ -377,7 +452,7 @@ void PaperSeries() {
               "claim).\n");
 
   const std::string reconvergence = Reconvergence();
-  const std::string fleet = FleetConvergence();
+  const auto [fleet, journey] = FleetConvergence();
 
   // xs indexes the strategies: 0 pure-RMI, 1 on-demand, 2 prefetch.
   std::vector<Series> series;
@@ -391,7 +466,7 @@ void PaperSeries() {
                      static_cast<double>(on_demand.failed),
                      static_cast<double>(prefetch.failed)}});
   WriteBenchJson("mobility", "strategy_index", {0, 1, 2}, series,
-                 {reconvergence, fleet});
+                 {reconvergence, fleet, journey});
 }
 
 }  // namespace

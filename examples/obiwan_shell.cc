@@ -20,7 +20,7 @@
 //           put <name> | putcluster <name> | refresh <name> | stats |
 //           inspect [addr] | frontier [path] | top [addr] [frames] |
 //           fleet [watch] <addr...> [frames] | metrics [prom] | trace |
-//           profile [json] | contend [k] | help | quit
+//           profile [json] | contend [k] | journeys | help | quit
 //
 // `--stats` dumps the process-wide metrics registry (plain text) on exit, so
 // scripted runs (`echo ... | obiwan_shell --stats`) get a machine-grepable
@@ -39,8 +39,8 @@
 // and a clean exit writes them too — every session leaves a timeline.
 //
 // `--admin <port>` serves the HTTP observability plane on that port:
-// curl http://127.0.0.1:<port>/metrics (Prometheus), /healthz, /inspect.json,
-// /frontier.json|.dot, /flight.
+// curl http://127.0.0.1:<port>/metrics (Prometheus/OpenMetrics), /healthz,
+// /inspect.json, /frontier.json|.dot, /updates.json, /alerts.json, /flight.
 //
 // `fleet <addr...>` polls the listed sites over the kInspect plane and prints
 // the merged convergence view; `fleet watch <addr...> [frames]` redraws it
@@ -60,6 +60,7 @@
 #include "common/metrics.h"
 #include "net/tcp.h"
 #include "obiwan.h"
+#include "obs/journey.h"
 #include "obs/profiler.h"
 
 namespace {
@@ -97,11 +98,17 @@ struct Shell {
   explicit Shell(std::unique_ptr<core::Site> s) : site(std::move(s)) {
     site->SetTracer(&tracer);
   }
-  ~Shell() { site->SetTracer(nullptr); }
+  ~Shell() {
+    site->SetTracer(nullptr);
+    if (journeys && site->journey_sink() == journeys.get()) {
+      site->SetJourneySink(nullptr);
+    }
+  }
 
   Tracer tracer;
   std::unique_ptr<core::Site> site;
   std::unique_ptr<obs::Profiler> profiler;  // lazily built by `profile`
+  std::unique_ptr<obs::JourneyTracker> journeys;  // lazily built by `journeys`
   std::map<std::string, core::RemoteRef<Note>> remotes;
   std::map<std::string, core::Ref<Note>> locals;
 
@@ -174,7 +181,7 @@ struct Shell {
           "put <name> | putcluster <name> | refresh <name> | stats |\n"
           "inspect [addr] | frontier [path] | top [addr] [frames] |\n"
           "fleet [watch] <addr...> [frames] | metrics [prom] | trace |\n"
-          "profile [json] | contend [k] | quit\n");
+          "profile [json] | contend [k] | journeys | quit\n");
       return true;
     }
     if (cmd == "profile") {
@@ -198,6 +205,24 @@ struct Shell {
                                  std::max<std::size_t>(top_k, 1)))
                      .c_str(),
                  stdout);
+      return true;
+    }
+    if (cmd == "journeys") {
+      // Per-update dissemination report: ttfr/convergence/hop percentiles,
+      // burn-rate alert state, recent journeys. `--admin` already installs a
+      // tracker; without one, install our own on first use (it only sees
+      // updates from that point on).
+      auto* tracker = dynamic_cast<obs::JourneyTracker*>(site->journey_sink());
+      if (tracker == nullptr) {
+        if (!journeys) {
+          journeys =
+              std::make_unique<obs::JourneyTracker>(site->clock(), site->id());
+          site->SetJourneySink(journeys.get());
+          std::printf("journey tracking enabled (tracks updates from now on)\n");
+        }
+        tracker = journeys.get();
+      }
+      std::fputs(tracker->ToText().c_str(), stdout);
       return true;
     }
     if (cmd == "host-registry") {

@@ -5,6 +5,7 @@
 
 #include "common/flight_recorder.h"
 #include "common/log.h"
+#include "core/journey.h"
 
 namespace obiwan::core {
 
@@ -63,6 +64,10 @@ constexpr SiteCounterSpec kSiteCounters[] = {
     {&SiteTelemetry::notify_retries, &SiteStats::notify_retries,
      "obiwan_notify_retries_total",
      "Queued holder notifications re-sent after backoff"},
+    {&SiteTelemetry::notify_superseded, &SiteStats::notify_superseded,
+     "obiwan_notify_superseded_total",
+     "Queued notify retries coalesced with a same-holder same-object entry "
+     "(superseded by version) instead of deepening the retry queue"},
     {&SiteTelemetry::holders_dropped, &SiteStats::holders_dropped,
      "obiwan_holders_dropped_total",
      "Holders unregistered after consecutive notification failures"},
@@ -934,6 +939,19 @@ Result<PutReply> Site::ServePut(const net::Address& from, const PutRequest& req)
     auto frame = std::make_shared<const Bytes>(rmi::WrapRequest(
         push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate, body,
         TraceContext::Current(), DeadlineBudget()));
+    // Mint this update's journey: (id, version) identifies it on every site
+    // it touches, and each recipient's notification records its enqueue now
+    // so queue time (fanout batch + any retry backoff) is measurable.
+    JourneySink* journey = journey_sink();
+    if (journey != nullptr) {
+      const Nanos now = clock_.Now();
+      journey->OnPutCommit(group.id, group.version, now,
+                           group.recipients.size(), push,
+                           TraceContext::Current());
+      for (const net::Address& addr : group.recipients) {
+        journey->OnNotifyEnqueue(group.id, group.version, addr, now);
+      }
+    }
     for (net::Address& addr : group.recipients) {
       outbound.push_back(OutboundNotify{std::move(addr), frame, payload,
                                         group.id, push, group.version});
@@ -1067,6 +1085,16 @@ Status Site::MarkMasterUpdated(ObjectId id) {
       auto frame = std::make_shared<const Bytes>(rmi::WrapRequest(
           push ? rmi::MessageKind::kPush : rmi::MessageKind::kInvalidate,
           body, TraceContext::Current(), DeadlineBudget()));
+      // Local in-place edits mint journeys exactly like served puts.
+      JourneySink* journey = journey_sink();
+      if (journey != nullptr) {
+        const Nanos now = clock_.Now();
+        journey->OnPutCommit(id, version, now, holders.size(), push,
+                             TraceContext::Current());
+        for (const net::Address& addr : holders) {
+          journey->OnNotifyEnqueue(id, version, addr, now);
+        }
+      }
       for (const net::Address& addr : holders) {
         outbound.push_back(
             OutboundNotify{addr, frame, payload, id, push, version});
@@ -1104,8 +1132,21 @@ void Site::DispatchNotifications(std::vector<OutboundNotify> batch) {
   tasks.reserve(batch.size());
   for (const OutboundNotify& note : batch) {
     tasks.push_back([this, &note] {
-      return TimedRequest(telemetry_.op_notify, note.addr, AsView(*note.frame))
-          .status();
+      // Wire-send and ack-return stamps bracket the notify round trip
+      // inside the fanout task, so each recipient's hop times are its own
+      // even under the jumpable virtual clock (RunAll finishes at the max).
+      JourneySink* journey = journey_sink();
+      if (journey != nullptr) {
+        journey->OnWireSend(note.id, note.version, note.addr, clock_.Now());
+      }
+      Status status =
+          TimedRequest(telemetry_.op_notify, note.addr, AsView(*note.frame))
+              .status();
+      if (journey != nullptr) {
+        journey->OnAckReturn(note.id, note.version, note.addr, clock_.Now(),
+                             status.ok());
+      }
+      return status;
     });
   }
   std::vector<Status> statuses = fanout_.RunAll(std::move(tasks));
@@ -1181,9 +1222,12 @@ bool Site::HandleNotifyFailureLocked(OutboundNotify note) {
   const Nanos next_attempt = clock_.Now() + backoff;
 
   // A newer notification for the same (holder, object) supersedes a queued
-  // one — the holder only ever needs the latest state/version.
+  // one — the holder only ever needs the latest state/version. Either way
+  // the two entries coalesced into one: count it, or the retry-depth gauge
+  // silently understates how many notifications actually failed.
   for (PendingNotify& pending : notify_retries_) {
     if (pending.note.addr == note.addr && pending.note.id == note.id) {
+      telemetry_.notify_superseded->Inc();
       if (note.version >= pending.note.version) {
         pending = PendingNotify{std::move(note), next_attempt, backoff};
       }
@@ -1314,6 +1358,11 @@ Status Site::ServePush(const ObjectRecord& record) {
       return Status::Ok();
     }
   }
+  JourneySink* journey = journey_sink();
+  if (journey != nullptr) {
+    journey->OnHolderReceive(record.id, record.version, clock_.Now(),
+                             /*push=*/true);
+  }
   GetReply reply;
   reply.objects.push_back(record);
   ProxyDescriptor via;
@@ -1322,6 +1371,9 @@ Status Site::ServePush(const ObjectRecord& record) {
       auto obj, Materialize(via, reply, ReplicationMode::Incremental(),
                             /*refresh=*/true, record.id));
   (void)obj;
+  if (journey != nullptr) {
+    journey->OnReplicaApply(record.id, record.version, clock_.Now());
+  }
   telemetry_.invalidations_received->Inc();  // counted as an update notification
   Trace("push", ToString(record.id) + " updated in place");
   ReplicaUpdateCallback callback;
@@ -1360,6 +1412,7 @@ Status Site::ServeInvalidate(const InvalidateRequest& req) {
                  std::to_string(req.ids.size()) + " id(s)",
                  TraceContext::Current());
   std::vector<ObjectId> invalidated;
+  std::vector<std::pair<ObjectId, std::uint64_t>> received;
   for (std::size_t i = 0; i < req.ids.size(); ++i) {
     ObjectId oid = req.ids[i];
     ObjectTable::ShardGuard guard(table_, oid);
@@ -1378,8 +1431,18 @@ Status Site::ServeInvalidate(const InvalidateRequest& req) {
     telemetry_.invalidations_received->Inc();
     Trace("invalidate", ToString(oid) + " marked stale");
     invalidated.push_back(oid);
+    received.emplace_back(oid, e->known_master_version);
   }
   MaybeUpdateReplicationGauges();
+  if (JourneySink* journey = journey_sink()) {
+    // Holder-side receive stamp, keyed by the same (id, version) the
+    // provider minted; the apply hop lands later, when the refresh brings
+    // the replica to this version.
+    const Nanos now = clock_.Now();
+    for (const auto& [oid, version] : received) {
+      journey->OnHolderReceive(oid, version, now, /*push=*/false);
+    }
+  }
   ReplicaUpdateCallback callback;
   {
     std::lock_guard lock(mutex_);
@@ -1954,9 +2017,23 @@ Status Site::RefreshReplica(ObjectId id) {
     }
     provider = e->provider;
   }
-  return DemandThrough(provider, id, ReplicationMode::Incremental(),
-                       /*refresh=*/true)
-      .status();
+  Status refreshed = DemandThrough(provider, id, ReplicationMode::Incremental(),
+                                   /*refresh=*/true)
+                         .status();
+  if (refreshed.ok()) {
+    if (JourneySink* journey = journey_sink()) {
+      // The invalidation's apply hop: the replica just caught up to the
+      // version it reached, which closes the receive->apply interval the
+      // matching OnHolderReceive opened.
+      std::uint64_t version = 0;
+      {
+        ObjectTable::ShardGuard guard(table_, id);
+        if (ReplicaEntry* e = table_.Replica(id)) version = e->version;
+      }
+      if (version > 0) journey->OnReplicaApply(id, version, clock_.Now());
+    }
+  }
+  return refreshed;
 }
 
 Status Site::Refresh(RefBase& ref) {

@@ -61,6 +61,7 @@ namespace obiwan::core {
 
 template <typename T>
 class RemoteRef;
+class JourneySink;
 
 struct SiteStats {
   std::uint64_t object_faults = 0;  // proxy-out demands that went remote
@@ -79,6 +80,7 @@ struct SiteStats {
   std::uint64_t replication_bytes_in = 0;   // replica state received
   std::uint64_t replication_bytes_out = 0;  // replica state shipped
   std::uint64_t notify_retries = 0;         // queued notifications re-sent
+  std::uint64_t notify_superseded = 0;      // queued retries coalesced by version
   std::uint64_t holders_dropped = 0;        // holders unregistered as unreachable
 };
 
@@ -110,6 +112,7 @@ struct SiteTelemetry {
   Counter* replication_bytes_in;
   Counter* replication_bytes_out;
   Counter* notify_retries;
+  Counter* notify_superseded;
   Counter* holders_dropped;
 
   // Live table sizes.
@@ -405,6 +408,11 @@ class Site final : public rmi::Service {
     // this budget. Off by default — enabling it makes readiness drop under
     // heavy contention, which is a deliberate load-shedding choice.
     Nanos lock_wait_budget = 0;
+    // Convergence budget: when > 0, /healthz turns 503 while the p99
+    // time-to-all-holders of update journeys completed in the fast alert
+    // window exceeds this. Off by default — it makes readiness track update
+    // dissemination, not just liveness.
+    Nanos convergence_budget = 0;
   };
   Status ServeAdmin(const std::string& addr);
   Status ServeAdmin(const std::string& addr, AdminOptions options);
@@ -478,6 +486,18 @@ class Site final : public rmi::Service {
     auto previous = std::move(on_replica_update_);
     on_replica_update_ = std::move(callback);
     return previous;
+  }
+
+  // Observability hook for update dissemination (core/journey.h): the put,
+  // fanout, notify-ack, invalidate and push paths stamp hop timestamps into
+  // the sink. Pass nullptr to detach; the sink must outlive the site while
+  // attached (ServeAdmin installs an obs::JourneyTracker and detaches it
+  // when the admin endpoint stops). Returns the previously installed sink.
+  JourneySink* SetJourneySink(JourneySink* sink) {
+    return journey_sink_.exchange(sink, std::memory_order_acq_rel);
+  }
+  JourneySink* journey_sink() const {
+    return journey_sink_.load(std::memory_order_acquire);
   }
 
   // Runs `fn` with every object-table shard held (the "world" lock) and
@@ -769,6 +789,9 @@ class Site final : public rmi::Service {
   Tracer flight_{kFlightRecorderCapacity};
   TraceSinks sinks_;
   ReplicaUpdateCallback on_replica_update_;
+  // Update-journey hop sink (core/journey.h); null when no tracker is
+  // attached. Atomic so protocol threads read it lock-free.
+  std::atomic<JourneySink*> journey_sink_{nullptr};
 
   // The attached HttpAdminServer, type-erased so this header stays free of
   // obs dependencies. Must be destroyed before the rest of the site (its

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <charconv>
 #include <cstring>
@@ -16,6 +17,7 @@
 #include "common/flight_recorder.h"
 #include "common/log.h"
 #include "core/site.h"
+#include "obs/journey.h"
 #include "obs/profiler.h"
 
 namespace obiwan::obs {
@@ -60,6 +62,42 @@ bool WriteAll(int fd, const char* data, std::size_t size) {
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+// Value of the first `name:` header in the request head, "" when absent.
+// Header names are case-insensitive per RFC 9110; values keep their case.
+std::string HeaderValue(const std::string& head, std::string_view name) {
+  std::size_t pos = head.find('\n');  // skip the request line
+  while (pos != std::string::npos && pos + 1 < head.size()) {
+    const std::size_t start = pos + 1;
+    std::size_t end = head.find('\n', start);
+    std::string_view line(head.data() + start,
+                          (end == std::string::npos ? head.size() : end) -
+                              start);
+    if (line.size() > name.size() && line[name.size()] == ':') {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view value = line.substr(name.size() + 1);
+        while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+          value.remove_prefix(1);
+        }
+        while (!value.empty() &&
+               (value.back() == '\r' || value.back() == ' ')) {
+          value.remove_suffix(1);
+        }
+        return std::string(value);
+      }
+    }
+    pos = end;
+  }
+  return "";
 }
 
 const char* StatusText(int status) {
@@ -141,6 +179,12 @@ HttpAdminServer::~HttpAdminServer() {
 }
 
 void HttpAdminServer::Route(const std::string& path, HttpHandler handler) {
+  Route(path, HttpRequestHandler([handler = std::move(handler)](
+                  const HttpRequest&) { return handler(); }));
+}
+
+void HttpAdminServer::Route(const std::string& path,
+                            HttpRequestHandler handler) {
   std::lock_guard lock(mutex_);
   routes_[path] = std::move(handler);
 }
@@ -218,7 +262,7 @@ void HttpAdminServer::HandleConnection(int fd) {
     if (auto query = target.find('?'); query != std::string::npos) {
       target.resize(query);
     }
-    HttpHandler handler;
+    HttpRequestHandler handler;
     {
       std::lock_guard lock(mutex_);
       if (auto it = routes_.find(target); it != routes_.end()) {
@@ -229,7 +273,11 @@ void HttpAdminServer::HandleConnection(int fd) {
       response = {404, "text/plain; charset=utf-8",
                   "no such endpoint: " + target + "\n"};
     } else {
-      response = handler();
+      HttpRequest request;
+      request.method = method;
+      request.target = target;
+      request.accept = HeaderValue(head, "accept");
+      response = handler(request);
     }
   }
   if (response.status >= 400) errors_->Inc();
@@ -268,28 +316,56 @@ Status Site::ServeAdmin(const std::string& addr, AdminOptions options) {
 
   // Everything the routes capture, owned together with the server. `server`
   // is the LAST member so it is destroyed FIRST: the serving thread joins
-  // before the profiler and lock-wait window the handlers point at go away.
+  // before the profiler, lock-wait window and journey tracker the handlers
+  // point at go away. The destructor body runs before any member destructor,
+  // so the journey sink is detached from the site before the tracker dies.
   struct AdminState {
+    Site* site = nullptr;
     std::unique_ptr<obs::Profiler> profiler;
     std::unique_ptr<LockWaitWindow> window;
+    std::unique_ptr<obs::JourneyTracker> tracker;
     std::unique_ptr<obs::HttpAdminServer> server;
+    ~AdminState() {
+      if (site != nullptr) site->SetJourneySink(nullptr);
+    }
   };
   auto state = std::make_shared<AdminState>();
+  state->site = this;
   state->profiler = std::make_unique<obs::Profiler>(*this);
   state->window = std::make_unique<LockWaitWindow>(MetricsRegistry::Default());
+  obs::JourneyOptions journey_options;
+  if (options.convergence_budget > 0) {
+    // Readiness and alerting should agree on what "too slow" means.
+    journey_options.slo_convergence = options.convergence_budget;
+  }
+  state->tracker = std::make_unique<obs::JourneyTracker>(clock_, id_,
+                                                         journey_options);
   obs::Profiler* profiler = state->profiler.get();
   LockWaitWindow* window = state->window.get();
+  obs::JourneyTracker* tracker = state->tracker.get();
+  SetJourneySink(tracker);
 
-  server->Route("/metrics", [this] {
+  server->Route("/metrics", [this](const obs::HttpRequest& request) {
     RefreshTelemetry();
     obs::RefreshProcessGauges();
+    // OpenMetrics when asked for (it mandates the "# EOF" terminator);
+    // Prometheus text otherwise, where "# EOF" is a harmless comment — so
+    // the exposition always ends with an explicit not-truncated marker.
+    const bool openmetrics =
+        request.accept.find("application/openmetrics-text") !=
+        std::string::npos;
     return obs::HttpResponse{
-        200, "text/plain; version=0.0.4; charset=utf-8",
-        MetricsRegistry::Default().DumpPrometheus()};
+        200,
+        openmetrics ? "application/openmetrics-text; version=1.0.0; "
+                      "charset=utf-8"
+                    : "text/plain; version=0.0.4; charset=utf-8",
+        MetricsRegistry::Default().DumpPrometheus() + "# EOF\n"};
   });
   const std::size_t max_backlog = options.max_stale_backlog;
   const Nanos lock_budget = options.lock_wait_budget;
-  server->Route("/healthz", [this, max_backlog, lock_budget, window] {
+  const Nanos convergence_budget = options.convergence_budget;
+  server->Route("/healthz", [this, max_backlog, lock_budget,
+                             convergence_budget, window, tracker] {
     RefreshTelemetry();
     const bool transport_up = started_ && Ping(address()).ok();
     const std::size_t backlog = StaleReplicaIds().size();
@@ -305,12 +381,29 @@ Status Site::ServeAdmin(const std::string& addr, AdminOptions options) {
       detail << ",\"lock_wait_p99_ns\":" << static_cast<std::int64_t>(p99)
              << ",\"lock_wait_budget\":" << lock_budget;
     }
+    if (convergence_budget > 0) {
+      // Dissemination check: p99 time-to-all-holders over journeys that
+      // completed inside the fast alert window. Readiness drops while this
+      // site's updates converge slower than the budget.
+      const Nanos p99 = tracker->WindowConvergenceP99();
+      if (p99 > convergence_budget) healthy = false;
+      detail << ",\"convergence_p99_ns\":" << p99
+             << ",\"convergence_budget\":" << convergence_budget;
+    }
     body << "{\"status\":\"" << (healthy ? "ok" : "unhealthy")
          << "\",\"transport\":" << (transport_up ? "true" : "false")
          << ",\"stale_backlog\":" << backlog
          << ",\"max_stale_backlog\":" << max_backlog << detail.str() << "}\n";
     return obs::HttpResponse{healthy ? 200 : 503,
                              "application/json; charset=utf-8", body.str()};
+  });
+  server->Route("/updates.json", [tracker] {
+    return obs::HttpResponse{200, "application/json; charset=utf-8",
+                             tracker->UpdatesJson()};
+  });
+  server->Route("/alerts.json", [tracker] {
+    return obs::HttpResponse{200, "application/json; charset=utf-8",
+                             tracker->AlertsJson()};
   });
   server->Route("/profile.json", [profiler] {
     return obs::HttpResponse{200, "application/json; charset=utf-8",
@@ -341,11 +434,15 @@ Status Site::ServeAdmin(const std::string& addr, AdminOptions options) {
     return obs::HttpResponse{
         200, "text/plain; charset=utf-8",
         "obiwan admin endpoints:\n"
-        "  /metrics        Prometheus text exposition (with exemplars)\n"
-        "  /healthz        readiness (transport + resync backlog + lock budget)\n"
+        "  /metrics        metrics exposition, \"# EOF\"-terminated "
+        "(OpenMetrics via Accept)\n"
+        "  /healthz        readiness (transport + backlog + lock/convergence "
+        "budgets)\n"
         "  /inspect.json   replication-state report\n"
         "  /frontier.json  replication frontier graph\n"
         "  /frontier.dot   frontier graph as Graphviz DOT\n"
+        "  /updates.json   per-update journeys: ttfr/convergence/hop latency\n"
+        "  /alerts.json    convergence SLO burn-rate alert state\n"
         "  /flight         flight-recorder Chrome trace\n"
         "  /profile.json   queue depths + lock hotness (one fresh sample)\n"
         "  /contention     same sample as a text report\n"};

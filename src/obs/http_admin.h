@@ -15,10 +15,13 @@
 // to any site:
 //
 //   GET /            index of the routes below
-//   GET /metrics     Prometheus text exposition (HELP/TYPE + histogram
-//                    _bucket/_sum/_count series); refreshes the site's
-//                    continuous gauges first, so staleness/lease/role/uptime
-//                    are current at every scrape
+//   GET /metrics     metrics text exposition (HELP/TYPE + histogram
+//                    _bucket/_sum/_count series, terminated by "# EOF");
+//                    refreshes the site's continuous gauges first, so
+//                    staleness/lease/role/uptime are current at every scrape.
+//                    Content-negotiated: Prometheus text/plain by default,
+//                    application/openmetrics-text when the Accept header
+//                    asks for it
 //   GET /healthz     200 {"status":"ok",...} when the site's transport
 //                    answers a self-ping and the resync backlog is within
 //                    bounds; 503 otherwise — wire this to your orchestrator's
@@ -26,6 +29,10 @@
 //   GET /inspect.json    the Site::Inspect() replication-state report
 //   GET /frontier.json   replication-frontier graph (nodes/edges JSON)
 //   GET /frontier.dot    same graph as Graphviz DOT
+//   GET /updates.json    per-update journey report: ttfr/convergence/hop
+//                        percentiles, recent journeys, slowest tail
+//   GET /alerts.json     convergence SLO burn-rate evaluation (fast/slow
+//                        window burn rates + firing state)
 //   GET /flight      merged Chrome-trace dump of every flight recorder in
 //                    the process (load in Perfetto)
 //
@@ -55,9 +62,20 @@ struct HttpResponse {
   std::string body;
 };
 
+// What a request-aware handler sees: the parsed request line plus the
+// headers content negotiation cares about.
+struct HttpRequest {
+  std::string method;  // "GET" or "HEAD" by the time a handler runs
+  std::string target;  // path with the query string stripped
+  std::string accept;  // raw Accept header value ("" when absent)
+};
+
 // One route's handler. Runs on the admin serving thread; it may take the
 // site lock (scrapes race protocol traffic) but must not block indefinitely.
 using HttpHandler = std::function<HttpResponse()>;
+// Request-aware variant for routes that negotiate on the request (e.g.
+// /metrics picks its exposition format from the Accept header).
+using HttpRequestHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 class HttpAdminServer {
  public:
@@ -85,6 +103,7 @@ class HttpAdminServer {
   // Register `handler` for exact path `path` (query strings are stripped
   // before matching). Replaces any previous handler. Safe while serving.
   void Route(const std::string& path, HttpHandler handler);
+  void Route(const std::string& path, HttpRequestHandler handler);
 
   // Start the bounded serving thread (accept -> handle -> close, serially;
   // concurrent clients queue in the kernel backlog).
@@ -115,7 +134,7 @@ class HttpAdminServer {
   std::thread serve_thread_;
 
   mutable std::mutex mutex_;  // guards routes_
-  std::map<std::string, HttpHandler> routes_;
+  std::map<std::string, HttpRequestHandler> routes_;
 
   Counter* requests_;  // obiwan_admin_http_requests_total
   Counter* errors_;    // obiwan_admin_http_errors_total (status >= 400)

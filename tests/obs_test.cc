@@ -32,29 +32,56 @@ using test::Node;
 
 struct HttpReply {
   int status = 0;
+  std::string content_type;
   std::string body;
 };
 
-HttpReply HttpGet(const std::string& address, const std::string& path,
-                  const std::string& method = "GET") {
-  HttpReply reply;
+// Connect to "host:port"; -1 on failure.
+int HttpConnect(const std::string& address) {
   const auto colon = address.rfind(':');
-  if (colon == std::string::npos) return reply;
+  if (colon == std::string::npos) return -1;
   const std::string host = address.substr(0, colon);
   const int port = std::stoi(address.substr(colon + 1));
 
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return reply;
+  if (fd < 0) return -1;
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = htons(static_cast<std::uint16_t>(port));
   ::inet_pton(AF_INET, host.c_str(), &sa.sin_addr);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
     ::close(fd);
-    return reply;
+    return -1;
   }
-  const std::string request =
-      method + " " + path + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+  return fd;
+}
+
+HttpReply ParseReply(const std::string& raw) {
+  HttpReply reply;
+  // "HTTP/1.1 <status> ..." then headers, blank line, body.
+  if (raw.compare(0, 5, "HTTP/") != 0) return reply;
+  const auto space = raw.find(' ');
+  if (space == std::string::npos) return reply;
+  reply.status = std::atoi(raw.c_str() + space + 1);
+  const auto blank = raw.find("\r\n\r\n");
+  if (blank != std::string::npos) reply.body = raw.substr(blank + 4);
+  const auto ct = raw.find("Content-Type: ");
+  if (ct != std::string::npos && ct < blank) {
+    const auto eol = raw.find("\r\n", ct);
+    reply.content_type = raw.substr(ct + 14, eol - ct - 14);
+  }
+  return reply;
+}
+
+HttpReply HttpGet(const std::string& address, const std::string& path,
+                  const std::string& method = "GET",
+                  const std::string& extra_headers = "") {
+  HttpReply reply;
+  int fd = HttpConnect(address);
+  if (fd < 0) return reply;
+  const std::string request = method + " " + path +
+                              " HTTP/1.1\r\nHost: test\r\n" + extra_headers +
+                              "\r\n";
   (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
   std::string raw;
   char buf[4096];
@@ -63,15 +90,7 @@ HttpReply HttpGet(const std::string& address, const std::string& path,
     raw.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
-
-  // "HTTP/1.1 <status> ..." then headers, blank line, body.
-  if (raw.compare(0, 5, "HTTP/") != 0) return reply;
-  const auto space = raw.find(' ');
-  if (space == std::string::npos) return reply;
-  reply.status = std::atoi(raw.c_str() + space + 1);
-  const auto blank = raw.find("\r\n\r\n");
-  if (blank != std::string::npos) reply.body = raw.substr(blank + 4);
-  return reply;
+  return ParseReply(raw);
 }
 
 // ---------------------------------------------------------------------------
@@ -115,6 +134,7 @@ void LintExposition(const std::string& text) {
       family_type[name] = type;
       continue;
     }
+    if (line == "# EOF") continue;  // OpenMetrics not-truncated terminator
     if (line.rfind("#", 0) == 0) {
       EXPECT_EQ(line.rfind("# HELP ", 0), 0u) << "unknown comment: " << line;
       continue;
@@ -283,6 +303,151 @@ TEST_F(AdminHttpTest, RejectsUnknownPathAndMethod) {
   EXPECT_EQ(HttpGet(site_->admin_address(), "/metrics", "POST").status, 405);
   // Query strings are stripped before route matching.
   EXPECT_EQ(HttpGet(site_->admin_address(), "/healthz?verbose=1").status, 200);
+}
+
+TEST_F(AdminHttpTest, MetricsNegotiateFormatAndTerminateWithEof) {
+  // Default: Prometheus text, but always "# EOF"-terminated so a scraper
+  // can tell a complete exposition from a truncated one.
+  const HttpReply prom = HttpGet(site_->admin_address(), "/metrics");
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_NE(prom.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(prom.content_type.find("version=0.0.4"), std::string::npos);
+  ASSERT_GE(prom.body.size(), 6u);
+  EXPECT_TRUE(EndsWith(prom.body, "# EOF\n"));
+  LintExposition(prom.body);
+
+  // An OpenMetrics scraper negotiates via Accept and gets the matching
+  // content type (same payload; "# EOF" is mandatory there).
+  const HttpReply om = HttpGet(
+      site_->admin_address(), "/metrics", "GET",
+      "Accept: application/openmetrics-text; version=1.0.0\r\n");
+  EXPECT_EQ(om.status, 200);
+  EXPECT_NE(om.content_type.find("application/openmetrics-text"),
+            std::string::npos);
+  EXPECT_TRUE(EndsWith(om.body, "# EOF\n"));
+
+  // An unrelated Accept value still gets the Prometheus default.
+  const HttpReply other = HttpGet(site_->admin_address(), "/metrics", "GET",
+                                  "Accept: application/json\r\n");
+  EXPECT_EQ(other.status, 200);
+  EXPECT_NE(other.content_type.find("text/plain"), std::string::npos);
+}
+
+TEST_F(AdminHttpTest, ServesUpdateJourneysAndAlerts) {
+  const HttpReply updates = HttpGet(site_->admin_address(), "/updates.json");
+  EXPECT_EQ(updates.status, 200);
+  EXPECT_NE(updates.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(updates.body.find("\"minted\""), std::string::npos);
+  EXPECT_NE(updates.body.find("\"ttfr_ns\""), std::string::npos);
+  EXPECT_NE(updates.body.find("\"hops\""), std::string::npos);
+  EXPECT_NE(updates.body.find("\"recent\""), std::string::npos);
+
+  const HttpReply alerts = HttpGet(site_->admin_address(), "/alerts.json");
+  EXPECT_EQ(alerts.status, 200);
+  EXPECT_NE(alerts.body.find("\"update_convergence_burn\""),
+            std::string::npos);
+  EXPECT_NE(alerts.body.find("\"state\":\"ok\""), std::string::npos);
+  EXPECT_NE(alerts.body.find("\"burn_rate\""), std::string::npos);
+
+  const HttpReply index = HttpGet(site_->admin_address(), "/");
+  EXPECT_NE(index.body.find("/updates.json"), std::string::npos);
+  EXPECT_NE(index.body.find("/alerts.json"), std::string::npos);
+}
+
+TEST(AdminHttpJourneys, ServeAdminTracksDisseminationEndToEnd) {
+  // ServeAdmin installs the journey sink: real update traffic shows up in
+  // /updates.json (minted + completed + hop stamps) with no extra wiring.
+  net::LoopbackNetwork network;
+  core::Site provider(85, network.CreateEndpoint("prov"));
+  core::Site demander(86, network.CreateEndpoint("dem"));
+  ASSERT_TRUE(provider.Start().ok());
+  ASSERT_TRUE(demander.Start().ok());
+  provider.HostRegistry();
+  demander.UseRegistry("prov");
+  provider.SetConsistencyPolicy(
+      std::make_unique<consistency::WriteInvalidate>());
+
+  auto doc = std::make_shared<Node>();
+  ASSERT_TRUE(provider.Bind("doc", doc).ok());
+  const ObjectId oid = provider.Export(doc);
+  auto remote = demander.Lookup<Node>("doc");
+  ASSERT_TRUE(remote.ok());
+  auto ref = remote->Replicate(ReplicationMode::Incremental(1));
+  ASSERT_TRUE(ref.ok());
+
+  ASSERT_TRUE(provider.ServeAdmin("0").ok());
+  doc->SetValue(5);
+  ASSERT_TRUE(provider.MarkMasterUpdated(oid).ok());
+
+  const HttpReply updates = HttpGet(provider.admin_address(), "/updates.json");
+  EXPECT_EQ(updates.status, 200);
+  EXPECT_NE(updates.body.find("\"minted\":1"), std::string::npos);
+  EXPECT_NE(updates.body.find("\"completed\":1"), std::string::npos);
+  EXPECT_NE(updates.body.find("\"acked\":1"), std::string::npos);
+  EXPECT_NE(updates.body.find("\"convergence_ns\""), std::string::npos);
+  // The journey metrics reached the exposition too.
+  const HttpReply metrics = HttpGet(provider.admin_address(), "/metrics");
+  EXPECT_NE(metrics.body.find("obiwan_update_journeys_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("obiwan_update_convergence_ns_bucket"),
+            std::string::npos);
+  provider.StopAdmin();
+}
+
+TEST(AdminHttpSlowClient, DrippedRequestServedAndStallCutOffByDeadline) {
+  auto transport = net::TcpTransport::Create(0);
+  ASSERT_TRUE(transport.ok());
+  core::Site site(87, std::move(*transport));
+  ASSERT_TRUE(site.Start().ok());
+  site.HostRegistry();
+  core::Site::AdminOptions options;
+  options.request_deadline = 300 * kMilli;  // short, so the stall test is fast
+  ASSERT_TRUE(site.ServeAdmin("0", options).ok());
+
+  // A client that drips its request one byte at a time must still be served:
+  // the head parser accumulates partial reads until the blank line.
+  {
+    int fd = HttpConnect(site.admin_address());
+    ASSERT_GE(fd, 0);
+    const std::string request = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    for (char c : request) {
+      ASSERT_EQ(::send(fd, &c, 1, MSG_NOSIGNAL), 1);
+    }
+    // Read the response one byte at a time too, to exercise framing.
+    std::string raw;
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1) raw.push_back(c);
+    ::close(fd);
+    EXPECT_EQ(ParseReply(raw).status, 200);
+  }
+
+  // A client that stalls mid-request must be cut off by the deadline — the
+  // serving thread gets back to the accept loop and the in-flight gauge
+  // returns to zero instead of wedging at one.
+  {
+    const auto start = std::chrono::steady_clock::now();
+    int fd = HttpConnect(site.admin_address());
+    ASSERT_GE(fd, 0);
+    const char partial[] = "GET /metr";  // never finished
+    ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, MSG_NOSIGNAL), 0);
+    std::string raw;
+    char buf[256];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      raw.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(250));
+    EXPECT_LT(elapsed, std::chrono::seconds(5))
+        << "stalled client held the connection past the deadline";
+  }
+
+  // The admin thread is free again: the next request answers promptly and
+  // no connection is left in flight.
+  EXPECT_EQ(HttpGet(site.admin_address(), "/healthz").status, 200);
+  EXPECT_EQ(MetricsRegistry::Default().SumGauges("obiwan_admin_http_active"),
+            0);
 }
 
 TEST_F(AdminHttpTest, HealthzFlipsWhenTransportStops) {

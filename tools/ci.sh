@@ -35,17 +35,18 @@ run_flavour ubsan build-ubsan -DOBIWAN_SANITIZE=undefined
 # counter, the server's per-connection threads), plus the update-fanout soak
 # (concurrent writers fanning pushes out on the bounded notification pool,
 # and the resync daemon's background worker), the contention observatory
-# (tracked mutexes, exemplar captures and scrapes racing lock traffic) and
-# the sharded object table (shard/world guards racing protocol paths,
-# holder drops racing re-registration) — so TSan runs those groups rather
-# than the whole (slow under TSan) suite.
+# (tracked mutexes, exemplar captures and scrapes racing lock traffic), the
+# sharded object table (shard/world guards racing protocol paths, holder
+# drops racing re-registration) and the update-journey tracker (fanout
+# worker threads stamping hops against scrapes and alert evaluation) — so
+# TSan runs those groups rather than the whole (slow under TSan) suite.
 echo "=== [tsan] configure ==="
 cmake -B build-tsan -S . -DOBIWAN_SANITIZE=thread
 echo "=== [tsan] build ==="
-cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test fanout_test obs_test contention_test object_table_test
+cmake --build build-tsan -j "$JOBS" --target tcp_test net_test compress_test fanout_test obs_test contention_test object_table_test journey_test
 echo "=== [tsan] test ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport|FanoutTcp|AdminHttp|FleetMonitor|Contention|ObjectTable)'
+    -R '^(Tcp|TcpDeadline|TcpPool|TcpRetry|TcpServer|Loopback|Sim|SimDeadline|RetryingTransport|CompressedTransport|FanoutTcp|AdminHttp|FleetMonitor|Contention|ObjectTable|Journey|BurnRate)'
 
 # The fig4 bench must emit a schema-valid BENCH_*.json with latency
 # percentiles (skip the google-benchmark micro-benchmarks; the paper series
@@ -229,7 +230,8 @@ python3 - build-ci/BENCH_mobility.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-for key in ("bench", "xs", "series", "reconvergence", "fleet", "metrics"):
+for key in ("bench", "xs", "series", "reconvergence", "fleet", "journey",
+            "metrics"):
     assert key in doc, f"missing key: {key}"
 r = doc["reconvergence"]
 for key in ("holders", "disconnected", "updates_during_window",
@@ -276,6 +278,35 @@ print(f"BENCH_mobility.json: fleet OK ({fl['sites']} sites, "
       f"{fl['churned']} churned, peak lag max {fl['peak_lag_versions']['max']}, "
       f"converged in {fl['converge_ms']:.0f} ms, "
       f"SLO burn {fl['slo_breach_s']:.2f} s)")
+
+# The journey cross-check: the per-update tracer must have followed the
+# fleet updates hop by hop, its event-driven convergence measurement must
+# come in at or under the poll-loop estimate (polling can only overestimate:
+# it adds up to one poll interval plus refresh latency of aliasing error),
+# and the sustained churn must have tripped the burn-rate alert.
+j = doc["journey"]
+for key in ("minted", "completed", "superseded_notifies", "ttfr_ms_p95",
+            "convergence_ms_p95", "measured_convergence_ms",
+            "polled_convergence_ms", "aliasing_error_ms", "poll_interval_ms",
+            "alert_firing", "fast_burn_rate"):
+    assert key in j, f"journey section missing {key}"
+assert j["minted"] >= 1, "no update journeys minted"
+assert j["completed"] >= 1, "no update journey completed"
+assert j["measured_convergence_ms"] > 0, "journey convergence not measured"
+assert j["aliasing_error_ms"] >= 0, \
+    f"polled convergence beat the event-driven measurement: {j}"
+assert j["polled_convergence_ms"] >= j["measured_convergence_ms"], \
+    f"aliasing inverted: {j}"
+# Churn supersedes queued notifications (per-holder version coalescing), so
+# only the newest update fully converges and the older ones show up here.
+assert j["superseded_notifies"] >= 1, "churn superseded no notifications"
+assert j["alert_firing"] is True, "burn-rate alert did not fire under churn"
+assert j["fast_burn_rate"] > 1.0, f"fast burn rate too low: {j}"
+print(f"BENCH_mobility.json: journey OK ({j['minted']} minted, "
+      f"{j['completed']} completed, measured "
+      f"{j['measured_convergence_ms']:.0f} ms vs polled "
+      f"{j['polled_convergence_ms']:.0f} ms, aliasing "
+      f"{j['aliasing_error_ms']:.0f} ms, burn {j['fast_burn_rate']:.1f})")
 EOF
 
 # The replication observatory, exercised over real TCP: a provider shell
@@ -343,8 +374,10 @@ EOF
 
 # The embedded admin endpoint, served by a real shell over TCP: /metrics must
 # be well-formed Prometheus text exposition (every sample under a # TYPE,
-# counters suffixed _total, histogram buckets cumulative with +Inf == _count)
-# and /healthz must report ready while the RMI plane is up.
+# counters suffixed _total, histogram buckets cumulative with +Inf == _count,
+# "# EOF"-terminated, OpenMetrics via Accept), /healthz must report ready
+# while the RMI plane is up, and the update-journey routes /updates.json and
+# /alerts.json must serve their schemas.
 echo "=== [shell] admin endpoint: /metrics exposition + /healthz ==="
 ADMIN_METRICS="$(pwd)/build-ci/admin_metrics.prom"
 ADMIN_HEALTH="$(pwd)/build-ci/admin_healthz.json"
@@ -363,6 +396,26 @@ curl -fsS http://127.0.0.1:7474/profile.json | python3 -c \
      assert {"stale_replicas","notify_retries","fanout_inflight"} <= queues, d'
 curl -fsS http://127.0.0.1:7474/contention | grep -q "lock hotness" || {
     echo "/contention missing lock hotness report"; exit 1; }
+# Content negotiation: an OpenMetrics Accept header must switch the
+# /metrics content type (body stays "# EOF"-terminated either way).
+curl -fsSi -H 'Accept: application/openmetrics-text' \
+    http://127.0.0.1:7474/metrics | \
+    grep -qi 'content-type: application/openmetrics-text' || {
+    echo "/metrics did not negotiate OpenMetrics content type"; exit 1; }
+curl -fsS http://127.0.0.1:7474/updates.json | python3 -c \
+    'import json,sys; d=json.load(sys.stdin); \
+     assert {"site","now","minted","completed","slo_convergence_ns", \
+             "ttfr_ns","convergence_ns","hops","recent","slowest"} <= \
+         set(d), d; \
+     assert {"queue","wire","apply"} <= set(d["hops"]), d; \
+     assert d["site"] == 7, d'
+curl -fsS http://127.0.0.1:7474/alerts.json | python3 -c \
+    'import json,sys; d=json.load(sys.stdin); \
+     a=d["alerts"][0]; \
+     assert a["name"] == "update_convergence_burn", d; \
+     assert a["state"] in ("ok","firing"), d; \
+     assert {"window_s","total","bad","burn_rate"} <= set(a["fast"]), d; \
+     assert {"window_s","total","bad","burn_rate"} <= set(a["slow"]), d'
 kill "$ADMIN_SERVER" 2>/dev/null || true
 wait "$ADMIN_SERVER" 2>/dev/null || true
 python3 - "$ADMIN_METRICS" "$ADMIN_HEALTH" <<'EOF'
@@ -377,6 +430,10 @@ for line in lines:
         assert kind in ("counter", "gauge", "histogram"), line
         assert name not in types, f"duplicate TYPE for {name}"
         types[name] = kind
+        continue
+    if line == "# EOF":
+        # OpenMetrics not-truncated terminator; must be the last line.
+        assert line == lines[-1], "# EOF not at end of exposition"
         continue
     if line.startswith("#"):
         assert line.startswith("# HELP "), f"unknown comment: {line}"
@@ -438,4 +495,4 @@ print(f"admin endpoint: exposition OK ({len(types)} families, "
       f"{sum(f['samples'] for f in families.values())} samples), healthz OK")
 EOF
 
-echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace + reconvergence + observatory + fleet + admin + contention ==="
+echo "=== CI green: release + asan + ubsan + tsan + bench JSON + chrome trace + reconvergence + observatory + fleet + journeys + admin + contention ==="
